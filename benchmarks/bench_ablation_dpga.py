@@ -1,0 +1,69 @@
+"""Ablation — single population vs the paper's 16-island hypercube DPGA.
+
+The paper ran "a single population as well as ... 16 subpopulations
+configured as a four dimensional hypercube" with 320 total individuals.
+This bench compares the two at equal evaluation budgets and also checks
+ring vs hypercube migration topology.
+"""
+
+import os
+
+from repro.experiments import workload
+from repro.ga import (
+    DKNUX,
+    DPGA,
+    DPGAConfig,
+    Fitness1,
+    GAConfig,
+    GAEngine,
+    hypercube_topology,
+    ring_topology,
+)
+
+GENERATIONS = 60 if os.environ.get("REPRO_BENCH_FULL") == "1" else 25
+
+
+def _run_variants():
+    graph = workload(118)
+    k = 4
+    fitness = Fitness1(graph, k)
+    rows = {}
+
+    single_cfg = GAConfig(population_size=320, max_generations=GENERATIONS)
+    res = GAEngine(graph, fitness, DKNUX(graph, k), single_cfg, seed=11).run()
+    rows["single-320"] = (res.best_fitness, res.best_cut)
+
+    for name, topo in (
+        ("dpga-hc4", hypercube_topology(4)),
+        ("dpga-ring", ring_topology(16)),
+    ):
+        dpga = DPGA(
+            graph,
+            fitness,
+            crossover_factory=lambda: DKNUX(graph, k),
+            ga_config=GAConfig(population_size=20),
+            dpga_config=DPGAConfig(
+                total_population=320,
+                n_islands=16,
+                migration_interval=5,
+                max_generations=GENERATIONS,
+            ),
+            topology=topo,
+            seed=11,
+        )
+        r = dpga.run()
+        rows[name] = (r.best_fitness, r.best_cut)
+
+    print("\nDPGA ablation on 118-node mesh, k=4, 320 individuals")
+    print(f"{'variant':>12} {'fitness':>9} {'cut':>5}")
+    for name, (fit, cut) in rows.items():
+        print(f"{name:>12} {fit:>9.0f} {cut:>5.0f}")
+    return rows
+
+
+def test_dpga_ablation(benchmark):
+    rows = benchmark.pedantic(_run_variants, rounds=1, iterations=1)
+    # all variants must land in the same quality regime (island model is
+    # about parallelism, not quality loss)
+    values = [v[0] for v in rows.values()]
+    assert max(values) - min(values) < 0.5 * abs(max(values))

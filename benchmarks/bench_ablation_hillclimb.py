@@ -1,0 +1,43 @@
+"""Ablation — hill-climbing modes (paper Section 3.6 / Section 5).
+
+"Performance can further be improved by incorporating a hill-climbing
+step."  This bench quantifies that: the same DKNUX GA with hill-climbing
+off, on the per-generation best, on all offspring (memetic), and as a
+final polish only.
+"""
+
+import os
+
+from repro.experiments import workload
+from repro.ga import DKNUX, Fitness1, GAConfig, GAEngine
+
+GENERATIONS = 80 if os.environ.get("REPRO_BENCH_FULL") == "1" else 30
+
+
+def _run_modes():
+    graph = workload(144)
+    k = 4
+    fitness = Fitness1(graph, k)
+    rows = {}
+    for mode in ("off", "best", "final", "all"):
+        cfg = GAConfig(
+            population_size=48,
+            max_generations=GENERATIONS,
+            hill_climb=mode,
+            hill_climb_passes=2,
+        )
+        res = GAEngine(graph, fitness, DKNUX(graph, k), cfg, seed=3).run()
+        rows[mode] = (res.best_fitness, res.best_cut, res.history.n_evaluations)
+    print("\nHill-climbing ablation on 144-node mesh, k=4")
+    print(f"{'mode':>6} {'fitness':>9} {'cut':>5} {'evals':>7}")
+    for mode, (fit, cut, evals) in rows.items():
+        print(f"{mode:>6} {fit:>9.0f} {cut:>5.0f} {evals:>7}")
+    return rows
+
+
+def test_hillclimb_ablation(benchmark):
+    rows = benchmark.pedantic(_run_modes, rounds=1, iterations=1)
+    # the memetic mode dominates plain GA at equal generation budget
+    assert rows["all"][0] >= rows["off"][0]
+    # final polish can only help relative to off
+    assert rows["final"][0] >= rows["off"][0]

@@ -1,0 +1,62 @@
+"""Ablation — final solution quality per crossover operator.
+
+DESIGN.md §5: isolate the operator's contribution at a fixed budget
+(no hill-climbing, identical populations and seeds).  The paper claims
+KNUX/DKNUX give "orders of magnitude improvement over traditional
+genetic operators in solution quality and speed".
+"""
+
+import os
+
+import numpy as np
+
+from repro.baselines import ibp_partition
+from repro.experiments import workload
+from repro.ga import (
+    DKNUX,
+    KNUX,
+    Fitness1,
+    GAConfig,
+    GAEngine,
+    KPointCrossover,
+    OnePointCrossover,
+    TwoPointCrossover,
+    UniformCrossover,
+)
+
+GENERATIONS = 120 if os.environ.get("REPRO_BENCH_FULL") == "1" else 50
+
+
+def _run_all():
+    graph = workload(167)
+    k = 4
+    fitness = Fitness1(graph, k)
+    cfg = GAConfig(population_size=64, max_generations=GENERATIONS)
+    ibp = ibp_partition(graph, k).assignment
+    operators = {
+        "1-point": lambda: OnePointCrossover(),
+        "2-point": lambda: TwoPointCrossover(),
+        "4-point": lambda: KPointCrossover(4),
+        "uniform": lambda: UniformCrossover(),
+        "knux(ibp)": lambda: KNUX(graph, ibp, k),
+        "dknux": lambda: DKNUX(graph, k),
+    }
+    rows = {}
+    for name, factory in operators.items():
+        res = GAEngine(graph, fitness, factory(), cfg, seed=7).run()
+        rows[name] = (res.best_fitness, res.best_cut)
+    print("\nOperator ablation on 167-node mesh, k=4, no hill climbing")
+    print(f"{'operator':>10} {'fitness':>10} {'cut':>6}")
+    for name, (fit, cut) in rows.items():
+        print(f"{name:>10} {fit:>10.0f} {cut:>6.0f}")
+    return rows
+
+
+def test_operator_ablation(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    trad_best = max(rows[n][0] for n in ("1-point", "2-point", "4-point", "uniform"))
+    assert rows["knux(ibp)"][0] > trad_best
+    assert rows["dknux"][0] > trad_best
+    # the knowledge-based cut should be dramatically smaller, not marginal
+    trad_cut = min(rows[n][1] for n in ("1-point", "2-point", "4-point", "uniform"))
+    assert rows["knux(ibp)"][1] < 0.75 * trad_cut

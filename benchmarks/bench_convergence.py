@@ -1,0 +1,47 @@
+"""Convergence figures — best fitness vs generation, averaged over runs.
+
+The paper's (unnumbered) figures average 5 runs and show KNUX/DKNUX
+converging orders of magnitude faster than 2-point crossover.  This
+bench regenerates those series on the 144-node mesh (k = 4, Fitness 1,
+no hill-climbing so the operator effect is isolated) via
+:func:`repro.experiments.run_convergence` and prints the
+fitness-vs-generation table plus the speed metrics.
+"""
+
+import os
+
+from repro.experiments import format_convergence, run_convergence
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+N_RUNS = 5 if FULL else 2
+GENERATIONS = 120 if FULL else 60
+
+
+def _run():
+    result = run_convergence(
+        size=144,
+        n_parts=4,
+        n_runs=N_RUNS,
+        generations=GENERATIONS,
+        population_size=64,
+        seed=0,
+    )
+    print()
+    print(format_convergence(result))
+    return result
+
+
+def test_convergence_figure(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    curves = result.curves
+    final = {n: c.summary.mean[-1] for n, c in curves.items()}
+    # headline shape: knowledge-based operators dominate traditional ones
+    assert final["dknux"] > final["2-point"]
+    assert final["dknux"] > final["uniform"]
+    assert final["knux"] > final["2-point"]
+    # speed: knux passes 2-point's *final* level in a fraction of the budget
+    gen = curves["knux"].speedup_generation
+    assert gen is not None and gen < GENERATIONS // 3
+    # and already dominates at the halfway point
+    mid = curves["dknux"].summary.n_generations // 2
+    assert curves["dknux"].summary.mean[mid] > curves["2-point"].summary.mean[mid]

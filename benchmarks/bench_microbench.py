@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the GA's hot kernels.
+
+These are classical pytest-benchmark timing benches (many rounds) for
+the vectorized primitives the engine is built on: batch fitness
+evaluation, KNUX bias + crossover, mutation, and a hill-climbing pass.
+They guard against performance regressions in the inner loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ga import (
+    DKNUX,
+    Fitness1,
+    Fitness2,
+    HillClimber,
+    PointMutation,
+    TwoPointCrossover,
+)
+from repro.ga.knux import KNUX
+from repro.ga.population import random_population
+from repro.graphs import mesh_graph
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = mesh_graph(300, seed=77, candidates=6)
+    k = 8
+    pop = random_population(graph.n_nodes, k, 320, seed=1)
+    return graph, k, pop
+
+
+def test_fitness1_batch_eval(benchmark, setup):
+    graph, k, pop = setup
+    fitness = Fitness1(graph, k)
+    out = benchmark(fitness.evaluate_batch, pop)
+    assert out.shape == (320,)
+
+
+def test_fitness2_batch_eval(benchmark, setup):
+    graph, k, pop = setup
+    fitness = Fitness2(graph, k)
+    out = benchmark(fitness.evaluate_batch, pop)
+    assert out.shape == (320,)
+
+
+def test_knux_crossover_batch(benchmark, setup):
+    graph, k, pop = setup
+    op = KNUX(graph, pop[0], k)
+    rng = np.random.default_rng(0)
+    a, b = pop[:160], pop[160:]
+    c1, c2 = benchmark(op.cross, a, b, rng)
+    assert c1.shape == a.shape
+
+
+def test_two_point_crossover_batch(benchmark, setup):
+    graph, k, pop = setup
+    op = TwoPointCrossover()
+    rng = np.random.default_rng(0)
+    a, b = pop[:160], pop[160:]
+    c1, _ = benchmark(op.cross, a, b, rng)
+    assert c1.shape == a.shape
+
+
+def test_point_mutation_batch(benchmark, setup):
+    graph, k, pop = setup
+    op = PointMutation(k)
+    rng = np.random.default_rng(0)
+    out = benchmark(op.mutate, pop, 0.01, rng)
+    assert out.shape == pop.shape
+
+
+def test_hillclimb_single_pass(benchmark, setup):
+    graph, k, pop = setup
+    climber = HillClimber(graph, Fitness1(graph, k))
+    out, value = benchmark(climber.improve, pop[0], 1)
+    assert np.isfinite(value)
+
+
+def test_dknux_estimate_rebuild(benchmark, setup):
+    """Cost of adopting a new estimate (neighbor-table scatter-add)."""
+    graph, k, pop = setup
+    op = DKNUX(graph, k)
+    fitness = np.linspace(-1000, -1, pop.shape[0])
+
+    def adopt():
+        op._best_fitness = -np.inf  # force re-adoption every round
+        op.prepare(pop, fitness)
+
+    benchmark(adopt)
+    assert op.best_fitness_seen == -1.0

@@ -1,0 +1,71 @@
+"""Scaling — graph size sweep and the multilevel extension.
+
+Section 5 of the paper: "partitioning very large graphs does require
+high amounts of computation by the genetic algorithm. A prior graph
+contraction step would allow these techniques to be applied to graphs
+much larger."  This bench measures the flat memetic GA against the
+multilevel (contract → GA → refine) pipeline and RSB as size grows.
+"""
+
+import os
+import time
+
+from repro.baselines import rsb_partition
+from repro.ga import DKNUX, Fitness1, GAConfig, GAEngine
+from repro.graphs import mesh_graph
+from repro.multilevel import multilevel_ga_partition
+
+SIZES = (200, 400, 800) if os.environ.get("REPRO_BENCH_FULL") != "1" else (
+    200, 400, 800, 1600,
+)
+K = 8
+QUICK_GA = GAConfig(
+    population_size=32,
+    max_generations=25,
+    patience=8,
+    hill_climb="all",
+    hill_climb_passes=1,
+)
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        graph = mesh_graph(n, seed=100 + n, candidates=5)
+        fitness = Fitness1(graph, K)
+
+        t0 = time.perf_counter()
+        flat = GAEngine(graph, fitness, DKNUX(graph, K), QUICK_GA, seed=1).run()
+        t_flat = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ml = multilevel_ga_partition(
+            graph, K, coarse_nodes=150, config=QUICK_GA, seed=1
+        )
+        t_ml = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        rsb = rsb_partition(graph, K)
+        t_rsb = time.perf_counter() - t0
+
+        rows.append(
+            (n, flat.best_cut, t_flat, ml.cut_size, t_ml, rsb.cut_size, t_rsb)
+        )
+    print("\nScaling sweep, k=8 (cut / seconds)")
+    print(f"{'n':>6} {'flat-GA':>14} {'multilevel':>14} {'RSB':>14}")
+    for n, fc, ft, mc, mt, rc, rt in rows:
+        print(
+            f"{n:>6} {fc:>7.0f}/{ft:>5.2f}s {mc:>7.0f}/{mt:>5.2f}s "
+            f"{rc:>7.0f}/{rt:>5.2f}s"
+        )
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # the multilevel pipeline must stay within a reasonable factor of RSB
+    # even at the largest size, where the flat GA struggles
+    n, fc, ft, mc, mt, rc, rt = rows[-1]
+    assert mc < 2.0 * rc
+    # and multilevel should not be slower than the flat GA at scale
+    assert mt <= ft * 1.5

@@ -1,0 +1,18 @@
+"""Table 1 — best solutions: DKNUX (IBP-seeded) vs RSB, Fitness 1.
+
+Paper shape: DKNUX, starting from an Index-Based-Partitioning seed,
+matches or beats RSB's total cut on most of the 167/144-node cells.
+"""
+
+from .conftest import run_and_report
+
+
+def test_table1(benchmark, mode, bench_seed):
+    result = benchmark.pedantic(
+        run_and_report, args=("table1", mode, bench_seed), rounds=1, iterations=1
+    )
+    # the paper's DKNUX wins/ties 4 of 6 cells; our memetic GA should win
+    # at least half even at the quick budget
+    assert result.ga_win_fraction >= 0.5
+    for cell in result.cells:
+        assert cell.dknux > 0 and cell.rsb > 0

@@ -1,0 +1,15 @@
+"""Table 3 — incremental graph partitioning, Fitness 1.
+
+Paper shape: DKNUX warm-started from the pre-update partition matches
+or beats RSB re-run from scratch on the updated graph in most cells
+(the paper wins 10 of 12).
+"""
+
+from .conftest import run_and_report
+
+
+def test_table3(benchmark, mode, bench_seed):
+    result = benchmark.pedantic(
+        run_and_report, args=("table3", mode, bench_seed), rounds=1, iterations=1
+    )
+    assert result.ga_win_fraction >= 0.5

@@ -1,0 +1,16 @@
+"""Table 5 — improving RSB solutions with DKNUX, Fitness 2 (worst cut).
+
+Paper shape: the GA improves RSB's worst-part communication cost on
+every row (paper wins 14 of 14 cells).
+"""
+
+from .conftest import run_and_report
+
+
+def test_table5(benchmark, mode, bench_seed):
+    result = benchmark.pedantic(
+        run_and_report, args=("table5", mode, bench_seed), rounds=1, iterations=1
+    )
+    # fitness2 couples worst-cut with balance, so "never lose" is not
+    # structurally guaranteed as in table 2 — but near-universal wins are
+    assert result.ga_win_fraction >= 0.75

@@ -1,0 +1,16 @@
+"""Table 6 — incremental partitioning, Fitness 2 (worst cut).
+
+Paper shape: warm-started DKNUX beats RSB-from-scratch on worst-part
+cost in most incremental cells (paper wins 13 of 14 compared cells).
+"""
+
+from .conftest import run_and_report
+
+
+def test_table6(benchmark, mode, bench_seed):
+    result = benchmark.pedantic(
+        run_and_report, args=("table6", mode, bench_seed), rounds=1, iterations=1
+    )
+    compared = [c for c in result.cells if c.paper_rsb is not None]
+    assert compared  # the 78+20 row has no RSB column in the paper
+    assert result.ga_win_fraction >= 0.4

@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper table/figure has a module here that regenerates it.  By
+default the benches run in "quick" mode (single GA run per cell,
+compact budgets — a few minutes for the whole suite); set
+``REPRO_BENCH_FULL=1`` for paper-scale best-of-5 runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints its table (measured vs published) to stdout; pass
+``-s`` to see them inline, or read the captured output of the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_mode() -> str:
+    return "full" if os.environ.get("REPRO_BENCH_FULL") == "1" else "quick"
+
+
+@pytest.fixture(scope="session")
+def mode() -> str:
+    return bench_mode()
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def run_and_report(table_id: str, mode: str, seed: int):
+    """Run one paper table and print the paper-vs-measured report."""
+    from repro.experiments import format_table, get_spec, run_table
+
+    result = run_table(get_spec(table_id), mode=mode, seed=seed)
+    print()
+    print(format_table(result))
+    return result

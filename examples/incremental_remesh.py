@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Incremental partitioning through an adaptive-refinement loop
+(paper Sections 3.5 and 4.2, Tables 3 and 6).
+
+Simulates the workload the paper motivates: a solver adaptively refines
+its mesh (new nodes appear in a local region), and after every
+refinement the partitioner must rebalance.  The incremental GA seeds
+each re-partitioning from the previous solution and is compared against
+(a) RSB re-run from scratch and (b) the naive assign-to-majority rule
+the paper dismisses in its conclusions.
+
+Run:  python examples/incremental_remesh.py
+"""
+
+from repro.baselines import rsb_partition
+from repro.ga import Fitness1
+from repro.graphs import mesh_graph
+from repro.incremental import (
+    IncrementalGAPartitioner,
+    insert_local_nodes,
+    naive_incremental_partition,
+)
+
+
+def main() -> None:
+    graph = mesh_graph(120, seed=7)
+    partitioner = IncrementalGAPartitioner(graph, n_parts=4, seed=0)
+    current = partitioner.partition_initial()
+    print(f"initial: {graph.n_nodes} nodes, cut={current.cut_size:g}\n")
+    print(
+        f"{'step':>4} {'nodes':>6} | {'incr-GA':>8} {'bal':>5} | "
+        f"{'RSB':>6} {'bal':>5} | {'naive':>6} {'bal':>5}"
+    )
+
+    for step in range(1, 5):
+        update = insert_local_nodes(graph, 25, seed=100 + step)
+        previous_assignment = partitioner.partition.assignment
+        new_graph = update.graph
+
+        ga = partitioner.update(new_graph)
+        rsb = rsb_partition(new_graph, 4)
+        naive = naive_incremental_partition(new_graph, previous_assignment, 4)
+
+        print(
+            f"{step:>4} {new_graph.n_nodes:>6} | "
+            f"{ga.cut_size:>8.0f} {ga.balance_ratio:>5.2f} | "
+            f"{rsb.cut_size:>6.0f} {rsb.balance_ratio:>5.2f} | "
+            f"{naive.cut_size:>6.0f} {naive.balance_ratio:>5.2f}"
+        )
+        graph = new_graph
+
+    fit = Fitness1(graph, 4)
+    print(
+        "\nfinal fitness (higher is better): "
+        f"incr-GA={fit.evaluate(partitioner.partition.assignment):.0f} "
+        f"RSB={fit.evaluate(rsb.assignment):.0f} "
+        f"naive={fit.evaluate(naive.assignment):.0f}"
+    )
+    print(
+        "note how the naive rule's balance degrades every step — the "
+        "paper's reason a GA is needed for incremental repartitioning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Index-based partitioning and the paper's appendix indexing schemes.
+
+Reproduces Figure 1 (row-major and shuffled row-major index matrices of
+an 8x8 image) exactly, walks through the appendix's two bit-interleaving
+examples, and then runs the full IBP pipeline (index -> sort -> color)
+on a mesh under all three indexing schemes.
+
+Run:  python examples/indexing_demo.py
+"""
+
+from repro.baselines import ibp_partition
+from repro.experiments import workload
+from repro.indexing import (
+    interleave_bits,
+    row_major_matrix,
+    shuffled_row_major_matrix,
+)
+
+
+def main() -> None:
+    print("Figure 1(a): row-major indexing of an 8x8 image")
+    for row in row_major_matrix(8, 8):
+        print(" ".join(f"{v:02d}" for v in row))
+    print("\nFigure 1(b): shuffled row-major indexing")
+    for row in shuffled_row_major_matrix(8, 8):
+        print(" ".join(f"{v:02d}" for v in row))
+
+    print("\nAppendix interleave examples:")
+    v = interleave_bits([0b001, 0b010, 0b110], [3, 3, 3])
+    print(f"  001, 010, 110       -> {v:09b} (paper: 001011100)")
+    v = interleave_bits([0b101, 0b01, 0b0], [3, 2, 1])
+    print(f"  101, 01, 0 (ragged) -> {v:06b} (paper: 100110)")
+
+    graph = workload(167)
+    n_parts = 8
+    print(f"\nIBP on {graph}, k={n_parts}:")
+    print(f"{'scheme':>10} {'cut':>5} {'worst':>6} {'balance':>8}")
+    for scheme in ("row_major", "shuffled", "hilbert"):
+        p = ibp_partition(graph, n_parts, scheme=scheme)
+        print(
+            f"{scheme:>10} {p.cut_size:>5.0f} {p.max_part_cut:>6.0f} "
+            f"{p.balance_ratio:>8.3f}"
+        )
+    print(
+        "\nshuffled row-major / hilbert preserve 2-D locality in the 1-D "
+        "order, so their parts are compact — this is the seed the paper "
+        "feeds the GA in Table 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

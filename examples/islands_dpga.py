@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The distributed-population GA (paper Section 3.4).
+
+Runs the paper's exact experimental configuration — 320 individuals in
+16 subpopulations on a 4-dimensional hypercube, crossover restricted to
+island members, best individuals migrating along hypercube links —
+first in-process (deterministic), then on a multiprocessing pool, which
+is this reproduction's stand-in for the paper's CM-5/Paragon targets.
+
+Run:  python examples/islands_dpga.py
+"""
+
+import time
+
+from repro.experiments import workload
+from repro.ga import (
+    DKNUX,
+    DPGA,
+    DPGAConfig,
+    Fitness1,
+    GAConfig,
+    ParallelDPGA,
+    hypercube_topology,
+)
+
+
+def main() -> None:
+    graph = workload(167)
+    n_parts = 4
+    fitness = Fitness1(graph, n_parts)
+    dpga_cfg = DPGAConfig(
+        total_population=320,
+        n_islands=16,
+        migration_interval=5,
+        migration_size=1,
+        max_generations=40,
+    )
+    print(f"graph: {graph}, k={n_parts}")
+    print(
+        f"DPGA: {dpga_cfg.n_islands} islands x "
+        f"{dpga_cfg.island_population} individuals, 4-D hypercube, "
+        f"migration every {dpga_cfg.migration_interval} generations\n"
+    )
+
+    t0 = time.perf_counter()
+    dpga = DPGA(
+        graph,
+        fitness,
+        crossover_factory=lambda: DKNUX(graph, n_parts),
+        ga_config=GAConfig(population_size=20),
+        dpga_config=dpga_cfg,
+        topology=hypercube_topology(4),
+        seed=0,
+    )
+    res = dpga.run()
+    print(
+        f"sequential islands: cut={res.best.cut_size:g} "
+        f"({time.perf_counter() - t0:.1f}s, "
+        f"{res.history.n_evaluations} evaluations)"
+    )
+
+    t0 = time.perf_counter()
+    par = ParallelDPGA(
+        graph,
+        "fitness1",
+        n_parts,
+        crossover_kind="dknux",
+        ga_config=GAConfig(population_size=20),
+        dpga_config=dpga_cfg,
+        topology=hypercube_topology(4),
+        n_workers=4,
+        seed=0,
+    )
+    pres = par.run()
+    print(
+        f"4-worker pool     : cut={pres.best.cut_size:g} "
+        f"({time.perf_counter() - t0:.1f}s)"
+    )
+    print(
+        "\n(the pool pays process start-up + IPC at this problem size; "
+        "the paper's near-linear speedups appear once per-island work "
+        "dominates, i.e. larger graphs or bigger islands)"
+    )
+
+
+if __name__ == "__main__":
+    main()

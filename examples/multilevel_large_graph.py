@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scaling the GA with graph contraction (paper Section 5).
+
+The paper concludes that "a prior graph contraction step would allow
+these techniques to be applied to graphs much larger than those explored
+in this paper".  This script demonstrates that pipeline on a
+2,000-node mesh: heavy-edge-matching coarsening down to GA scale, the
+DKNUX GA on the coarsest graph, then hill-climbing refinement while
+interpolating back up — compared against the flat GA and RSB.
+
+Run:  python examples/multilevel_large_graph.py
+"""
+
+import time
+
+from repro.baselines import rsb_partition
+from repro.ga import DKNUX, Fitness1, GAConfig, GAEngine
+from repro.graphs import mesh_graph
+from repro.multilevel import coarsen_to, multilevel_ga_partition
+
+
+def main() -> None:
+    graph = mesh_graph(2000, seed=99, candidates=4)
+    n_parts = 8
+    print(f"graph: {graph}, k={n_parts}\n")
+
+    levels = coarsen_to(graph, 200, seed=0)
+    chain = " -> ".join(
+        str(lv.fine.n_nodes) for lv in levels
+    ) + f" -> {levels[-1].coarse.n_nodes}"
+    print(f"coarsening hierarchy: {chain}\n")
+
+    cfg = GAConfig(
+        population_size=48,
+        max_generations=60,
+        patience=15,
+        hill_climb="all",
+        hill_climb_passes=2,
+    )
+
+    t0 = time.perf_counter()
+    ml = multilevel_ga_partition(
+        graph, n_parts, coarse_nodes=200, config=cfg, seed=1
+    )
+    t_ml = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fitness = Fitness1(graph, n_parts)
+    flat = GAEngine(
+        graph,
+        fitness,
+        DKNUX(graph, n_parts),
+        cfg.with_updates(max_generations=20, patience=8),
+        seed=1,
+    ).run()
+    t_flat = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rsb = rsb_partition(graph, n_parts)
+    t_rsb = time.perf_counter() - t0
+
+    print(f"{'method':>12} {'cut':>7} {'worst':>7} {'balance':>8} {'time':>7}")
+    print(
+        f"{'multilevel':>12} {ml.cut_size:>7.0f} {ml.max_part_cut:>7.0f} "
+        f"{ml.balance_ratio:>8.3f} {t_ml:>6.1f}s"
+    )
+    print(
+        f"{'flat GA':>12} {flat.best.cut_size:>7.0f} "
+        f"{flat.best.max_part_cut:>7.0f} "
+        f"{flat.best.balance_ratio:>8.3f} {t_flat:>6.1f}s"
+    )
+    print(
+        f"{'RSB':>12} {rsb.cut_size:>7.0f} {rsb.max_part_cut:>7.0f} "
+        f"{rsb.balance_ratio:>8.3f} {t_rsb:>6.1f}s"
+    )
+    print(
+        "\ncontraction turns an out-of-reach problem for the flat GA into "
+        "a few-hundred-node one it handles well — the paper's scaling path."
+    )
+
+
+if __name__ == "__main__":
+    main()

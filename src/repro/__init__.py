@@ -1,0 +1,138 @@
+"""repro — Genetic Algorithms for Graph Partitioning and Incremental
+Graph Partitioning.
+
+A from-scratch reproduction of Maini, Mehrotra, Mohan & Ranka,
+*Proc. IEEE Supercomputing 1994*: the KNUX/DKNUX knowledge-based
+crossover operators, the distributed-population GA, both fitness
+formulations (total and worst-case communication), incremental
+partitioning, and the full baseline suite the paper compares against
+(RSB, IBP, RCB, RGB, KL, greedy growth).
+
+Quickstart::
+
+    from repro import partition_graph
+    from repro.graphs import mesh_graph
+
+    graph = mesh_graph(200, seed=0)
+    part = partition_graph(graph, n_parts=4, seed=0)
+    print(part.cut_size, part.part_sizes)
+
+See README.md for the architecture overview and DESIGN.md /
+EXPERIMENTS.md for the reproduction inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ._version import __version__
+from .errors import (
+    ConfigError,
+    ConvergenceError,
+    ExperimentError,
+    GraphError,
+    GraphFormatError,
+    PartitionError,
+    ReproError,
+)
+from .graphs.csr import CSRGraph
+from .partition.partition import Partition
+from .ga.config import GAConfig
+from .ga.engine import GAEngine, GAResult
+from .ga.fitness import Fitness1, Fitness2, make_fitness
+from .ga.knux import KNUX
+from .ga.dknux import DKNUX
+from .ga.dpga import DPGA, DPGAConfig
+from .rng import SeedLike
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "PartitionError",
+    "ConfigError",
+    "ConvergenceError",
+    "ExperimentError",
+    "CSRGraph",
+    "Partition",
+    "GAConfig",
+    "GAEngine",
+    "GAResult",
+    "Fitness1",
+    "Fitness2",
+    "make_fitness",
+    "KNUX",
+    "DKNUX",
+    "DPGA",
+    "DPGAConfig",
+    "partition_graph",
+    "refine_partition",
+]
+
+
+def partition_graph(
+    graph: CSRGraph,
+    n_parts: int,
+    fitness_kind: str = "fitness1",
+    config: Optional[GAConfig] = None,
+    seed: SeedLike = None,
+    seed_assignment=None,
+) -> Partition:
+    """One-call DKNUX partitioner — the library's front door.
+
+    Runs the memetic DKNUX GA (hill-climbing on offspring) with a
+    compact default budget.  ``seed_assignment`` optionally seeds the
+    population with a heuristic solution (Section 3.5 of the paper);
+    pass e.g. ``rsb_partition(graph, k).assignment``.
+    """
+    from .ga.population import seeded_population
+
+    cfg = config or GAConfig(
+        population_size=64,
+        max_generations=100,
+        patience=20,
+        hill_climb="all",
+        hill_climb_passes=2,
+        mutation="boundary",
+        mutation_rate=0.02,
+    )
+    fitness = make_fitness(fitness_kind, graph, n_parts)
+    engine = GAEngine(graph, fitness, DKNUX(graph, n_parts), config=cfg, seed=seed)
+    init_pop = None
+    if seed_assignment is not None:
+        init_pop = seeded_population(
+            graph, n_parts, cfg.population_size, seed_assignment, seed=engine.rng
+        )
+    return engine.run(init_pop).best
+
+
+def refine_partition(
+    partition: Partition,
+    fitness_kind: str = "fitness1",
+    config: Optional[GAConfig] = None,
+    seed: SeedLike = None,
+) -> Partition:
+    """Improve an existing partition with the DKNUX GA (paper §4.1).
+
+    This is the "refinement of parts obtained by other methods" use
+    case: the input partition seeds the population, and the best
+    individual explored is returned (never worse than the input under
+    the chosen fitness).
+    """
+    improved = partition_graph(
+        partition.graph,
+        partition.n_parts,
+        fitness_kind=fitness_kind,
+        config=config,
+        seed=seed,
+        seed_assignment=partition.assignment,
+    )
+    fitness = make_fitness(
+        fitness_kind, partition.graph, partition.n_parts
+    )
+    if fitness.evaluate(improved.assignment) >= fitness.evaluate(
+        partition.assignment
+    ):
+        return improved
+    return partition

@@ -1,0 +1,28 @@
+"""Baseline partitioners: RSB, IBP, RCB, RGB, KL, FM, greedy, random."""
+
+from .spectral import fiedler_value, fiedler_vector
+from .rsb import rsb_partition, split_by_scores
+from .ibp import ibp_partition, quantize_coords, split_sorted
+from .rcb import rcb_partition
+from .rgb import rgb_partition
+from .kl import kl_refine, recursive_kl_partition
+from .fm import fm_refine
+from .greedy import greedy_partition
+from .random_part import random_partition
+
+__all__ = [
+    "fiedler_value",
+    "fiedler_vector",
+    "rsb_partition",
+    "split_by_scores",
+    "ibp_partition",
+    "quantize_coords",
+    "split_sorted",
+    "rcb_partition",
+    "rgb_partition",
+    "kl_refine",
+    "recursive_kl_partition",
+    "fm_refine",
+    "greedy_partition",
+    "random_partition",
+]

@@ -1,0 +1,83 @@
+"""Greedy graph-growing partitioner.
+
+A clustering-style heuristic from the family the paper's introduction
+cites: grow each part by BFS from a fresh peripheral seed until its
+node-weight budget is filled, then start the next part from the nearest
+unassigned node.  Fast, structure-aware, and a useful mid-quality
+baseline between random and RSB.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graphs.csr import CSRGraph
+from ..partition.partition import Partition
+from ..rng import SeedLike, as_generator
+
+__all__ = ["greedy_partition"]
+
+
+def greedy_partition(
+    graph: CSRGraph, n_parts: int, seed: SeedLike = None
+) -> Partition:
+    """Grow ``n_parts`` parts by weight-bounded breadth-first expansion.
+
+    Each part prefers frontier nodes with the most already-assigned
+    neighbors in the part (a greedy cut heuristic), breaking ties by
+    insertion order.
+    """
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    n = graph.n_nodes
+    if n_parts > n:
+        raise PartitionError(f"cannot split {n} nodes into {n_parts} parts")
+    rng = as_generator(seed)
+    labels = np.full(n, -1, dtype=np.int64)
+    total = graph.total_node_weight()
+    target = total / n_parts
+
+    counter = 0
+    for q in range(n_parts):
+        remaining = np.flatnonzero(labels == -1)
+        if remaining.size == 0:
+            break
+        budget = target
+        # seed: random unassigned node (last part takes everything left)
+        start = int(rng.choice(remaining))
+        # max-heap on (#neighbors already in part q), FIFO tie-break
+        heap: list[tuple[float, int, int]] = [(0.0, counter, start)]
+        counter += 1
+        in_heap = {start}
+        while heap and (budget > 0 or q == n_parts - 1):
+            neg_gain, _, node = heapq.heappop(heap)
+            if labels[node] != -1:
+                continue
+            labels[node] = q
+            budget -= graph.node_weights[node]
+            for nbr in graph.neighbors(node):
+                if labels[nbr] == -1 and nbr not in in_heap:
+                    gain = float(
+                        graph.neighbor_weights(nbr)[
+                            labels[graph.neighbors(nbr)] == q
+                        ].sum()
+                    )
+                    heapq.heappush(heap, (-gain, counter, int(nbr)))
+                    counter += 1
+                    in_heap.add(int(nbr))
+            if budget <= 0 and q < n_parts - 1:
+                break
+    # any stragglers (disconnected leftovers) go to the lightest parts
+    leftover = np.flatnonzero(labels == -1)
+    if leftover.size:
+        loads = np.zeros(n_parts)
+        assigned = labels >= 0
+        np.add.at(loads, labels[assigned], graph.node_weights[assigned])
+        for node in leftover:
+            q = int(np.argmin(loads))
+            labels[node] = q
+            loads[q] += graph.node_weights[node]
+    return Partition(graph, labels, n_parts)

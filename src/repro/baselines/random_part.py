@@ -1,0 +1,26 @@
+"""Random balanced partitioning — the floor any heuristic must beat."""
+
+from __future__ import annotations
+
+from ..errors import PartitionError
+from ..graphs.csr import CSRGraph
+from ..partition.balance import random_balanced_assignment
+from ..partition.partition import Partition
+from ..rng import SeedLike
+
+__all__ = ["random_partition"]
+
+
+def random_partition(
+    graph: CSRGraph, n_parts: int, seed: SeedLike = None
+) -> Partition:
+    """Uniformly random assignment with part sizes within one node."""
+    if n_parts > graph.n_nodes and graph.n_nodes > 0:
+        raise PartitionError(
+            f"cannot split {graph.n_nodes} nodes into {n_parts} non-empty parts"
+        )
+    return Partition(
+        graph,
+        random_balanced_assignment(graph.n_nodes, n_parts, seed=seed),
+        n_parts,
+    )

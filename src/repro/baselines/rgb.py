@@ -1,0 +1,59 @@
+"""Recursive Graph Bisection (RGB).
+
+The combinatorial sibling of RCB from the paper's introduction: order
+the vertices by breadth-first level from a pseudo-peripheral node and
+cut the ordering at the weighted median.  Uses only the graph structure,
+so it works for coordinate-free graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graphs.csr import CSRGraph
+from ..graphs.ops import bfs_distances, peripheral_node, subgraph
+from ..partition.partition import Partition
+from .rsb import split_by_scores
+
+__all__ = ["rgb_partition"]
+
+
+def _recurse(
+    graph: CSRGraph,
+    nodes: np.ndarray,
+    k: int,
+    labels: np.ndarray,
+    next_label: int,
+) -> int:
+    if k == 1 or nodes.size <= 1:
+        labels[nodes] = next_label
+        return next_label + 1
+    sub, mapping = subgraph(graph, nodes)
+    start = peripheral_node(sub, 0)
+    dist = bfs_distances(sub, start).astype(np.float64)
+    # unreachable nodes (other components) sort last
+    dist[dist < 0] = dist.max() + 1 if (dist >= 0).any() else 0.0
+    k_left = k // 2
+    mask = split_by_scores(dist, sub.node_weights, k_left / k)
+    left, right = mapping[mask], mapping[~mask]
+    if left.size == 0 or right.size == 0:
+        half = max(nodes.size * k_left // k, 1)
+        left, right = nodes[:half], nodes[half:]
+    next_label = _recurse(graph, left, k_left, labels, next_label)
+    return _recurse(graph, right, k - k_left, labels, next_label)
+
+
+def rgb_partition(graph: CSRGraph, n_parts: int) -> Partition:
+    """Partition by recursive BFS-level (graph distance) bisection."""
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    if graph.n_nodes == 0:
+        return Partition(graph, np.zeros(0, dtype=np.int64), n_parts)
+    if n_parts > graph.n_nodes:
+        raise PartitionError(
+            f"cannot split {graph.n_nodes} nodes into {n_parts} parts"
+        )
+    labels = np.full(graph.n_nodes, -1, dtype=np.int64)
+    _recurse(graph, np.arange(graph.n_nodes), n_parts, labels, 0)
+    return Partition(graph, labels, n_parts)

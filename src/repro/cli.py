@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+::
+
+    repro-partition partition GRAPH.metis -k 8 [--method dknux|rsb|ibp|...]
+    repro-partition experiment table1 [--mode quick|full] [--seed N]
+    repro-partition workloads
+    repro-partition info GRAPH.metis
+
+``python -m repro`` is an alias for the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+METHODS = ("dknux", "rsb", "ibp", "rcb", "rgb", "kl", "greedy", "random", "mlga")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description=(
+            "Graph partitioning with genetic algorithms (SC'94 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_part = sub.add_parser("partition", help="partition a METIS-format graph")
+    p_part.add_argument("graph", help="path to a METIS .graph file")
+    p_part.add_argument("-k", "--parts", type=int, required=True)
+    p_part.add_argument("--method", choices=METHODS, default="dknux")
+    p_part.add_argument(
+        "--fitness", choices=("fitness1", "fitness2"), default="fitness1"
+    )
+    p_part.add_argument("--seed", type=int, default=0)
+    p_part.add_argument(
+        "--output", help="write the assignment (one label per line) here"
+    )
+
+    p_exp = sub.add_parser("experiment", help="run a paper table")
+    p_exp.add_argument(
+        "table", help="table id (table1..table6) or 'all'"
+    )
+    p_exp.add_argument("--mode", choices=("quick", "full"), default="quick")
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_conv = sub.add_parser(
+        "convergence", help="regenerate the operator-convergence figure"
+    )
+    p_conv.add_argument("--size", type=int, default=144)
+    p_conv.add_argument("-k", "--parts", type=int, default=4)
+    p_conv.add_argument("--runs", type=int, default=3)
+    p_conv.add_argument("--generations", type=int, default=60)
+    p_conv.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("workloads", help="list the canonical workload graphs")
+
+    p_info = sub.add_parser("info", help="print statistics of a graph file")
+    p_info.add_argument("graph", help="path to a METIS .graph file")
+
+    return parser
+
+
+def _load_graph(path: str):
+    """Load METIS (default) or JSON (``.json``, carries coordinates)."""
+    from .graphs.io import read_json, read_metis
+
+    if str(path).endswith(".json"):
+        return read_json(path)
+    return read_metis(path)
+
+
+def _run_partition(args: argparse.Namespace) -> int:
+    from . import partition_graph
+    from .baselines import (
+        greedy_partition,
+        ibp_partition,
+        random_partition,
+        rcb_partition,
+        recursive_kl_partition,
+        rgb_partition,
+        rsb_partition,
+    )
+    from .multilevel import multilevel_ga_partition
+
+    from .errors import GraphError
+
+    graph = _load_graph(args.graph)
+    k = args.parts
+    if args.method in ("ibp", "rcb") and graph.coords is None:
+        print(
+            f"error: method {args.method!r} needs vertex coordinates; "
+            "use a .json graph file (write_json) instead of METIS",
+            file=sys.stderr,
+        )
+        return 1
+    if args.method == "dknux":
+        part = partition_graph(
+            graph, k, fitness_kind=args.fitness, seed=args.seed
+        )
+    elif args.method == "rsb":
+        part = rsb_partition(graph, k)
+    elif args.method == "ibp":
+        part = ibp_partition(graph, k)
+    elif args.method == "rcb":
+        part = rcb_partition(graph, k)
+    elif args.method == "rgb":
+        part = rgb_partition(graph, k)
+    elif args.method == "kl":
+        part = recursive_kl_partition(graph, k, seed=args.seed)
+    elif args.method == "greedy":
+        part = greedy_partition(graph, k, seed=args.seed)
+    elif args.method == "mlga":
+        part = multilevel_ga_partition(
+            graph, k, fitness_kind=args.fitness, seed=args.seed
+        )
+    else:
+        part = random_partition(graph, k, seed=args.seed)
+    print(
+        f"method={args.method} k={k} cut={part.cut_size:g} "
+        f"worst_cut={part.max_part_cut:g} balance={part.balance_ratio:.3f} "
+        f"sizes={part.part_sizes.tolist()}"
+    )
+    if args.output:
+        np.savetxt(args.output, part.assignment, fmt="%d")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from .experiments import format_table, get_spec, list_specs, run_table
+
+    tables = list_specs() if args.table == "all" else [args.table]
+    for table_id in tables:
+        result = run_table(get_spec(table_id), mode=args.mode, seed=args.seed)
+        print(format_table(result))
+        print()
+    return 0
+
+
+def _run_convergence(args: argparse.Namespace) -> int:
+    from .experiments import format_convergence, run_convergence
+
+    result = run_convergence(
+        size=args.size,
+        n_parts=args.parts,
+        n_runs=args.runs,
+        generations=args.generations,
+        seed=args.seed,
+    )
+    print(format_convergence(result))
+    return 0
+
+
+def _run_workloads() -> int:
+    from .experiments import workload, workload_names
+
+    print(f"{'name':>10} {'nodes':>6} {'edges':>6}")
+    for name in workload_names():
+        if "+" in name:
+            base, added = name.split("+")
+            size = int(base) + int(added)
+        else:
+            size = int(name)
+        g = workload(size)
+        print(f"{name:>10} {g.n_nodes:>6} {g.n_edges:>6}")
+    return 0
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    from .graphs.ops import connected_components, degree_histogram
+
+    graph = _load_graph(args.graph)
+    comps = int(connected_components(graph).max()) + 1 if graph.n_nodes else 0
+    hist = degree_histogram(graph)
+    degrees = graph.degree()
+    print(f"nodes      : {graph.n_nodes}")
+    print(f"edges      : {graph.n_edges}")
+    print(f"components : {comps}")
+    if graph.n_nodes:
+        print(f"degree     : min={degrees.min()} mean={degrees.mean():.2f} max={degrees.max()}")
+    print(f"node weight: total={graph.total_node_weight():g}")
+    print(f"edge weight: total={graph.total_edge_weight():g}")
+    print(f"degree histogram: {hist.tolist()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "partition":
+        return _run_partition(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "convergence":
+        return _run_convergence(args)
+    if args.command == "workloads":
+        return _run_workloads()
+    if args.command == "info":
+        return _run_info(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "PartitionError",
+    "ConfigError",
+    "ConvergenceError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or an operation unsupported for a graph."""
+
+
+class GraphFormatError(GraphError):
+    """Malformed external graph representation (file parsing, etc.)."""
+
+
+class PartitionError(ReproError):
+    """Invalid partition (wrong length, bad labels, unsatisfiable balance)."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value for an algorithm."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical routine (e.g. the Fiedler eigensolver) failed to converge."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification or run is invalid."""

@@ -1,0 +1,52 @@
+"""Experiment harness: workloads, specs, runner, and reporting."""
+
+from .workloads import (
+    BASE_SIZES,
+    DERIVED_SIZES,
+    INCREMENTAL_PAIRS,
+    incremental_case,
+    workload,
+    workload_names,
+)
+from .paper_values import PAPER_TABLES
+from .registry import TABLE_SPECS, TableSpec, get_spec, list_specs
+from .runner import (
+    CellResult,
+    RunnerSettings,
+    TableResult,
+    run_cell,
+    run_table,
+)
+from .report import format_paper_comparison, format_summary, format_table
+from .convergence import (
+    ConvergenceResult,
+    OperatorCurve,
+    format_convergence,
+    run_convergence,
+)
+
+__all__ = [
+    "BASE_SIZES",
+    "DERIVED_SIZES",
+    "INCREMENTAL_PAIRS",
+    "incremental_case",
+    "workload",
+    "workload_names",
+    "PAPER_TABLES",
+    "TABLE_SPECS",
+    "TableSpec",
+    "get_spec",
+    "list_specs",
+    "CellResult",
+    "RunnerSettings",
+    "TableResult",
+    "run_cell",
+    "run_table",
+    "format_paper_comparison",
+    "format_summary",
+    "format_table",
+    "ConvergenceResult",
+    "OperatorCurve",
+    "format_convergence",
+    "run_convergence",
+]

@@ -1,0 +1,154 @@
+"""The paper's convergence figures as a first-class experiment.
+
+Section 4: "The figures are obtained by averaging the results of 5
+runs" — best-fitness-vs-generation curves showing KNUX and DKNUX
+converging orders of magnitude faster than traditional crossover.
+:func:`run_convergence` regenerates those series for any workload;
+:func:`format_convergence` renders the comparison plus two speed
+metrics (normalized AUC, generations-to-reach-the-traditional-final).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.ibp import ibp_partition
+from ..errors import ExperimentError
+from ..ga.analysis import (
+    ConvergenceSummary,
+    aggregate_histories,
+    generations_to_reach,
+    normalized_auc,
+)
+from ..ga.config import GAConfig
+from ..ga.crossover import TwoPointCrossover, UniformCrossover
+from ..ga.dknux import DKNUX
+from ..ga.engine import GAEngine
+from ..ga.fitness import make_fitness
+from ..ga.knux import KNUX
+from .workloads import workload
+
+__all__ = ["OperatorCurve", "ConvergenceResult", "run_convergence", "format_convergence"]
+
+OPERATORS = ("2-point", "uniform", "knux", "dknux")
+
+
+@dataclass
+class OperatorCurve:
+    """Aggregated trajectory for one operator."""
+
+    operator: str
+    summary: ConvergenceSummary
+    auc: float  # mean normalized AUC over runs
+    speedup_generation: Optional[int]  # gen where it passes 2-point's final
+
+
+@dataclass
+class ConvergenceResult:
+    size: int
+    n_parts: int
+    n_runs: int
+    generations: int
+    curves: dict[str, OperatorCurve]
+
+
+def _operator(name: str, graph, n_parts: int):
+    if name == "2-point":
+        return TwoPointCrossover()
+    if name == "uniform":
+        return UniformCrossover()
+    if name == "knux":
+        return KNUX(graph, ibp_partition(graph, n_parts).assignment, n_parts)
+    if name == "dknux":
+        return DKNUX(graph, n_parts)
+    raise ExperimentError(f"unknown operator {name!r}")
+
+
+def run_convergence(
+    size: int = 144,
+    n_parts: int = 4,
+    n_runs: int = 5,
+    generations: int = 100,
+    population_size: int = 64,
+    fitness_kind: str = "fitness1",
+    seed: int = 0,
+) -> ConvergenceResult:
+    """Regenerate the operator-convergence figure for one workload."""
+    if n_runs < 1:
+        raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
+    graph = workload(size)
+    fitness = make_fitness(fitness_kind, graph, n_parts)
+    cfg = GAConfig(population_size=population_size, max_generations=generations)
+
+    histories: dict[str, list] = {}
+    for name in OPERATORS:
+        histories[name] = []
+        for run in range(n_runs):
+            engine = GAEngine(
+                graph,
+                fitness,
+                _operator(name, graph, n_parts),
+                cfg,
+                seed=seed * 10_000 + run,
+            )
+            histories[name].append(engine.run().history)
+
+    # the traditional-operator reference level for the speed metric
+    ref_final = float(
+        np.mean([h.best_fitness[-1] for h in histories["2-point"]])
+    )
+    curves = {}
+    for name in OPERATORS:
+        summary = aggregate_histories(histories[name])
+        speed = generations_to_reach(histories[name][0], ref_final)
+        curves[name] = OperatorCurve(
+            operator=name,
+            summary=summary,
+            auc=float(np.mean([normalized_auc(h) for h in histories[name]])),
+            speedup_generation=speed,
+        )
+    return ConvergenceResult(
+        size=size,
+        n_parts=n_parts,
+        n_runs=n_runs,
+        generations=generations,
+        curves=curves,
+    )
+
+
+def format_convergence(result: ConvergenceResult) -> str:
+    """Text rendering of the convergence comparison."""
+    gens = result.curves["2-point"].summary.n_generations
+    checkpoints = sorted(
+        {0, gens // 8, gens // 4, gens // 2, 3 * gens // 4, gens - 1}
+    )
+    lines = [
+        f"Convergence figure: {result.size}-node mesh, k={result.n_parts}, "
+        f"mean best fitness over {result.n_runs} runs",
+        "",
+        "generation " + " ".join(f"{n:>10}" for n in OPERATORS),
+    ]
+    for gen in checkpoints:
+        lines.append(
+            f"{gen:>10} "
+            + " ".join(
+                f"{result.curves[n].summary.mean[gen]:>10.0f}"
+                for n in OPERATORS
+            )
+        )
+    lines.append("")
+    lines.append(
+        "normalized AUC (1.0 = instant convergence): "
+        + ", ".join(f"{n}={result.curves[n].auc:.2f}" for n in OPERATORS)
+    )
+    for name in ("knux", "dknux"):
+        gen = result.curves[name].speedup_generation
+        if gen is not None:
+            lines.append(
+                f"{name} reaches 2-point's final fitness at generation "
+                f"{gen} of {gens - 1}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Experiment registry: one spec per paper table/figure.
+
+Each :class:`TableSpec` captures everything needed to regenerate a
+table: the workloads (row labels), part counts, fitness function,
+population seeding regime, and the reported metric.  The runner
+(:mod:`repro.experiments.runner`) executes specs; the benchmark harness
+and CLI look specs up here by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ExperimentError
+from .paper_values import PAPER_TABLES, PaperCell
+
+__all__ = ["TableSpec", "TABLE_SPECS", "get_spec", "list_specs"]
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declarative description of one experiment table.
+
+    Attributes
+    ----------
+    table_id:
+        ``"table1"`` … ``"table6"``.
+    title:
+        Human-readable caption (matches the paper's).
+    fitness_kind:
+        ``"fitness1"`` (total communication) or ``"fitness2"`` (worst
+        case).
+    metric:
+        ``"cut"`` (``sum C(q)/2``, Tables 1–3) or ``"worst_cut"``
+        (``max C(q)``, Tables 4–6).
+    seeding:
+        ``"ibp"`` — population seeded with an IBP solution (Table 1);
+        ``"rsb"`` — seeded with the RSB solution it tries to improve
+        (Tables 2, 5); ``"random"`` — random balanced start (Table 4);
+        ``"incremental"`` — extended from the previous partition of the
+        base graph (Tables 3, 6).
+    rows:
+        Row labels: plain sizes (``"144"``) or incremental cases
+        (``"118+21"``).
+    parts:
+        Part counts per row (columns of the table).
+    """
+
+    table_id: str
+    title: str
+    fitness_kind: str
+    metric: str
+    seeding: str
+    rows: tuple[str, ...]
+    parts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.fitness_kind not in ("fitness1", "fitness2"):
+            raise ExperimentError(f"bad fitness_kind {self.fitness_kind!r}")
+        if self.metric not in ("cut", "worst_cut"):
+            raise ExperimentError(f"bad metric {self.metric!r}")
+        if self.seeding not in ("ibp", "rsb", "random", "incremental"):
+            raise ExperimentError(f"bad seeding {self.seeding!r}")
+        if not self.rows or not self.parts:
+            raise ExperimentError("spec needs at least one row and one part count")
+        for row in self.rows:
+            if self.seeding == "incremental" and "+" not in row:
+                raise ExperimentError(
+                    f"incremental spec row {row!r} must be 'base+added'"
+                )
+
+    def paper_cell(self, row: str, k: int) -> Optional[PaperCell]:
+        """Published ``(dknux, rsb)`` values for a cell, if any."""
+        return PAPER_TABLES.get(self.table_id, {}).get((row, k))
+
+    @property
+    def cells(self) -> list[tuple[str, int]]:
+        return [(row, k) for row in self.rows for k in self.parts]
+
+
+TABLE_SPECS: dict[str, TableSpec] = {
+    "table1": TableSpec(
+        table_id="table1",
+        title="Best solutions: DKNUX (IBP-seeded) vs RSB, Fitness 1",
+        fitness_kind="fitness1",
+        metric="cut",
+        seeding="ibp",
+        rows=("167", "144"),
+        parts=(2, 4, 8),
+    ),
+    "table2": TableSpec(
+        table_id="table2",
+        title="Improving RSB solutions with DKNUX, Fitness 1",
+        fitness_kind="fitness1",
+        metric="cut",
+        seeding="rsb",
+        rows=("139", "213", "243", "279"),
+        parts=(2, 4, 8),
+    ),
+    "table3": TableSpec(
+        table_id="table3",
+        title="Incremental graph partitioning, Fitness 1",
+        fitness_kind="fitness1",
+        metric="cut",
+        seeding="incremental",
+        rows=("118+21", "118+41", "183+30", "183+60"),
+        parts=(2, 4, 8),
+    ),
+    "table4": TableSpec(
+        table_id="table4",
+        title="Random initialization: DKNUX vs RSB, Fitness 2 (worst cut)",
+        fitness_kind="fitness2",
+        metric="worst_cut",
+        seeding="random",
+        rows=("78", "88", "98", "144", "167"),
+        parts=(4, 8),
+    ),
+    "table5": TableSpec(
+        table_id="table5",
+        title="Improving RSB solutions with DKNUX, Fitness 2 (worst cut)",
+        fitness_kind="fitness2",
+        metric="worst_cut",
+        seeding="rsb",
+        rows=("78", "88", "98", "213", "243", "279", "309"),
+        parts=(4, 8),
+    ),
+    "table6": TableSpec(
+        table_id="table6",
+        title="Incremental partitioning, Fitness 2 (worst cut)",
+        fitness_kind="fitness2",
+        metric="worst_cut",
+        seeding="incremental",
+        rows=(
+            "78+10",
+            "78+20",
+            "118+21",
+            "118+41",
+            "183+30",
+            "183+60",
+            "249+30",
+            "249+60",
+        ),
+        parts=(4, 8),
+    ),
+}
+
+
+def get_spec(table_id: str) -> TableSpec:
+    """Look up a spec by id (raises :class:`ExperimentError` if absent)."""
+    try:
+        return TABLE_SPECS[table_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown table {table_id!r}; available: {sorted(TABLE_SPECS)}"
+        ) from None
+
+
+def list_specs() -> list[str]:
+    """All registered table ids, sorted."""
+    return sorted(TABLE_SPECS)

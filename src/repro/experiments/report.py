@@ -1,0 +1,95 @@
+"""Text rendering of experiment results, paper vs measured."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .runner import CellResult, TableResult
+
+__all__ = ["format_table", "format_summary", "format_paper_comparison"]
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "--"
+    return f"{value:g}"
+
+
+def format_table(result: TableResult) -> str:
+    """Render one table result like the paper's tables, with the
+    published values inline for comparison."""
+    spec = result.spec
+    lines = [
+        f"{spec.table_id.upper()}: {spec.title}",
+        f"(metric: {'total cut  sum C(q)/2' if spec.metric == 'cut' else 'worst cut  max C(q)'}, "
+        f"mode={result.mode}, seed={result.seed}, {result.runtime_s:.1f}s)",
+        "",
+    ]
+    header = (
+        f"{'graph':>10} {'k':>3} | {'DKNUX':>7} {'RSB':>7} {'winner':>7} | "
+        f"{'paper-DKNUX':>11} {'paper-RSB':>9} {'paper-winner':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in result.cells:
+        winner = "DKNUX" if cell.dknux < cell.rsb else (
+            "tie" if cell.dknux == cell.rsb else "RSB"
+        )
+        if cell.paper_dknux is None or cell.paper_rsb is None:
+            paper_winner = "--"
+        elif cell.paper_dknux < cell.paper_rsb:
+            paper_winner = "DKNUX"
+        elif cell.paper_dknux == cell.paper_rsb:
+            paper_winner = "tie"
+        else:
+            paper_winner = "RSB"
+        lines.append(
+            f"{cell.row:>10} {cell.n_parts:>3} | "
+            f"{_fmt(cell.dknux):>7} {_fmt(cell.rsb):>7} {winner:>7} | "
+            f"{_fmt(cell.paper_dknux):>11} {_fmt(cell.paper_rsb):>9} "
+            f"{paper_winner:>12}"
+        )
+    lines.append("")
+    lines.append(format_summary(result))
+    return "\n".join(lines)
+
+
+def format_summary(result: TableResult) -> str:
+    """One-line shape summary for a table."""
+    ours = result.ga_win_fraction
+    paper_cells = [
+        c
+        for c in result.cells
+        if c.paper_dknux is not None and c.paper_rsb is not None
+    ]
+    if paper_cells:
+        paper = sum(c.paper_dknux <= c.paper_rsb for c in paper_cells) / len(
+            paper_cells
+        )
+        return (
+            f"DKNUX matches-or-beats RSB on {ours:.0%} of cells "
+            f"(paper: {paper:.0%})"
+        )
+    return f"DKNUX matches-or-beats RSB on {ours:.0%} of cells"
+
+
+def format_paper_comparison(results: list[TableResult]) -> str:
+    """Aggregate shape comparison across several tables (EXPERIMENTS.md)."""
+    lines = ["table      ours  paper   cells"]
+    for result in results:
+        paper_cells = [
+            c
+            for c in result.cells
+            if c.paper_dknux is not None and c.paper_rsb is not None
+        ]
+        paper = (
+            sum(c.paper_dknux <= c.paper_rsb for c in paper_cells)
+            / len(paper_cells)
+            if paper_cells
+            else float("nan")
+        )
+        lines.append(
+            f"{result.spec.table_id:<9} {result.ga_win_fraction:>5.0%} "
+            f"{paper:>6.0%} {len(result.cells):>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Execution engine for the experiment tables.
+
+For every cell (workload × part count) of a :class:`TableSpec` the
+runner:
+
+1. builds the workload graph (and, for incremental specs, partitions
+   the base graph first);
+2. computes the RSB comparison value;
+3. seeds a population per the spec's regime and runs the DKNUX GA
+   ``n_runs`` times (the paper reports the best of 5 runs);
+4. records best-of-runs DKNUX value, the RSB value, and the published
+   numbers side by side.
+
+Two budget modes are provided: ``"quick"`` (default; minutes for the
+whole suite, used by the benchmark harness) and ``"full"`` (paper-scale
+best-of-5 with a larger population and generation budget).  The GA
+configuration is a *memetic* single-population setup (hill-climbing on
+all offspring) rather than the paper's plain 16-island DPGA; see
+EXPERIMENTS.md for the rationale and the DPGA ablation bench for the
+paper-literal configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.ibp import ibp_partition
+from ..baselines.rsb import rsb_partition
+from ..errors import ExperimentError
+from ..ga.config import GAConfig
+from ..ga.dknux import DKNUX
+from ..ga.engine import GAEngine
+from ..ga.fitness import make_fitness
+from ..ga.population import random_population, seeded_population
+from ..graphs.csr import CSRGraph
+from ..incremental.seeding import seed_population_from_previous
+from ..partition.partition import Partition
+from ..rng import SeedLike, as_generator
+from .registry import TableSpec
+from .workloads import incremental_case, workload
+
+__all__ = ["CellResult", "TableResult", "RunnerSettings", "run_table", "run_cell"]
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    """Budget knobs for one table run."""
+
+    n_runs: int
+    ga_config: GAConfig
+
+    @classmethod
+    def quick(cls) -> "RunnerSettings":
+        return cls(
+            n_runs=1,
+            ga_config=GAConfig(
+                population_size=48,
+                max_generations=60,
+                patience=12,
+                hill_climb="all",
+                hill_climb_passes=2,
+                mutation="boundary",
+                mutation_rate=0.02,
+            ),
+        )
+
+    @classmethod
+    def full(cls) -> "RunnerSettings":
+        return cls(
+            n_runs=5,
+            ga_config=GAConfig(
+                population_size=128,
+                max_generations=200,
+                patience=40,
+                hill_climb="all",
+                hill_climb_passes=3,
+                mutation="boundary",
+                mutation_rate=0.02,
+            ),
+        )
+
+    @classmethod
+    def for_mode(cls, mode: str) -> "RunnerSettings":
+        if mode == "quick":
+            return cls.quick()
+        if mode == "full":
+            return cls.full()
+        raise ExperimentError(f"unknown mode {mode!r}; expected quick or full")
+
+
+@dataclass
+class CellResult:
+    """Measured and published values for one table cell."""
+
+    row: str
+    n_parts: int
+    dknux: float
+    rsb: float
+    paper_dknux: Optional[float]
+    paper_rsb: Optional[float]
+    runtime_s: float
+
+    @property
+    def ga_wins(self) -> bool:
+        """Did our DKNUX match or beat our RSB on this cell?"""
+        return self.dknux <= self.rsb
+
+
+@dataclass
+class TableResult:
+    """All cells of one table."""
+
+    spec: TableSpec
+    cells: list[CellResult]
+    mode: str
+    seed: int
+    runtime_s: float
+
+    def cell(self, row: str, k: int) -> CellResult:
+        for c in self.cells:
+            if c.row == row and c.n_parts == k:
+                return c
+        raise ExperimentError(f"no cell ({row!r}, {k}) in {self.spec.table_id}")
+
+    @property
+    def ga_win_fraction(self) -> float:
+        """Fraction of cells where DKNUX <= RSB (the paper's headline
+        claim is that this is most cells)."""
+        if not self.cells:
+            return 0.0
+        return sum(c.ga_wins for c in self.cells) / len(self.cells)
+
+
+def _metric(partition: Partition, metric: str) -> float:
+    return partition.cut_size if metric == "cut" else partition.max_part_cut
+
+
+def _resolve_workload(row: str) -> tuple[CSRGraph, Optional[tuple[CSRGraph, int]]]:
+    """Graph for a row; incremental rows also return (base_graph, added)."""
+    if "+" in row:
+        base_s, added_s = row.split("+")
+        base_graph, update = incremental_case(int(base_s), int(added_s))
+        return update.graph, (base_graph, int(added_s))
+    return workload(int(row)), None
+
+
+def _partition_base_graph(
+    base_graph: CSRGraph,
+    n_parts: int,
+    fitness_kind: str,
+    settings: RunnerSettings,
+    rng: np.random.Generator,
+) -> Partition:
+    """Partition the pre-update graph for incremental experiments.
+
+    The paper first partitions the original graph with its GA; we seed
+    that run from RSB (its recommended practice) for stable quality.
+    """
+    seed_part = rsb_partition(base_graph, n_parts)
+    fitness = make_fitness(fitness_kind, base_graph, n_parts)
+    pop = seeded_population(
+        base_graph,
+        n_parts,
+        settings.ga_config.population_size,
+        seed_part.assignment,
+        seed=rng,
+    )
+    engine = GAEngine(
+        base_graph, fitness, DKNUX(base_graph, n_parts),
+        config=settings.ga_config, seed=rng,
+    )
+    return engine.run(pop).best
+
+
+def run_cell(
+    spec: TableSpec,
+    row: str,
+    n_parts: int,
+    settings: Optional[RunnerSettings] = None,
+    seed: SeedLike = 0,
+) -> CellResult:
+    """Run one (workload, k) cell of a table."""
+    settings = settings or RunnerSettings.quick()
+    rng = as_generator(seed)
+    start = time.perf_counter()
+
+    graph, incremental = _resolve_workload(row)
+    rsb = rsb_partition(graph, n_parts)
+    rsb_value = _metric(rsb, spec.metric)
+
+    base_partition: Optional[Partition] = None
+    if spec.seeding == "incremental":
+        assert incremental is not None
+        base_graph, _ = incremental
+        base_partition = _partition_base_graph(
+            base_graph, n_parts, spec.fitness_kind, settings, rng
+        )
+
+    fitness = make_fitness(spec.fitness_kind, graph, n_parts)
+    best_value = np.inf
+    for _ in range(settings.n_runs):
+        if spec.seeding == "random":
+            init_pop = random_population(
+                graph.n_nodes, n_parts, settings.ga_config.population_size,
+                seed=rng,
+            )
+        elif spec.seeding == "ibp":
+            seed_part = ibp_partition(graph, n_parts)
+            init_pop = seeded_population(
+                graph, n_parts, settings.ga_config.population_size,
+                seed_part.assignment, seed=rng,
+            )
+        elif spec.seeding == "rsb":
+            init_pop = seeded_population(
+                graph, n_parts, settings.ga_config.population_size,
+                rsb.assignment, seed=rng,
+            )
+        else:  # incremental
+            assert base_partition is not None
+            init_pop = seed_population_from_previous(
+                graph, base_partition.assignment, n_parts,
+                settings.ga_config.population_size, seed=rng,
+            )
+        engine = GAEngine(
+            graph, fitness, DKNUX(graph, n_parts),
+            config=settings.ga_config, seed=rng,
+        )
+        result = engine.run(init_pop)
+        best_value = min(best_value, _metric(result.best, spec.metric))
+
+    paper = spec.paper_cell(row, n_parts)
+    return CellResult(
+        row=row,
+        n_parts=n_parts,
+        dknux=float(best_value),
+        rsb=float(rsb_value),
+        paper_dknux=None if paper is None else paper[0],
+        paper_rsb=None if paper is None else paper[1],
+        runtime_s=time.perf_counter() - start,
+    )
+
+
+def run_table(
+    spec: TableSpec,
+    mode: str = "quick",
+    seed: int = 0,
+) -> TableResult:
+    """Run every cell of a table spec.
+
+    Each cell gets an independent child RNG stream derived from
+    ``seed``, so cells are reproducible in isolation and in any order.
+    """
+    settings = RunnerSettings.for_mode(mode)
+    start = time.perf_counter()
+    cells = []
+    for i, (row, k) in enumerate(spec.cells):
+        cell_seed = np.random.SeedSequence([seed, i])
+        cells.append(run_cell(spec, row, k, settings=settings, seed=cell_seed))
+    return TableResult(
+        spec=spec,
+        cells=cells,
+        mode=mode,
+        seed=seed,
+        runtime_s=time.perf_counter() - start,
+    )

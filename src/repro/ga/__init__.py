@@ -1,0 +1,99 @@
+"""Genetic algorithm core: fitness, operators (KNUX/DKNUX), engine, DPGA."""
+
+from .config import (
+    GAConfig,
+    PAPER_CROSSOVER_RATE,
+    PAPER_MUTATION_RATE,
+    PAPER_POPULATION,
+)
+from .fitness import Fitness1, Fitness2, FitnessFunction, make_fitness
+from .crossover import (
+    CrossoverOperator,
+    KPointCrossover,
+    OnePointCrossover,
+    TwoPointCrossover,
+    UniformCrossover,
+)
+from .knux import KNUX, knux_bias, neighbor_part_counts
+from .dknux import DKNUX
+from .mutation import BoundaryMutation, MutationOperator, PointMutation
+from .selection import (
+    generational_replacement,
+    make_selector,
+    plus_replacement,
+    rank_select,
+    random_select,
+    roulette_select,
+    tournament_select,
+)
+from .hillclimb import HillClimber
+from .population import random_population, seeded_population
+from .history import GAHistory
+from .engine import GAEngine, GAResult
+from .analysis import (
+    ConvergenceSummary,
+    aggregate_histories,
+    generations_to_reach,
+    normalized_auc,
+    repeat_runs,
+)
+from .topology import (
+    Topology,
+    hypercube_topology,
+    make_topology,
+    mesh_topology,
+    ring_topology,
+)
+from .dpga import DPGA, DPGAConfig, DPGAResult
+from .parallel import CROSSOVER_KINDS, ParallelDPGA
+
+__all__ = [
+    "GAConfig",
+    "PAPER_CROSSOVER_RATE",
+    "PAPER_MUTATION_RATE",
+    "PAPER_POPULATION",
+    "Fitness1",
+    "Fitness2",
+    "FitnessFunction",
+    "make_fitness",
+    "CrossoverOperator",
+    "KPointCrossover",
+    "OnePointCrossover",
+    "TwoPointCrossover",
+    "UniformCrossover",
+    "KNUX",
+    "knux_bias",
+    "neighbor_part_counts",
+    "DKNUX",
+    "BoundaryMutation",
+    "MutationOperator",
+    "PointMutation",
+    "generational_replacement",
+    "make_selector",
+    "plus_replacement",
+    "rank_select",
+    "random_select",
+    "roulette_select",
+    "tournament_select",
+    "HillClimber",
+    "random_population",
+    "seeded_population",
+    "GAHistory",
+    "GAEngine",
+    "GAResult",
+    "ConvergenceSummary",
+    "aggregate_histories",
+    "generations_to_reach",
+    "normalized_auc",
+    "repeat_runs",
+    "Topology",
+    "hypercube_topology",
+    "make_topology",
+    "mesh_topology",
+    "ring_topology",
+    "DPGA",
+    "DPGAConfig",
+    "DPGAResult",
+    "CROSSOVER_KINDS",
+    "ParallelDPGA",
+]

@@ -1,0 +1,115 @@
+"""Analysis utilities for GA run histories.
+
+The paper's figures average best-fitness trajectories over 5 runs and
+argue about convergence *speed*, not just final quality.  This module
+provides the aggregation and speed metrics those figures need:
+mean/min/max envelopes over repeated runs, generations-to-threshold,
+and normalized area-under-curve, plus a multi-run driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from .history import GAHistory
+
+__all__ = [
+    "ConvergenceSummary",
+    "aggregate_histories",
+    "generations_to_reach",
+    "normalized_auc",
+    "repeat_runs",
+]
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Aggregated best-fitness trajectories over repeated runs.
+
+    All arrays have length = number of generations of the *shortest*
+    run (runs stopped early by patience are truncated to the common
+    prefix, which keeps the mean meaningful).
+    """
+
+    mean: np.ndarray
+    min: np.ndarray
+    max: np.ndarray
+    std: np.ndarray
+    n_runs: int
+    final_best: float  # best final fitness over all runs
+
+    @property
+    def n_generations(self) -> int:
+        return int(self.mean.shape[0])
+
+
+def aggregate_histories(histories: Sequence[GAHistory]) -> ConvergenceSummary:
+    """Mean/min/max/std envelope of best-fitness trajectories."""
+    if not histories:
+        raise ConfigError("need at least one history")
+    curves = [np.asarray(h.best_fitness, dtype=float) for h in histories]
+    if any(c.size == 0 for c in curves):
+        raise ConfigError("history with no recorded generations")
+    horizon = min(c.size for c in curves)
+    block = np.vstack([c[:horizon] for c in curves])
+    return ConvergenceSummary(
+        mean=block.mean(axis=0),
+        min=block.min(axis=0),
+        max=block.max(axis=0),
+        std=block.std(axis=0),
+        n_runs=len(curves),
+        final_best=float(max(c[-1] for c in curves)),
+    )
+
+
+def generations_to_reach(
+    history: GAHistory, threshold: float
+) -> Optional[int]:
+    """First generation whose best fitness is >= ``threshold``.
+
+    Returns ``None`` if the run never reached it.  This is the "speed"
+    axis of the paper's orders-of-magnitude claim: compare the
+    generation at which DKNUX crosses the fitness that 2-point crossover
+    only reaches at the end of its budget.
+    """
+    best = np.asarray(history.best_fitness)
+    hits = np.flatnonzero(best >= threshold)
+    return int(hits[0]) if hits.size else None
+
+
+def normalized_auc(history: GAHistory) -> float:
+    """Area under the best-fitness curve, normalized to [0, 1].
+
+    1.0 means the run sat at its final best from generation zero; lower
+    values mean slower convergence.  Degenerate (flat) curves map to 1.0.
+    """
+    best = np.asarray(history.best_fitness, dtype=float)
+    if best.size == 0:
+        raise ConfigError("empty history")
+    lo, hi = best.min(), best.max()
+    if hi == lo:
+        return 1.0
+    scaled = (best - lo) / (hi - lo)
+    return float(scaled.mean())
+
+
+def repeat_runs(
+    engine_factory: Callable[[int], "object"],
+    n_runs: int,
+    base_seed: int = 0,
+) -> tuple[list, ConvergenceSummary]:
+    """Run ``engine_factory(seed).run()`` ``n_runs`` times and aggregate.
+
+    ``engine_factory`` receives a distinct integer seed per run and must
+    return an object with a ``run()`` method returning a ``GAResult``.
+    Returns ``(results, summary)``.
+    """
+    if n_runs < 1:
+        raise ConfigError(f"n_runs must be >= 1, got {n_runs}")
+    results = [engine_factory(base_seed + i).run() for i in range(n_runs)]
+    summary = aggregate_histories([r.history for r in results])
+    return results, summary

@@ -1,0 +1,155 @@
+"""Classical crossover operators: 1-point, 2-point, k-point, uniform.
+
+These are the traditional operators (Section 3.2) that KNUX/DKNUX are
+measured against.  Every operator is batched: it maps two parent
+matrices of shape ``(B, n)`` to two child matrices of the same shape in
+whole-array numpy, so an entire generation's recombinations happen in
+one call.
+
+All operators share the :class:`CrossoverOperator` interface, which also
+carries the two hooks KNUX-style operators need:
+
+* :meth:`prepare` — called once per generation with the current
+  population and fitness before any pairing (DKNUX updates its estimate
+  partition here);
+* :meth:`cross` — the batched recombination itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "CrossoverOperator",
+    "OnePointCrossover",
+    "TwoPointCrossover",
+    "KPointCrossover",
+    "UniformCrossover",
+]
+
+
+class CrossoverOperator:
+    """Interface for batched crossover operators."""
+
+    #: short name used in configs and reports
+    name: str = "abstract"
+
+    def prepare(
+        self,
+        population: np.ndarray,
+        fitness_values: np.ndarray,
+    ) -> None:
+        """Per-generation hook before pairing (default: no-op)."""
+
+    def cross(
+        self,
+        parents_a: np.ndarray,
+        parents_b: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Recombine ``(B, n)`` parent batches into two child batches."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(parents_a: np.ndarray, parents_b: np.ndarray) -> None:
+        if parents_a.shape != parents_b.shape or parents_a.ndim != 2:
+            raise ConfigError(
+                f"parent batches must share a 2-D shape, got "
+                f"{parents_a.shape} and {parents_b.shape}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _mask_crossover(
+    parents_a: np.ndarray, parents_b: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Children from a boolean inheritance mask (True → gene from parent a)."""
+    child1 = np.where(mask, parents_a, parents_b)
+    child2 = np.where(mask, parents_b, parents_a)
+    return child1, child2
+
+
+def _cutpoint_mask(
+    batch: int, n: int, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Inheritance mask for k-point crossover.
+
+    For each pair, choose ``k`` distinct cut sites in ``1..n-1``; genes
+    alternate parents between consecutive sites.  Implemented by marking
+    the cut positions in a ``(B, n)`` indicator and taking a parity scan.
+    """
+    if n <= 1:
+        return np.ones((batch, n), dtype=bool)
+    k = min(k, n - 1)
+    marks = np.zeros((batch, n), dtype=np.int64)
+    # sample k distinct sites per row via argpartition of random keys
+    keys = rng.random((batch, n - 1))
+    sites = np.argpartition(keys, k - 1, axis=1)[:, :k] + 1  # in 1..n-1
+    np.add.at(marks, (np.repeat(np.arange(batch), k), sites.ravel()), 1)
+    parity = np.cumsum(marks, axis=1) % 2
+    return parity == 0
+
+
+class OnePointCrossover(CrossoverOperator):
+    """Classic Holland one-point crossover: αβ × γδ → αδ, γβ."""
+
+    name = "1-point"
+
+    def cross(self, parents_a, parents_b, rng):
+        self._check(parents_a, parents_b)
+        b, n = parents_a.shape
+        mask = _cutpoint_mask(b, n, 1, rng)
+        return _mask_crossover(parents_a, parents_b, mask)
+
+
+class TwoPointCrossover(CrossoverOperator):
+    """Two-point crossover: αβγ × δεφ → αεγ, δβφ.
+
+    This is the traditional operator the paper benchmarks KNUX/DKNUX
+    against in its convergence figures.
+    """
+
+    name = "2-point"
+
+    def cross(self, parents_a, parents_b, rng):
+        self._check(parents_a, parents_b)
+        b, n = parents_a.shape
+        mask = _cutpoint_mask(b, n, 2, rng)
+        return _mask_crossover(parents_a, parents_b, mask)
+
+
+class KPointCrossover(CrossoverOperator):
+    """General k-point crossover."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.name = f"{k}-point"
+
+    def cross(self, parents_a, parents_b, rng):
+        self._check(parents_a, parents_b)
+        b, n = parents_a.shape
+        mask = _cutpoint_mask(b, n, self.k, rng)
+        return _mask_crossover(parents_a, parents_b, mask)
+
+    def __repr__(self) -> str:
+        return f"KPointCrossover(k={self.k})"
+
+
+class UniformCrossover(CrossoverOperator):
+    """Syswerda's uniform crossover (UX): each gene from either parent
+    with probability 0.5 — the special case of KNUX with all biases 0.5."""
+
+    name = "uniform"
+
+    def cross(self, parents_a, parents_b, rng):
+        self._check(parents_a, parents_b)
+        mask = rng.random(parents_a.shape) < 0.5
+        return _mask_crossover(parents_a, parents_b, mask)

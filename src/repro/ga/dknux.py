@@ -1,0 +1,84 @@
+"""DKNUX — Dynamic KNUX (Section 3.3 of the paper).
+
+KNUX's solution quality depends on the quality of the static estimate
+``I``.  DKNUX removes that dependence by *continually updating* the
+estimate to the best solution found so far in the run: the history of
+the genetic search itself supplies the domain knowledge.  Concretely,
+the engine calls :meth:`DKNUX.prepare` once per generation with the
+current population and fitness values; when a strictly better individual
+has appeared, it becomes the new estimate and the neighbor-part count
+table is rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .knux import KNUX
+
+__all__ = ["DKNUX"]
+
+
+class DKNUX(KNUX):
+    """Dynamic KNUX: the estimate partition tracks the best-so-far.
+
+    Parameters
+    ----------
+    graph, n_parts:
+        As for :class:`KNUX`.
+    initial_estimate:
+        Starting estimate ``I``.  If omitted, the first ``prepare`` call
+        adopts the best individual of the initial population, which
+        matches the paper's "current best solution" rule from generation
+        zero.
+    """
+
+    name = "dknux"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        n_parts: int,
+        initial_estimate: Optional[np.ndarray] = None,
+    ) -> None:
+        if initial_estimate is None:
+            # Defer table construction until the first prepare() call.
+            self.graph = graph
+            self.n_parts = int(n_parts)
+            self._estimate = None
+            self._counts = None
+        else:
+            super().__init__(graph, initial_estimate, n_parts)
+        self._best_fitness: float = -np.inf
+
+    @property
+    def best_fitness_seen(self) -> float:
+        """Fitness of the individual currently serving as the estimate."""
+        return self._best_fitness
+
+    def prepare(self, population: np.ndarray, fitness_values: np.ndarray) -> None:
+        """Adopt the population's best individual if it improves on the
+        best seen so far (or if no estimate exists yet)."""
+        if population.shape[0] == 0:
+            return
+        idx = int(np.argmax(fitness_values))
+        best = float(fitness_values[idx])
+        if self._estimate is None or best > self._best_fitness:
+            self.set_estimate(population[idx])
+            self._best_fitness = best
+
+    def cross(self, parents_a, parents_b, rng):
+        if self._counts is None:
+            raise RuntimeError(
+                "DKNUX has no estimate yet; call prepare() with the initial "
+                "population (the GA engine does this automatically) or pass "
+                "initial_estimate"
+            )
+        return super().cross(parents_a, parents_b, rng)
+
+    def __repr__(self) -> str:
+        state = "unset" if self._estimate is None else f"best={self._best_fitness:g}"
+        return f"DKNUX(n_parts={self.n_parts}, estimate={state})"

@@ -1,0 +1,322 @@
+"""DPGA — the coarse-grained distributed-population GA (Section 3.4).
+
+Individuals are split across subpopulations ("islands"); crossover is
+restricted to island members; every ``migration_interval`` generations
+each island sends copies of its ``migration_size`` best individuals to
+its topology neighbors, where they replace the worst residents.
+
+The paper ran this on CM-5/Paragon-class machines; here the islands are
+stepped round-robin in-process (deterministic given the seed), and
+:mod:`repro.ga.parallel` adds an optional ``multiprocessing`` executor
+for actual parallelism.  The migration semantics — what the result
+depends on — are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graphs.csr import CSRGraph
+from ..partition.partition import Partition
+from ..rng import SeedLike, seed_sequence
+from .config import GAConfig
+from .crossover import CrossoverOperator
+from .engine import GAEngine, GAResult
+from .fitness import FitnessFunction
+from .history import GAHistory
+from .population import random_population
+from .topology import Topology, hypercube_topology
+
+__all__ = ["DPGAConfig", "DPGAResult", "DPGA"]
+
+
+@dataclass(frozen=True)
+class DPGAConfig:
+    """Distributed-population parameters.
+
+    ``total_population`` is divided evenly among islands (the paper's
+    "total population size of 320" over 16 islands = 20 each).
+    """
+
+    total_population: int = 320
+    n_islands: int = 16
+    migration_interval: int = 5
+    migration_size: int = 1
+    max_generations: int = 300
+    patience: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_islands < 1:
+            raise ConfigError(f"n_islands must be >= 1, got {self.n_islands}")
+        if self.total_population < 2 * self.n_islands:
+            raise ConfigError(
+                "total_population must give every island at least 2 "
+                f"individuals; got {self.total_population} over "
+                f"{self.n_islands} islands"
+            )
+        if self.migration_interval < 1:
+            raise ConfigError(
+                f"migration_interval must be >= 1, got {self.migration_interval}"
+            )
+        if self.migration_size < 1:
+            raise ConfigError(
+                f"migration_size must be >= 1, got {self.migration_size}"
+            )
+        if self.max_generations < 0:
+            raise ConfigError(
+                f"max_generations must be >= 0, got {self.max_generations}"
+            )
+        if self.patience is not None and self.patience < 1:
+            raise ConfigError(f"patience must be >= 1, got {self.patience}")
+
+    @property
+    def island_population(self) -> int:
+        return self.total_population // self.n_islands
+
+
+@dataclass
+class DPGAResult:
+    """Outcome of a DPGA run."""
+
+    best: Partition
+    best_fitness: float
+    history: GAHistory  # global best-of-all-islands trajectory
+    island_histories: list[GAHistory]
+    generations: int
+    stopped_by: str
+
+    @property
+    def best_cut(self) -> float:
+        return self.best.cut_size
+
+    @property
+    def best_worst_cut(self) -> float:
+        return self.best.max_part_cut
+
+
+class DPGA:
+    """Island-model GA over a topology of subpopulations.
+
+    Parameters
+    ----------
+    graph, fitness:
+        As for :class:`GAEngine`.
+    crossover_factory:
+        Callable ``() -> CrossoverOperator`` building one operator *per
+        island*.  Stateful operators (DKNUX) must not be shared between
+        islands — each island's estimate evolves from its own history,
+        which is what makes the model genuinely distributed.
+    ga_config:
+        Per-island engine settings; its ``population_size`` is overridden
+        by ``dpga_config.island_population``.
+    topology:
+        Island connectivity; default is the paper's 4-D hypercube when
+        ``n_islands`` is 16, else a ring.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        fitness: FitnessFunction,
+        crossover_factory: Callable[[], CrossoverOperator],
+        ga_config: Optional[GAConfig] = None,
+        dpga_config: Optional[DPGAConfig] = None,
+        topology: Optional[Topology] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.graph = graph
+        self.fitness = fitness
+        self.n_parts = fitness.n_parts
+        self.dpga_config = dpga_config or DPGAConfig()
+        cfg = ga_config or GAConfig()
+        island_pop = self.dpga_config.island_population
+        self.ga_config = cfg.with_updates(
+            population_size=island_pop,
+            elite=min(cfg.elite, island_pop),
+            # per-island engines never stop on their own; the DPGA loop
+            # owns the generation budget and stopping logic
+            max_generations=0, patience=None, target_fitness=None,
+        )
+        n_isl = self.dpga_config.n_islands
+        if topology is None:
+            if n_isl == 16:
+                topology = hypercube_topology(4)
+            else:
+                from .topology import ring_topology
+
+                topology = ring_topology(n_isl)
+        if topology.n_islands != n_isl:
+            raise ConfigError(
+                f"topology has {topology.n_islands} islands but config "
+                f"says {n_isl}"
+            )
+        self.topology = topology
+        seeds = seed_sequence(seed).spawn(n_isl + 1)
+        self._rng = np.random.default_rng(seeds[-1])
+        self.engines = [
+            GAEngine(
+                graph,
+                fitness,
+                crossover_factory(),
+                config=self.ga_config,
+                seed=np.random.default_rng(seeds[i]),
+            )
+            for i in range(n_isl)
+        ]
+
+    # ------------------------------------------------------------------
+    def _migrate(
+        self, populations: list[np.ndarray], fitnesses: list[np.ndarray]
+    ) -> None:
+        """Copy each island's best individuals to its neighbors.
+
+        All outgoing migrants are snapshotted before any island is
+        modified, so migration is order-independent (synchronous
+        exchange, like a bulk message round on the parallel machine).
+        """
+        k = self.dpga_config.migration_size
+        migrants = []
+        for pop, fit in zip(populations, fitnesses):
+            idx = np.argsort(-fit, kind="stable")[:k]
+            migrants.append((pop[idx].copy(), fit[idx].copy()))
+        for island in range(self.topology.n_islands):
+            incoming_pop = []
+            incoming_fit = []
+            for nbr in self.topology.neighbors(island):
+                incoming_pop.append(migrants[nbr][0])
+                incoming_fit.append(migrants[nbr][1])
+            if not incoming_pop:
+                continue
+            inc_pop = np.vstack(incoming_pop)
+            inc_fit = np.concatenate(incoming_fit)
+            # replace the worst residents
+            order = np.argsort(fitnesses[island], kind="stable")  # worst first
+            worst = order[: inc_pop.shape[0]]
+            populations[island][worst] = inc_pop
+            fitnesses[island][worst] = inc_fit
+
+    def run(
+        self, initial_population: Optional[np.ndarray] = None
+    ) -> DPGAResult:
+        """Run all islands for the configured generation budget.
+
+        ``initial_population`` (shape ``(total_population, n)`` or
+        smaller) is dealt round-robin to islands, so a heuristic seed
+        placed at row 0 reaches island 0 and spreads by migration.
+        """
+        cfg = self.dpga_config
+        n_isl = cfg.n_islands
+        island_pop = cfg.island_population
+
+        populations: list[np.ndarray] = []
+        if initial_population is not None:
+            init = np.asarray(initial_population, dtype=np.int64)
+            if init.ndim != 2 or init.shape[1] != self.graph.n_nodes:
+                raise ConfigError(
+                    f"initial population must have shape (P, {self.graph.n_nodes})"
+                )
+            shards: list[list[np.ndarray]] = [[] for _ in range(n_isl)]
+            for row in range(min(init.shape[0], cfg.total_population)):
+                shards[row % n_isl].append(init[row])
+        else:
+            shards = [[] for _ in range(n_isl)]
+        for island in range(n_isl):
+            have = (
+                np.vstack(shards[island])
+                if shards[island]
+                else np.empty((0, self.graph.n_nodes), dtype=np.int64)
+            )
+            if have.shape[0] < island_pop:
+                extra = random_population(
+                    self.graph.n_nodes,
+                    self.n_parts,
+                    island_pop - have.shape[0],
+                    seed=self.engines[island].rng,
+                )
+                have = np.vstack([have, extra]) if have.size else extra
+            populations.append(have[:island_pop].copy())
+
+        fitnesses = [
+            self.fitness.evaluate_batch(pop) for pop in populations
+        ]
+        history = GAHistory()
+        island_histories = [GAHistory() for _ in range(n_isl)]
+        best_fitness = -np.inf
+        best_assignment = populations[0][0].copy()
+        self._record_global(history, populations, fitnesses, cfg.total_population)
+        for island in range(n_isl):
+            self.engines[island]._record(
+                island_histories[island], populations[island],
+                fitnesses[island], island_pop,
+            )
+        for island in range(n_isl):
+            idx = int(np.argmax(fitnesses[island]))
+            if fitnesses[island][idx] > best_fitness:
+                best_fitness = float(fitnesses[island][idx])
+                best_assignment = populations[island][idx].copy()
+
+        stopped_by = "max_generations"
+        stale = 0
+        for gen in range(1, cfg.max_generations + 1):
+            for island in range(n_isl):
+                populations[island], fitnesses[island], evals = self.engines[
+                    island
+                ].step(populations[island], fitnesses[island])
+                self.engines[island]._record(
+                    island_histories[island], populations[island],
+                    fitnesses[island], evals,
+                )
+            if gen % cfg.migration_interval == 0:
+                self._migrate(populations, fitnesses)
+            self._record_global(
+                history, populations, fitnesses, cfg.total_population
+            )
+            improved = False
+            for island in range(n_isl):
+                idx = int(np.argmax(fitnesses[island]))
+                if fitnesses[island][idx] > best_fitness:
+                    best_fitness = float(fitnesses[island][idx])
+                    best_assignment = populations[island][idx].copy()
+                    improved = True
+            stale = 0 if improved else stale + 1
+            if cfg.patience is not None and stale >= cfg.patience:
+                stopped_by = "patience"
+                break
+
+        best = Partition(self.graph, best_assignment, self.n_parts)
+        return DPGAResult(
+            best=best,
+            best_fitness=best_fitness,
+            history=history,
+            island_histories=island_histories,
+            generations=history.n_generations - 1,
+            stopped_by=stopped_by,
+        )
+
+    def _record_global(
+        self,
+        history: GAHistory,
+        populations: list[np.ndarray],
+        fitnesses: list[np.ndarray],
+        evaluations: int,
+    ) -> None:
+        from ..partition.metrics import batch_cut_size, batch_max_part_cut
+
+        all_fit = np.concatenate(fitnesses)
+        flat_idx = int(np.argmax(all_fit))
+        sizes = np.cumsum([f.shape[0] for f in fitnesses])
+        island = int(np.searchsorted(sizes, flat_idx, side="right"))
+        local = flat_idx - (0 if island == 0 else sizes[island - 1])
+        best = populations[island][local][None, :]
+        history.record(
+            all_fit,
+            best_cut=float(batch_cut_size(self.graph, best)[0]),
+            best_worst_cut=float(
+                batch_max_part_cut(self.graph, best, self.n_parts)[0]
+            ),
+            evaluations=evaluations,
+        )

@@ -1,0 +1,118 @@
+"""The paper's two fitness functions (Section 2), fully vectorized.
+
+With per-part load imbalance ``I(q)`` and communication cost ``C(q)``:
+
+* ``Fitness1 = -(sum_q I(q) + alpha * sum_q C(q))`` — total communication;
+* ``Fitness2 = -(sum_q I(q) + alpha * max_q C(q))`` — worst-case
+  communication, non-differentiable in the assignment, which is exactly
+  why the paper optimizes it with a GA.
+
+Note ``sum_q C(q)`` counts every cut edge twice (once per endpoint part),
+so it equals ``2 * cut_size``; the experiment tables report
+``sum_q C(q) / 2`` i.e. plain cut size.  The paper's experiments use
+``alpha = 1`` and unit node/edge weights; both generalizations are
+supported here.
+
+Fitness objects are stateless w.r.t. the population and carry
+pre-gathered edge arrays so that batch evaluation of a whole population
+is a few broadcast operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graphs.csr import CSRGraph
+from ..partition.metrics import (
+    batch_load_imbalance,
+    batch_max_part_cut,
+    batch_part_cuts,
+)
+
+__all__ = ["FitnessFunction", "Fitness1", "Fitness2", "make_fitness"]
+
+
+class FitnessFunction:
+    """Base class: maximize ``evaluate``; higher is better.
+
+    Subclasses implement :meth:`evaluate_batch`; the scalar form wraps it.
+    """
+
+    #: short name used by configs and experiment reports
+    name: str = "abstract"
+
+    def __init__(self, graph: CSRGraph, n_parts: int, alpha: float = 1.0) -> None:
+        if n_parts < 1:
+            raise ConfigError(f"n_parts must be >= 1, got {n_parts}")
+        if alpha < 0:
+            raise ConfigError(f"alpha must be non-negative, got {alpha}")
+        self.graph = graph
+        self.n_parts = int(n_parts)
+        self.alpha = float(alpha)
+        self._avg_load = graph.total_node_weight() / n_parts
+
+    def evaluate_batch(self, population: np.ndarray) -> np.ndarray:
+        """``(P,)`` fitness vector for a ``(P, n)`` population matrix."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: np.ndarray) -> float:
+        """Fitness of a single assignment vector."""
+        return float(self.evaluate_batch(np.asarray(assignment)[None, :])[0])
+
+    # Components, exposed for reporting ---------------------------------
+    def imbalance_batch(self, population: np.ndarray) -> np.ndarray:
+        return batch_load_imbalance(self.graph, population, self.n_parts)
+
+    def communication_batch(self, population: np.ndarray) -> np.ndarray:
+        """The communication term this fitness penalizes (unscaled)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_parts={self.n_parts}, alpha={self.alpha})"
+        )
+
+
+class Fitness1(FitnessFunction):
+    """Total-communication fitness: ``-(sum I(q) + alpha * sum C(q))``."""
+
+    name = "fitness1"
+
+    def communication_batch(self, population: np.ndarray) -> np.ndarray:
+        return batch_part_cuts(self.graph, population, self.n_parts).sum(axis=1)
+
+    def evaluate_batch(self, population: np.ndarray) -> np.ndarray:
+        imb = self.imbalance_batch(population)
+        comm = self.communication_batch(population)
+        return -(imb + self.alpha * comm)
+
+
+class Fitness2(FitnessFunction):
+    """Worst-case-communication fitness: ``-(sum I(q) + alpha * max C(q))``."""
+
+    name = "fitness2"
+
+    def communication_batch(self, population: np.ndarray) -> np.ndarray:
+        return batch_max_part_cut(self.graph, population, self.n_parts)
+
+    def evaluate_batch(self, population: np.ndarray) -> np.ndarray:
+        imb = self.imbalance_batch(population)
+        comm = self.communication_batch(population)
+        return -(imb + self.alpha * comm)
+
+
+def make_fitness(
+    kind: str, graph: CSRGraph, n_parts: int, alpha: float = 1.0
+) -> FitnessFunction:
+    """Factory from a config string: ``"fitness1"`` or ``"fitness2"``."""
+    table = {"fitness1": Fitness1, "fitness2": Fitness2}
+    try:
+        cls = table[kind.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fitness kind {kind!r}; expected one of {sorted(table)}"
+        ) from None
+    return cls(graph, n_parts, alpha=alpha)

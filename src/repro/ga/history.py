@@ -1,0 +1,81 @@
+"""Run-history recording for GA runs.
+
+The paper's convergence figures plot best fitness against generation
+averaged over runs; :class:`GAHistory` captures everything those plots
+need (plus the cut-size trajectories the tables summarize).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["GAHistory"]
+
+
+class GAHistory:
+    """Append-only per-generation statistics for one GA run."""
+
+    def __init__(self) -> None:
+        self.best_fitness: list[float] = []
+        self.mean_fitness: list[float] = []
+        self.worst_fitness: list[float] = []
+        self.best_cut: list[float] = []
+        self.best_worst_cut: list[float] = []
+        self.n_evaluations: int = 0
+        self.n_improvements: int = 0
+        self._last_best: float = -np.inf
+
+    def record(
+        self,
+        fitness_values: np.ndarray,
+        best_cut: float,
+        best_worst_cut: float,
+        evaluations: int,
+    ) -> None:
+        """Append one generation's statistics."""
+        best = float(fitness_values.max())
+        self.best_fitness.append(best)
+        self.mean_fitness.append(float(fitness_values.mean()))
+        self.worst_fitness.append(float(fitness_values.min()))
+        self.best_cut.append(float(best_cut))
+        self.best_worst_cut.append(float(best_worst_cut))
+        self.n_evaluations += int(evaluations)
+        if best > self._last_best:
+            self.n_improvements += 1
+            self._last_best = best
+
+    @property
+    def n_generations(self) -> int:
+        return len(self.best_fitness)
+
+    def generations_since_improvement(self) -> int:
+        """Generations elapsed since the best fitness last improved."""
+        if not self.best_fitness:
+            return 0
+        best = self.best_fitness[-1]
+        count = 0
+        for value in reversed(self.best_fitness[:-1]):
+            if value < best:
+                break
+            count += 1
+        return count
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar view for plotting / aggregation."""
+        return {
+            "best_fitness": np.asarray(self.best_fitness),
+            "mean_fitness": np.asarray(self.mean_fitness),
+            "worst_fitness": np.asarray(self.worst_fitness),
+            "best_cut": np.asarray(self.best_cut),
+            "best_worst_cut": np.asarray(self.best_worst_cut),
+        }
+
+    def __repr__(self) -> str:
+        if not self.best_fitness:
+            return "GAHistory(empty)"
+        return (
+            f"GAHistory(generations={self.n_generations}, "
+            f"best={self.best_fitness[-1]:g}, evals={self.n_evaluations})"
+        )

@@ -1,0 +1,129 @@
+"""KNUX — Knowledge-based Non-Uniform Crossover (Section 3.2 of the paper).
+
+KNUX generalizes uniform crossover with a per-gene bias probability
+vector ``p``.  For graph partitioning the bias comes from a heuristic
+*estimate partition* ``I``: with ``#(i, X, I)`` the number of graph
+neighbors of node ``i`` that ``I`` places in the part ``X_i``,
+
+    p_i = 0.5                                   if #(i,a,I) = #(i,b,I) = 0
+    p_i = #(i,a,I) / (#(i,a,I) + #(i,b,I))      otherwise
+
+and the child takes gene ``i`` from parent ``a`` with probability
+``p_i`` (genes on which parents agree are inherited directly).  The
+estimate thus pulls offspring toward assignments that are locally
+consistent with a known-good partition — the "domain-specific knowledge"
+the paper credits for its orders-of-magnitude speedup over 2-point
+crossover.
+
+The key data structure is the *neighbor-part count table*
+``T[i, q] = sum of w(i,j) over neighbors j with I[j] = q`` (shape
+``(n, k)``), built once per estimate in one vectorized scatter-add and
+then consulted by every crossover with two gathers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graphs.csr import CSRGraph
+from .crossover import CrossoverOperator, _mask_crossover
+
+__all__ = ["neighbor_part_counts", "knux_bias", "KNUX"]
+
+
+def neighbor_part_counts(
+    graph: CSRGraph, estimate: np.ndarray, n_parts: int
+) -> np.ndarray:
+    """``(n, k)`` table of edge weight from each node into each part of
+    the estimate partition.
+
+    ``T[i, q] = sum_{j in Γ(i), estimate[j] = q} w_e(i, j)``; with unit
+    edge weights this is exactly the paper's neighbor count ``#(i, ·, I)``.
+    """
+    est = np.asarray(estimate)
+    if est.shape != (graph.n_nodes,):
+        raise ConfigError(
+            f"estimate length {est.shape} != graph nodes {graph.n_nodes}"
+        )
+    if est.size and (est.min() < 0 or est.max() >= n_parts):
+        raise ConfigError(f"estimate labels out of range [0, {n_parts})")
+    counts = np.zeros((graph.n_nodes, n_parts))
+    np.add.at(counts, (graph.edges_u, est[graph.edges_v]), graph.edge_weights)
+    np.add.at(counts, (graph.edges_v, est[graph.edges_u]), graph.edge_weights)
+    return counts
+
+
+def knux_bias(
+    counts: np.ndarray, parents_a: np.ndarray, parents_b: np.ndarray
+) -> np.ndarray:
+    """Bias matrix ``p`` of shape ``(B, n)`` for parent batches.
+
+    ``p[r, i]`` is the probability that child ``r`` inherits gene ``i``
+    from parent ``a``; rows follow the paper's formula with the 0/0 case
+    mapped to 0.5.
+    """
+    gene_idx = np.arange(parents_a.shape[1])[None, :]
+    na = counts[gene_idx, parents_a]  # #(i, a, I), gathered per pair
+    nb = counts[gene_idx, parents_b]
+    denom = na + nb
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = np.where(denom > 0, na / np.where(denom > 0, denom, 1.0), 0.5)
+    return p
+
+
+class KNUX(CrossoverOperator):
+    """Knowledge-based Non-Uniform Crossover with a *static* estimate.
+
+    Parameters
+    ----------
+    graph:
+        The graph being partitioned (supplies the neighborhood structure).
+    estimate:
+        The heuristic estimate partition ``I`` — e.g. an IBP or RSB
+        solution (Section 3.5 of the paper).
+    n_parts:
+        Number of parts ``k``.
+    """
+
+    name = "knux"
+
+    def __init__(
+        self, graph: CSRGraph, estimate: np.ndarray, n_parts: int
+    ) -> None:
+        self.graph = graph
+        self.n_parts = int(n_parts)
+        self._estimate: Optional[np.ndarray] = None
+        self._counts: Optional[np.ndarray] = None
+        self.set_estimate(estimate)
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """The current estimate partition ``I`` (read-only copy)."""
+        assert self._estimate is not None
+        return self._estimate.copy()
+
+    def set_estimate(self, estimate: np.ndarray) -> None:
+        """Replace the estimate and rebuild the neighbor-count table."""
+        est = np.asarray(estimate, dtype=np.int64).copy()
+        self._counts = neighbor_part_counts(self.graph, est, self.n_parts)
+        self._estimate = est
+
+    def bias(self, parents_a: np.ndarray, parents_b: np.ndarray) -> np.ndarray:
+        """Expose the bias matrix (useful for tests and analysis)."""
+        assert self._counts is not None
+        return knux_bias(self._counts, parents_a, parents_b)
+
+    def cross(self, parents_a, parents_b, rng):
+        self._check(parents_a, parents_b)
+        p = self.bias(parents_a, parents_b)
+        draw = rng.random(parents_a.shape)
+        # Gene from parent a where the biased coin says so; agreement
+        # positions are unaffected because both choices coincide.
+        mask = draw < p
+        return _mask_crossover(parents_a, parents_b, mask)
+
+    def __repr__(self) -> str:
+        return f"KNUX(n_parts={self.n_parts}, n_nodes={self.graph.n_nodes})"

@@ -1,0 +1,146 @@
+"""Parent-selection and survivor-replacement strategies.
+
+Fitness values in this library are non-positive (negated costs), so
+roulette selection first shifts them to a positive scale; tournament and
+rank selection are shift-invariant and are generally preferable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "tournament_select",
+    "roulette_select",
+    "rank_select",
+    "random_select",
+    "make_selector",
+    "plus_replacement",
+    "generational_replacement",
+]
+
+
+def tournament_select(
+    fitness: np.ndarray, n: int, rng: np.random.Generator, size: int = 2
+) -> np.ndarray:
+    """Indices of ``n`` winners of independent ``size``-way tournaments."""
+    if size < 1:
+        raise ConfigError(f"tournament size must be >= 1, got {size}")
+    pop = fitness.shape[0]
+    if pop == 0:
+        raise ConfigError("cannot select from an empty population")
+    entrants = rng.integers(0, pop, size=(n, size))
+    winners = entrants[np.arange(n), np.argmax(fitness[entrants], axis=1)]
+    return winners
+
+
+def roulette_select(
+    fitness: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Fitness-proportional selection on min-shifted fitness values.
+
+    The classical Holland scheme.  After shifting so the worst individual
+    has weight ~0, a small epsilon keeps the distribution proper when all
+    fitness values are equal.
+    """
+    pop = fitness.shape[0]
+    if pop == 0:
+        raise ConfigError("cannot select from an empty population")
+    shifted = fitness - fitness.min()
+    total = shifted.sum()
+    if total <= 0:
+        probs = np.full(pop, 1.0 / pop)
+    else:
+        # epsilon floor so the worst individual is not strictly excluded
+        probs = (shifted + total * 1e-9) / (total + pop * total * 1e-9)
+        probs /= probs.sum()
+    return rng.choice(pop, size=n, p=probs)
+
+
+def rank_select(
+    fitness: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Linear rank selection: weight proportional to 1 + rank (best = pop)."""
+    pop = fitness.shape[0]
+    if pop == 0:
+        raise ConfigError("cannot select from an empty population")
+    ranks = np.empty(pop, dtype=np.float64)
+    ranks[np.argsort(fitness, kind="stable")] = np.arange(1, pop + 1)
+    probs = ranks / ranks.sum()
+    return rng.choice(pop, size=n, p=probs)
+
+
+def random_select(
+    fitness: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random parents (control strategy for ablations)."""
+    pop = fitness.shape[0]
+    if pop == 0:
+        raise ConfigError("cannot select from an empty population")
+    return rng.integers(0, pop, size=n)
+
+
+def make_selector(kind: str, tournament_size: int = 2):
+    """Factory: selection callable ``(fitness, n, rng) -> indices``."""
+    kind = kind.lower()
+    if kind == "tournament":
+        return lambda fitness, n, rng: tournament_select(
+            fitness, n, rng, size=tournament_size
+        )
+    if kind == "roulette":
+        return roulette_select
+    if kind == "rank":
+        return rank_select
+    if kind == "random":
+        return random_select
+    raise ConfigError(
+        f"unknown selection kind {kind!r}; expected tournament, roulette, "
+        "rank, or random"
+    )
+
+
+def plus_replacement(
+    parents: np.ndarray,
+    parent_fitness: np.ndarray,
+    offspring: np.ndarray,
+    offspring_fitness: np.ndarray,
+    pop_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(μ+λ) replacement: the best ``pop_size`` of parents ∪ offspring.
+
+    Matches the paper's "selection ... from among parents and offspring".
+    Ties break toward offspring (listed first) so fresh genetic material
+    is preferred at equal fitness.
+    """
+    all_pop = np.vstack([offspring, parents])
+    all_fit = np.concatenate([offspring_fitness, parent_fitness])
+    order = np.argsort(-all_fit, kind="stable")[:pop_size]
+    return all_pop[order], all_fit[order]
+
+
+def generational_replacement(
+    parents: np.ndarray,
+    parent_fitness: np.ndarray,
+    offspring: np.ndarray,
+    offspring_fitness: np.ndarray,
+    pop_size: int,
+    elite: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Offspring replace the population, except ``elite`` parents survive.
+
+    The next generation is the ``elite`` best parents plus the best
+    ``pop_size - elite`` offspring.
+    """
+    if not 0 <= elite <= pop_size:
+        raise ConfigError(f"elite must be in [0, {pop_size}], got {elite}")
+    elite_idx = np.argsort(-parent_fitness, kind="stable")[:elite]
+    child_idx = np.argsort(-offspring_fitness, kind="stable")[: pop_size - elite]
+    new_pop = np.vstack([parents[elite_idx], offspring[child_idx]])
+    new_fit = np.concatenate(
+        [parent_fitness[elite_idx], offspring_fitness[child_idx]]
+    )
+    # Keep the population sorted best-first for cheap best-of queries.
+    order = np.argsort(-new_fit, kind="stable")
+    return new_pop[order], new_fit[order]

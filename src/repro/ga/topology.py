@@ -1,0 +1,126 @@
+"""Island topologies for the distributed-population GA.
+
+The paper runs 16 subpopulations "configured as a four dimensional
+hypercube"; neighboring islands exchange their best individuals.  A
+topology here is just the neighbor lists of a small regular graph over
+island ids; ring and 2-D mesh are provided for ablations, and hypercube
+matches the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["Topology", "ring_topology", "mesh_topology", "hypercube_topology", "make_topology"]
+
+
+class Topology:
+    """Neighbor structure over ``n_islands`` island ids."""
+
+    def __init__(self, n_islands: int, neighbors: dict[int, list[int]], name: str) -> None:
+        if n_islands < 1:
+            raise ConfigError(f"n_islands must be >= 1, got {n_islands}")
+        for island, nbrs in neighbors.items():
+            if not 0 <= island < n_islands:
+                raise ConfigError(f"island id {island} out of range")
+            for other in nbrs:
+                if not 0 <= other < n_islands:
+                    raise ConfigError(f"neighbor id {other} out of range")
+                if other == island:
+                    raise ConfigError(f"island {island} lists itself as neighbor")
+        self.n_islands = n_islands
+        self._neighbors = {i: sorted(neighbors.get(i, [])) for i in range(n_islands)}
+        self.name = name
+        # symmetry check — migration is bidirectional in the paper's model
+        for i, nbrs in self._neighbors.items():
+            for j in nbrs:
+                if i not in self._neighbors[j]:
+                    raise ConfigError(f"asymmetric topology: {i}->{j} but not {j}->{i}")
+
+    def neighbors(self, island: int) -> list[int]:
+        if not 0 <= island < self.n_islands:
+            raise ConfigError(f"island {island} out of range")
+        return list(self._neighbors[island])
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Undirected island links (i < j)."""
+        out = []
+        for i, nbrs in self._neighbors.items():
+            out.extend((i, j) for j in nbrs if i < j)
+        return out
+
+    def degree(self, island: int) -> int:
+        return len(self._neighbors[island])
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, n_islands={self.n_islands})"
+
+
+def ring_topology(n_islands: int) -> Topology:
+    """Bidirectional ring (each island has two neighbors)."""
+    if n_islands < 1:
+        raise ConfigError(f"n_islands must be >= 1, got {n_islands}")
+    nbrs: dict[int, list[int]] = {i: [] for i in range(n_islands)}
+    if n_islands == 2:
+        nbrs = {0: [1], 1: [0]}
+    elif n_islands > 2:
+        for i in range(n_islands):
+            nbrs[i] = [(i - 1) % n_islands, (i + 1) % n_islands]
+    return Topology(n_islands, nbrs, "ring")
+
+
+def mesh_topology(rows: int, cols: int) -> Topology:
+    """2-D mesh (no wraparound) of ``rows * cols`` islands."""
+    if rows < 1 or cols < 1:
+        raise ConfigError("mesh dimensions must be positive")
+    n = rows * cols
+    nbrs: dict[int, list[int]] = {i: [] for i in range(n)}
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                nbrs[i].append(i + 1)
+                nbrs[i + 1].append(i)
+            if r + 1 < rows:
+                nbrs[i].append(i + cols)
+                nbrs[i + cols].append(i)
+    return Topology(n, nbrs, f"mesh{rows}x{cols}")
+
+
+def hypercube_topology(dim: int) -> Topology:
+    """``dim``-dimensional hypercube over ``2**dim`` islands.
+
+    ``dim=4`` gives the paper's 16-subpopulation configuration.
+    """
+    if dim < 0:
+        raise ConfigError(f"dimension must be >= 0, got {dim}")
+    n = 1 << dim
+    nbrs = {i: [i ^ (1 << b) for b in range(dim)] for i in range(n)}
+    return Topology(n, nbrs, f"hypercube{dim}")
+
+
+def make_topology(kind: str, n_islands: int) -> Topology:
+    """Factory from a config string.
+
+    ``"hypercube"`` requires a power-of-two island count; ``"mesh"``
+    factors ``n_islands`` into the most square grid available.
+    """
+    kind = kind.lower()
+    if kind == "ring":
+        return ring_topology(n_islands)
+    if kind == "hypercube":
+        dim = int(n_islands).bit_length() - 1
+        if 1 << dim != n_islands:
+            raise ConfigError(
+                f"hypercube topology needs a power-of-two island count, got {n_islands}"
+            )
+        return hypercube_topology(dim)
+    if kind == "mesh":
+        best_r = 1
+        for r in range(1, int(np.sqrt(n_islands)) + 1):
+            if n_islands % r == 0:
+                best_r = r
+        return mesh_topology(best_r, n_islands // best_r)
+    raise ConfigError(f"unknown topology {kind!r}; expected ring, mesh, or hypercube")

@@ -1,0 +1,135 @@
+"""Constructors bridging external graph representations to :class:`CSRGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edge_list",
+    "from_adjacency_dict",
+    "from_networkx",
+    "to_networkx",
+    "from_scipy_sparse",
+    "to_scipy_sparse",
+]
+
+
+def from_edge_list(
+    n_nodes: int,
+    edges: Iterable[tuple[int, int]] | np.ndarray,
+    edge_weights: Optional[Sequence[float]] = None,
+    node_weights: Optional[Sequence[float]] = None,
+    coords: Optional[np.ndarray] = None,
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(u, v)`` pairs."""
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError(f"edge list must have shape (m, 2), got {arr.shape}")
+    return CSRGraph(
+        n_nodes, arr[:, 0], arr[:, 1], edge_weights, node_weights, coords=coords
+    )
+
+
+def from_adjacency_dict(
+    adjacency: Mapping[int, Iterable[int]],
+    node_weights: Optional[Sequence[float]] = None,
+    coords: Optional[np.ndarray] = None,
+) -> CSRGraph:
+    """Build a graph from ``{node: [neighbors...]}``.
+
+    Node ids must be integers ``0..n-1``; edges may be listed from either
+    or both endpoints (duplicates merge).
+    """
+    if not adjacency:
+        return CSRGraph(0, [], [])
+    keys = sorted(adjacency)
+    n = max(keys) + 1
+    us, vs = [], []
+    for u, nbrs in adjacency.items():
+        for v in nbrs:
+            if u == v:
+                raise GraphError(f"self-loop on node {u}")
+            us.append(min(u, v))
+            vs.append(max(u, v))
+    return CSRGraph(n, us, vs, None, node_weights, coords=coords)
+
+
+def from_networkx(nxgraph, weight_attr: str = "weight") -> CSRGraph:
+    """Convert a :class:`networkx.Graph` to a :class:`CSRGraph`.
+
+    Nodes are relabelled to ``0..n-1`` in sorted order (mixed-type node
+    labels fall back to insertion order).  Edge weights come from
+    ``weight_attr`` (default ``"weight"``, missing → 1.0); node weights
+    from a ``"weight"`` node attribute; ``"pos"`` node attributes become
+    coordinates when present on every node.
+    """
+    import networkx as nx
+
+    if nxgraph.is_directed():
+        raise GraphError("directed graphs are not supported; use .to_undirected()")
+    try:
+        nodes = sorted(nxgraph.nodes())
+    except TypeError:
+        nodes = list(nxgraph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    us, vs, ws = [], [], []
+    for u, v, data in nxgraph.edges(data=True):
+        if u == v:
+            continue  # drop self-loops; they never cross a cut
+        us.append(index[u])
+        vs.append(index[v])
+        ws.append(float(data.get(weight_attr, 1.0)))
+    node_w = np.array(
+        [float(nxgraph.nodes[node].get("weight", 1.0)) for node in nodes]
+    )
+    coords = None
+    if all("pos" in nxgraph.nodes[node] for node in nodes) and nodes:
+        coords = np.array([np.asarray(nxgraph.nodes[node]["pos"], float) for node in nodes])
+    return CSRGraph(len(nodes), us, vs, ws, node_w, coords=coords)
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert back to :class:`networkx.Graph` (weights and coords kept)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    for i in range(graph.n_nodes):
+        attrs = {"weight": float(graph.node_weights[i])}
+        if graph.coords is not None:
+            attrs["pos"] = tuple(graph.coords[i])
+        g.add_node(i, **attrs)
+    for u, v, w in graph.iter_edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def from_scipy_sparse(matrix, coords: Optional[np.ndarray] = None) -> CSRGraph:
+    """Build a graph from a symmetric scipy sparse adjacency matrix."""
+    import scipy.sparse as sp
+
+    m = sp.coo_matrix(matrix)
+    if m.shape[0] != m.shape[1]:
+        raise GraphError(f"adjacency matrix must be square, got {m.shape}")
+    mask = m.row < m.col
+    return CSRGraph(
+        m.shape[0], m.row[mask], m.col[mask], m.data[mask], coords=coords
+    )
+
+
+def to_scipy_sparse(graph: CSRGraph):
+    """Symmetric CSR adjacency matrix with edge weights as entries."""
+    import scipy.sparse as sp
+
+    rows = np.concatenate([graph.edges_u, graph.edges_v])
+    cols = np.concatenate([graph.edges_v, graph.edges_u])
+    data = np.concatenate([graph.edge_weights, graph.edge_weights])
+    return sp.csr_matrix(
+        (data, (rows, cols)), shape=(graph.n_nodes, graph.n_nodes)
+    )

@@ -1,0 +1,171 @@
+"""Graph serialization: METIS ``.graph`` format, edge lists, and JSON.
+
+The METIS ``chaco/metis`` text format is the lingua franca of the graph
+partitioning community, so graphs built here can be exchanged with other
+partitioning tools and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+__all__ = [
+    "write_metis",
+    "read_metis",
+    "write_edge_list",
+    "read_edge_list",
+    "write_json",
+    "read_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_metis(graph: CSRGraph, path: PathLike) -> None:
+    """Write a graph in METIS format (1-based adjacency lists).
+
+    Header flags: ``fmt=11`` when both node and edge weights are present,
+    ``fmt=1`` for edge weights only, ``fmt=10`` for node weights only,
+    no flag when all weights are 1.  Integer weights are required by the
+    format; non-integer weights raise :class:`GraphFormatError`.
+    """
+    has_nw = not np.all(graph.node_weights == 1)
+    has_ew = not np.all(graph.edge_weights == 1)
+    for arr, what in ((graph.node_weights, "node"), (graph.edge_weights, "edge")):
+        if not np.allclose(arr, np.round(arr)):
+            raise GraphFormatError(f"METIS format requires integer {what} weights")
+    lines = []
+    fmt = f"{int(has_nw)}{int(has_ew)}"
+    header = f"{graph.n_nodes} {graph.n_edges}"
+    if fmt != "00":
+        header += f" {fmt}"
+    lines.append(header)
+    for node in range(graph.n_nodes):
+        parts: list[str] = []
+        if has_nw:
+            parts.append(str(int(graph.node_weights[node])))
+        lo, hi = graph.indptr[node], graph.indptr[node + 1]
+        for nbr, w in zip(graph.indices[lo:hi], graph.adj_weights[lo:hi]):
+            parts.append(str(int(nbr) + 1))
+            if has_ew:
+                parts.append(str(int(w)))
+        lines.append(" ".join(parts))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_metis(path: PathLike) -> CSRGraph:
+    """Read a METIS-format graph file."""
+    text = Path(path).read_text()
+    rows = [
+        line.split()
+        for line in text.splitlines()
+        if line.strip() and not line.lstrip().startswith("%")
+    ]
+    if not rows:
+        raise GraphFormatError("empty METIS file")
+    header = rows[0]
+    if len(header) < 2:
+        raise GraphFormatError(f"bad METIS header: {header!r}")
+    n_nodes, n_edges = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    fmt = fmt.zfill(2)
+    has_nw, has_ew = fmt[-2] == "1", fmt[-1] == "1"
+    body = rows[1:]
+    if len(body) != n_nodes:
+        raise GraphFormatError(
+            f"METIS header declares {n_nodes} nodes but file has {len(body)} lines"
+        )
+    us, vs, ws = [], [], []
+    node_w = np.ones(n_nodes)
+    for node, tokens in enumerate(body):
+        pos = 0
+        if has_nw:
+            if not tokens:
+                raise GraphFormatError(f"node {node + 1}: missing weight")
+            node_w[node] = float(tokens[0])
+            pos = 1
+        step = 2 if has_ew else 1
+        rest = tokens[pos:]
+        if len(rest) % step:
+            raise GraphFormatError(f"node {node + 1}: ragged adjacency list")
+        for i in range(0, len(rest), step):
+            nbr = int(rest[i]) - 1
+            if not 0 <= nbr < n_nodes:
+                raise GraphFormatError(f"node {node + 1}: neighbor {nbr + 1} out of range")
+            if nbr > node:  # each undirected edge listed from both sides
+                us.append(node)
+                vs.append(nbr)
+                ws.append(float(rest[i + 1]) if has_ew else 1.0)
+    g = CSRGraph(n_nodes, us, vs, ws, node_w)
+    if g.n_edges != n_edges:
+        raise GraphFormatError(
+            f"METIS header declares {n_edges} edges but adjacency lists give {g.n_edges}"
+        )
+    return g
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write ``u v weight`` lines (0-based) preceded by a ``# nodes`` header."""
+    lines = [f"# nodes {graph.n_nodes}"]
+    lines += [f"{u} {v} {w:g}" for u, v, w in graph.iter_edges()]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_edge_list(path: PathLike) -> CSRGraph:
+    """Read the edge-list format produced by :func:`write_edge_list`."""
+    n_nodes: Optional[int] = None
+    us, vs, ws = [], [], []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            tokens = line[1:].split()
+            if len(tokens) == 2 and tokens[0] == "nodes":
+                n_nodes = int(tokens[1])
+            continue
+        tokens = line.split()
+        if len(tokens) not in (2, 3):
+            raise GraphFormatError(f"bad edge line: {raw!r}")
+        us.append(int(tokens[0]))
+        vs.append(int(tokens[1]))
+        ws.append(float(tokens[2]) if len(tokens) == 3 else 1.0)
+    if n_nodes is None:
+        n_nodes = (max(max(us, default=-1), max(vs, default=-1)) + 1) if us else 0
+    return CSRGraph(n_nodes, us, vs, ws)
+
+
+def write_json(graph: CSRGraph, path: PathLike) -> None:
+    """Write the full graph (weights + coordinates) as JSON."""
+    payload = {
+        "n_nodes": graph.n_nodes,
+        "edges_u": graph.edges_u.tolist(),
+        "edges_v": graph.edges_v.tolist(),
+        "edge_weights": graph.edge_weights.tolist(),
+        "node_weights": graph.node_weights.tolist(),
+        "coords": None if graph.coords is None else graph.coords.tolist(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def read_json(path: PathLike) -> CSRGraph:
+    """Read a graph produced by :func:`write_json`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        return CSRGraph(
+            payload["n_nodes"],
+            payload["edges_u"],
+            payload["edges_v"],
+            payload["edge_weights"],
+            payload["node_weights"],
+            coords=None if payload["coords"] is None else np.array(payload["coords"]),
+        )
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise GraphFormatError(f"bad JSON graph file: {exc}") from exc

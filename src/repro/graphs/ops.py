@@ -1,0 +1,181 @@
+"""Structural operations on :class:`CSRGraph`.
+
+These are the graph-theory utilities the partitioners lean on: connected
+components (recursive graph bisection, validation), BFS (graph-distance
+bisection), Laplacians (spectral bisection), and subgraph extraction
+(recursive partitioners recurse on the half-graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "bfs_order",
+    "bfs_distances",
+    "laplacian",
+    "adjacency_matrix",
+    "subgraph",
+    "degree_histogram",
+    "peripheral_node",
+]
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component label per node (labels are 0-based, order of discovery)."""
+    n = graph.n_nodes
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] != -1:
+            continue
+        # iterative BFS with a frontier array (vectorized expansion)
+        labels[start] = current
+        frontier = np.array([start], dtype=np.int64)
+        while frontier.size:
+            nxt = []
+            for u in frontier:
+                nbrs = graph.neighbors(u)
+                fresh = nbrs[labels[nbrs] == -1]
+                labels[fresh] = current
+                if fresh.size:
+                    nxt.append(fresh)
+            frontier = np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int64)
+        current += 1
+    return labels
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """True iff the graph has exactly one connected component (or none)."""
+    if graph.n_nodes <= 1:
+        return True
+    return int(connected_components(graph).max()) == 0
+
+
+def bfs_order(graph: CSRGraph, start: int) -> np.ndarray:
+    """Nodes in BFS discovery order from ``start`` (unreached nodes omitted)."""
+    if not 0 <= start < graph.n_nodes:
+        raise GraphError(f"start node {start} out of range")
+    seen = np.zeros(graph.n_nodes, dtype=bool)
+    seen[start] = True
+    order = [np.array([start], dtype=np.int64)]
+    frontier = order[0]
+    while frontier.size:
+        nxt = []
+        for u in frontier:
+            nbrs = graph.neighbors(u)
+            fresh = nbrs[~seen[nbrs]]
+            seen[fresh] = True
+            if fresh.size:
+                nxt.append(fresh)
+        frontier = np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int64)
+        if frontier.size:
+            order.append(frontier)
+    return np.concatenate(order)
+
+
+def bfs_distances(graph: CSRGraph, start: int) -> np.ndarray:
+    """Hop distance from ``start`` to every node (-1 when unreachable)."""
+    if not 0 <= start < graph.n_nodes:
+        raise GraphError(f"start node {start} out of range")
+    dist = np.full(graph.n_nodes, -1, dtype=np.int64)
+    dist[start] = 0
+    frontier = np.array([start], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        nxt = []
+        for u in frontier:
+            nbrs = graph.neighbors(u)
+            fresh = nbrs[dist[nbrs] == -1]
+            dist[fresh] = level
+            if fresh.size:
+                nxt.append(fresh)
+        frontier = np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int64)
+    return dist
+
+
+def laplacian(graph: CSRGraph, dense: bool = False):
+    """Weighted graph Laplacian ``L = D - A``.
+
+    Returns a scipy CSR matrix, or an ndarray when ``dense=True`` (the
+    dense path is what the spectral bisection uses at paper scale).
+    """
+    from .build import to_scipy_sparse
+    import scipy.sparse as sp
+
+    adj = to_scipy_sparse(graph)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    lap = sp.diags(deg) - adj
+    if dense:
+        return lap.toarray()
+    return sp.csr_matrix(lap)
+
+
+def adjacency_matrix(graph: CSRGraph, dense: bool = False):
+    """Symmetric weighted adjacency matrix."""
+    from .build import to_scipy_sparse
+
+    adj = to_scipy_sparse(graph)
+    return adj.toarray() if dense else adj
+
+
+def subgraph(graph: CSRGraph, nodes: np.ndarray) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph on ``nodes``.
+
+    Returns ``(sub, mapping)`` where ``mapping[i]`` is the original id of
+    subgraph node ``i``.  Node weights, edge weights, and coordinates are
+    carried over.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= graph.n_nodes):
+        raise GraphError("subgraph node out of range")
+    if np.unique(nodes).size != nodes.size:
+        raise GraphError("subgraph node list contains duplicates")
+    inv = np.full(graph.n_nodes, -1, dtype=np.int64)
+    inv[nodes] = np.arange(nodes.size)
+    keep = (inv[graph.edges_u] >= 0) & (inv[graph.edges_v] >= 0)
+    sub = CSRGraph(
+        nodes.size,
+        inv[graph.edges_u[keep]],
+        inv[graph.edges_v[keep]],
+        graph.edge_weights[keep],
+        graph.node_weights[nodes],
+        coords=None if graph.coords is None else graph.coords[nodes],
+    )
+    return sub, nodes.copy()
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Counts of nodes by degree; index = degree."""
+    if graph.n_nodes == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(graph.degree())
+
+
+def peripheral_node(graph: CSRGraph, start: int = 0) -> int:
+    """A pseudo-peripheral node found by repeated farthest-BFS.
+
+    Recursive graph bisection starts its BFS sweep here to cut the mesh
+    across its short axis.
+    """
+    if graph.n_nodes == 0:
+        raise GraphError("graph has no nodes")
+    node = start
+    last_ecc = -1
+    for _ in range(graph.n_nodes):  # converges in a few sweeps
+        dist = bfs_distances(graph, node)
+        reach = dist >= 0
+        ecc = int(dist[reach].max())
+        if ecc <= last_ecc:
+            return node
+        last_ecc = ecc
+        node = int(np.flatnonzero(reach & (dist == ecc))[0])
+    return node

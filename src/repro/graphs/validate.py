@@ -1,0 +1,68 @@
+"""Structural invariant checks for :class:`CSRGraph`.
+
+``check_graph`` is used by the test-suite's property tests and by the
+experiment runner before committing to a long GA run; it re-derives the
+CSR adjacency from the edge list and verifies the two views agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = ["check_graph"]
+
+
+def check_graph(graph: CSRGraph) -> None:
+    """Raise :class:`GraphError` if any internal invariant is violated."""
+    n, m = graph.n_nodes, graph.n_edges
+
+    if graph.edges_u.shape != (m,) or graph.edges_v.shape != (m,):
+        raise GraphError("edge array shapes inconsistent with n_edges")
+    if graph.edge_weights.shape != (m,):
+        raise GraphError("edge_weights shape mismatch")
+    if graph.node_weights.shape != (n,):
+        raise GraphError("node_weights shape mismatch")
+    if m and not np.all(graph.edges_u < graph.edges_v):
+        raise GraphError("edge list not in canonical (u < v) orientation")
+    if m:
+        key = graph.edges_u.astype(np.int64) * n + graph.edges_v
+        if np.unique(key).size != m:
+            raise GraphError("duplicate edges present")
+        if graph.edges_u.min() < 0 or graph.edges_v.max() >= n:
+            raise GraphError("edge endpoint out of range")
+
+    if graph.indptr.shape != (n + 1,):
+        raise GraphError("indptr shape mismatch")
+    if graph.indptr[0] != 0 or graph.indptr[-1] != 2 * m:
+        raise GraphError("indptr endpoints wrong")
+    if np.any(np.diff(graph.indptr) < 0):
+        raise GraphError("indptr not monotone")
+    if graph.indices.shape != (2 * m,) or graph.adj_weights.shape != (2 * m,):
+        raise GraphError("adjacency array shape mismatch")
+
+    # The CSR view must contain each undirected edge exactly twice with
+    # matching weight and edge id.
+    deg = np.zeros(n, dtype=np.int64)
+    np.add.at(deg, graph.edges_u, 1)
+    np.add.at(deg, graph.edges_v, 1)
+    if not np.array_equal(deg, np.diff(graph.indptr)):
+        raise GraphError("CSR degrees disagree with edge list degrees")
+    src = np.repeat(np.arange(n), np.diff(graph.indptr))
+    eid = graph.adj_edge_ids
+    if m:
+        if eid.min() < 0 or eid.max() >= m:
+            raise GraphError("adjacency edge id out of range")
+        counts = np.bincount(eid, minlength=m)
+        if not np.all(counts == 2):
+            raise GraphError("each edge must appear exactly twice in CSR view")
+        other = np.where(src == graph.edges_u[eid], graph.edges_v[eid], graph.edges_u[eid])
+        if not np.array_equal(other, graph.indices):
+            raise GraphError("CSR indices disagree with edge list endpoints")
+        if not np.array_equal(graph.adj_weights, graph.edge_weights[eid]):
+            raise GraphError("CSR adjacency weights disagree with edge weights")
+
+    if graph.coords is not None and graph.coords.shape[0] != n:
+        raise GraphError("coords row count mismatch")

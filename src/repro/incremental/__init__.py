@@ -1,0 +1,15 @@
+"""Incremental graph partitioning: updates, seeding, naive baseline."""
+
+from .updates import IncrementalUpdate, insert_local_nodes
+from .seeding import extend_assignment, seed_population_from_previous
+from .naive import naive_incremental_partition
+from .partitioner import IncrementalGAPartitioner
+
+__all__ = [
+    "IncrementalUpdate",
+    "insert_local_nodes",
+    "extend_assignment",
+    "seed_population_from_previous",
+    "naive_incremental_partition",
+    "IncrementalGAPartitioner",
+]

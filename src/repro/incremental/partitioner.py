@@ -1,0 +1,148 @@
+"""High-level incremental GA partitioner.
+
+Owns a graph and its current partition; each :meth:`update` call accepts
+an updated graph (old node ids preserved), seeds a GA population from
+the previous partition per Section 3.5, re-optimizes with DKNUX, and
+becomes the new state.  This is the object a mesh-refinement loop would
+hold on to across adaptation steps (see ``examples/incremental_remesh.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, PartitionError
+from ..ga.config import GAConfig
+from ..ga.dknux import DKNUX
+from ..ga.engine import GAEngine, GAResult
+from ..ga.fitness import make_fitness
+from ..graphs.csr import CSRGraph
+from ..partition.partition import Partition
+from ..rng import SeedLike, as_generator
+from .seeding import seed_population_from_previous
+
+__all__ = ["IncrementalGAPartitioner"]
+
+
+class IncrementalGAPartitioner:
+    """Stateful partitioner for graphs that change over time.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph.
+    n_parts:
+        Number of parts (fixed across updates).
+    fitness_kind:
+        ``"fitness1"`` (total communication) or ``"fitness2"``
+        (worst-case communication).
+    config:
+        GA settings used for the initial run and every update.
+    initial_assignment:
+        Optional heuristic start (e.g. an RSB solution); otherwise the
+        first run starts from a random population.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        n_parts: int,
+        fitness_kind: str = "fitness1",
+        config: Optional[GAConfig] = None,
+        alpha: float = 1.0,
+        seed: SeedLike = None,
+        initial_assignment: Optional[np.ndarray] = None,
+    ) -> None:
+        if n_parts < 1:
+            raise ConfigError(f"n_parts must be >= 1, got {n_parts}")
+        self.n_parts = int(n_parts)
+        self.fitness_kind = fitness_kind
+        self.alpha = float(alpha)
+        self.config = config or GAConfig(
+            population_size=64,
+            max_generations=80,
+            hill_climb="all",
+            hill_climb_passes=2,
+            patience=15,
+        )
+        self.rng = as_generator(seed)
+        self.graph = graph
+        self.partition: Optional[Partition] = None
+        self.last_result: Optional[GAResult] = None
+        self.n_updates = 0
+        if initial_assignment is not None:
+            self.partition = Partition(graph, initial_assignment, self.n_parts)
+
+    # ------------------------------------------------------------------
+    def _run_engine(
+        self, graph: CSRGraph, initial_population: Optional[np.ndarray]
+    ) -> GAResult:
+        fitness = make_fitness(self.fitness_kind, graph, self.n_parts, self.alpha)
+        engine = GAEngine(
+            graph,
+            fitness,
+            DKNUX(graph, self.n_parts),
+            config=self.config,
+            seed=self.rng,
+        )
+        return engine.run(initial_population)
+
+    def partition_initial(self) -> Partition:
+        """Partition the initial graph (uses ``initial_assignment`` as a
+        seed if one was given)."""
+        init_pop = None
+        if self.partition is not None:
+            from ..ga.population import seeded_population
+
+            init_pop = seeded_population(
+                self.graph,
+                self.n_parts,
+                self.config.population_size,
+                self.partition.assignment,
+                seed=self.rng,
+            )
+        result = self._run_engine(self.graph, init_pop)
+        self.partition = result.best
+        self.last_result = result
+        return result.best
+
+    def update(self, new_graph: CSRGraph) -> Partition:
+        """Re-partition after a graph update (old node ids preserved).
+
+        Seeds the whole population from the previous partition, which is
+        the paper's incremental strategy; falls back to
+        :meth:`partition_initial` semantics when no partition exists yet.
+        """
+        if self.partition is None:
+            self.graph = new_graph
+            return self.partition_initial()
+        if new_graph.n_nodes < self.graph.n_nodes:
+            raise PartitionError(
+                "updated graph has fewer nodes than the current one; "
+                "node removal is not part of the paper's incremental model"
+            )
+        init_pop = seed_population_from_previous(
+            new_graph,
+            self.partition.assignment,
+            self.n_parts,
+            self.config.population_size,
+            seed=self.rng,
+        )
+        result = self._run_engine(new_graph, init_pop)
+        self.graph = new_graph
+        self.partition = result.best
+        self.last_result = result
+        self.n_updates += 1
+        return result.best
+
+    def __repr__(self) -> str:
+        state = "unpartitioned" if self.partition is None else (
+            f"cut={self.partition.cut_size:g}"
+        )
+        return (
+            f"IncrementalGAPartitioner(n_nodes={self.graph.n_nodes}, "
+            f"n_parts={self.n_parts}, updates={self.n_updates}, {state})"
+        )

@@ -1,0 +1,25 @@
+"""Indexing schemes for index-based partitioning (paper appendix)."""
+
+from .interleave import deinterleave_bits, interleave_arrays, interleave_bits
+from .rowmajor import row_major_index, row_major_indices, row_major_matrix
+from .shuffled import (
+    shuffled_row_major_index,
+    shuffled_row_major_indices,
+    shuffled_row_major_matrix,
+)
+from .hilbert import hilbert_index, hilbert_indices, hilbert_matrix
+
+__all__ = [
+    "deinterleave_bits",
+    "interleave_arrays",
+    "interleave_bits",
+    "row_major_index",
+    "row_major_indices",
+    "row_major_matrix",
+    "shuffled_row_major_index",
+    "shuffled_row_major_indices",
+    "shuffled_row_major_matrix",
+    "hilbert_index",
+    "hilbert_indices",
+    "hilbert_matrix",
+]

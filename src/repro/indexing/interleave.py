@@ -1,0 +1,107 @@
+"""Bit interleaving — the paper's appendix indexing primitive.
+
+The appendix defines the interleaved index of multi-dimensional
+coordinates by "choosing bits (right to left) of each of the dimensions
+one by one, starting from dimension 3 [the last]. When the bits of a
+particular dimension are no longer available, that dimension is not
+considered."  Both worked examples from the appendix are reproduced in
+the test-suite:
+
+* ``index1=001, index2=010, index3=110  ->  001011100``
+* ``index1=101, index2=01,  index3=0    ->  100110``  (unequal widths)
+
+So, collecting output bits least-significant first: for each bit level
+``t = 0, 1, ...``, for each dimension from the *last* to the first,
+append bit ``t`` of that dimension if the dimension still has bits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["interleave_bits", "deinterleave_bits", "interleave_arrays"]
+
+
+def _check_widths(values: Sequence[int], widths: Sequence[int]) -> None:
+    if len(values) != len(widths):
+        raise ConfigError(
+            f"{len(values)} values but {len(widths)} bit widths"
+        )
+    for v, w in zip(values, widths):
+        if w < 0:
+            raise ConfigError(f"negative bit width {w}")
+        if v < 0:
+            raise ConfigError(f"negative coordinate {v}")
+        if v >> w:
+            raise ConfigError(f"value {v} does not fit in {w} bits")
+
+
+def interleave_bits(values: Sequence[int], widths: Sequence[int]) -> int:
+    """Interleave scalar coordinates into one index (paper's rule)."""
+    _check_widths(values, widths)
+    result = 0
+    out_bit = 0
+    max_w = max(widths, default=0)
+    for t in range(max_w):
+        for dim in reversed(range(len(values))):
+            if t < widths[dim]:
+                result |= ((values[dim] >> t) & 1) << out_bit
+                out_bit += 1
+    return result
+
+
+def deinterleave_bits(index: int, widths: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`interleave_bits` for the same bit widths."""
+    if index < 0:
+        raise ConfigError(f"negative index {index}")
+    values = [0] * len(widths)
+    out_bit = 0
+    max_w = max(widths, default=0)
+    for t in range(max_w):
+        for dim in reversed(range(len(widths))):
+            if t < widths[dim]:
+                values[dim] |= ((index >> out_bit) & 1) << t
+                out_bit += 1
+    if index >> out_bit:
+        raise ConfigError(
+            f"index {index} has more bits than the widths {list(widths)} allow"
+        )
+    return tuple(values)
+
+
+def interleave_arrays(coords: np.ndarray, widths: Sequence[int]) -> np.ndarray:
+    """Vectorized interleave of an ``(n, d)`` integer coordinate array.
+
+    Returns an ``(n,)`` int64 index array; total bits must fit in 63.
+    """
+    arr = np.asarray(coords)
+    if arr.ndim != 2:
+        raise ConfigError(f"coords must be 2-D, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ConfigError("coords must be integer-typed")
+    d = arr.shape[1]
+    if len(widths) != d:
+        raise ConfigError(f"{d} dimensions but {len(widths)} widths")
+    if sum(widths) > 63:
+        raise ConfigError(f"total bit width {sum(widths)} exceeds 63")
+    if arr.size:
+        if arr.min() < 0:
+            raise ConfigError("negative coordinates")
+        for dim in range(d):
+            if widths[dim] < 64 and arr.shape[0] and np.any(arr[:, dim] >> widths[dim]):
+                raise ConfigError(
+                    f"dimension {dim} values do not fit in {widths[dim]} bits"
+                )
+    out = np.zeros(arr.shape[0], dtype=np.int64)
+    out_bit = 0
+    max_w = max(widths, default=0)
+    for t in range(max_w):
+        for dim in reversed(range(d)):
+            if t < widths[dim]:
+                out |= ((arr[:, dim] >> t) & 1).astype(np.int64) << out_bit
+                out_bit += 1
+    return out

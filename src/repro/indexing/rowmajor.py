@@ -1,0 +1,49 @@
+"""Row-major indexing (Figure 1(a) of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["row_major_index", "row_major_matrix", "row_major_indices"]
+
+
+def row_major_index(coords: Sequence[int], shape: Sequence[int]) -> int:
+    """Flatten multi-dimensional ``coords`` in row-major (C) order."""
+    if len(coords) != len(shape):
+        raise ConfigError(
+            f"{len(coords)} coordinates but {len(shape)} dimensions"
+        )
+    index = 0
+    for c, s in zip(coords, shape):
+        if s <= 0:
+            raise ConfigError(f"non-positive dimension size {s}")
+        if not 0 <= c < s:
+            raise ConfigError(f"coordinate {c} out of range [0, {s})")
+        index = index * s + c
+    return index
+
+
+def row_major_indices(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Vectorized row-major index of an ``(n, d)`` coordinate array."""
+    arr = np.asarray(coords)
+    if arr.ndim != 2 or arr.shape[1] != len(shape):
+        raise ConfigError(
+            f"coords must have shape (n, {len(shape)}), got {arr.shape}"
+        )
+    if arr.size and (arr.min() < 0 or np.any(arr >= np.asarray(shape))):
+        raise ConfigError("coordinate out of range")
+    return np.ravel_multi_index(tuple(arr.T), tuple(shape)).astype(np.int64)
+
+
+def row_major_matrix(rows: int, cols: int) -> np.ndarray:
+    """The ``rows x cols`` matrix of row-major indices.
+
+    ``row_major_matrix(8, 8)`` is exactly Figure 1(a) of the paper.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ConfigError("matrix dimensions must be positive")
+    return np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)

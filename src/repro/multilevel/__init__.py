@@ -1,0 +1,15 @@
+"""Multilevel contraction (the paper's future-work scaling extension)."""
+
+from .matching import heavy_edge_matching
+from .coarsen import CoarseLevel, coarsen, coarsen_to
+from .uncoarsen import uncoarsen
+from .mlga import multilevel_ga_partition
+
+__all__ = [
+    "heavy_edge_matching",
+    "CoarseLevel",
+    "coarsen",
+    "coarsen_to",
+    "uncoarsen",
+    "multilevel_ga_partition",
+]

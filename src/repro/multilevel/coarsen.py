@@ -1,0 +1,105 @@
+"""Graph contraction from a matching.
+
+Matched vertex pairs merge into one coarse vertex whose weight is the
+pair's total; parallel edges between coarse vertices merge by summing
+weights (edges internal to a pair vanish).  A :class:`CoarseLevel`
+records the fine→coarse projection so partitions can be interpolated
+back during uncoarsening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..rng import SeedLike, as_generator
+from .matching import heavy_edge_matching
+
+__all__ = ["CoarseLevel", "coarsen", "coarsen_to"]
+
+
+@dataclass(frozen=True)
+class CoarseLevel:
+    """One level of a coarsening hierarchy.
+
+    ``fine_to_coarse[i]`` is the coarse vertex containing fine vertex
+    ``i``; ``fine`` and ``coarse`` are the two graphs.
+    """
+
+    fine: CSRGraph
+    coarse: CSRGraph
+    fine_to_coarse: np.ndarray
+
+    def project_up(self, coarse_assignment: np.ndarray) -> np.ndarray:
+        """Interpolate a coarse assignment onto the fine graph."""
+        return np.asarray(coarse_assignment)[self.fine_to_coarse]
+
+
+def coarsen(graph: CSRGraph, seed: SeedLike = None) -> CoarseLevel:
+    """One heavy-edge-matching contraction of ``graph``."""
+    match = heavy_edge_matching(graph, seed=seed)
+    n = graph.n_nodes
+    fine_to_coarse = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for u in range(n):
+        if fine_to_coarse[u] != -1:
+            continue
+        v = match[u]
+        fine_to_coarse[u] = nxt
+        fine_to_coarse[v] = nxt  # v == u for unmatched vertices
+        nxt += 1
+    n_coarse = nxt
+    cw = np.zeros(n_coarse)
+    np.add.at(cw, fine_to_coarse, graph.node_weights)
+    cu = fine_to_coarse[graph.edges_u]
+    cv = fine_to_coarse[graph.edges_v]
+    keep = cu != cv  # intra-pair edges disappear
+    coarse = CSRGraph(
+        n_coarse, cu[keep], cv[keep], graph.edge_weights[keep], cw,
+        coords=None
+        if graph.coords is None
+        else _coarse_coords(graph, fine_to_coarse, n_coarse),
+    )
+    return CoarseLevel(fine=graph, coarse=coarse, fine_to_coarse=fine_to_coarse)
+
+
+def _coarse_coords(
+    graph: CSRGraph, fine_to_coarse: np.ndarray, n_coarse: int
+) -> np.ndarray:
+    """Weight-averaged coordinates of merged vertices."""
+    d = graph.coords.shape[1]
+    acc = np.zeros((n_coarse, d))
+    wsum = np.zeros(n_coarse)
+    np.add.at(acc, fine_to_coarse, graph.coords * graph.node_weights[:, None])
+    np.add.at(wsum, fine_to_coarse, graph.node_weights)
+    wsum = np.where(wsum > 0, wsum, 1.0)
+    return acc / wsum[:, None]
+
+
+def coarsen_to(
+    graph: CSRGraph,
+    target_nodes: int,
+    seed: SeedLike = None,
+    max_levels: int = 30,
+) -> list[CoarseLevel]:
+    """Coarsen repeatedly until at most ``target_nodes`` vertices remain.
+
+    Stops early when a level shrinks by less than 10% (matching has
+    saturated — typical for graphs with many isolated vertices).
+    Returns the hierarchy fine→coarse, possibly empty if ``graph`` is
+    already small enough.
+    """
+    rng = as_generator(seed)
+    levels: list[CoarseLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.n_nodes <= target_nodes:
+            break
+        level = coarsen(current, seed=rng)
+        if level.coarse.n_nodes > 0.9 * current.n_nodes:
+            break
+        levels.append(level)
+        current = level.coarse
+    return levels

@@ -1,0 +1,45 @@
+"""Uncoarsening: project a coarse partition up and refine at each level."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..ga.fitness import FitnessFunction, make_fitness
+from ..ga.hillclimb import HillClimber
+from ..partition.partition import Partition
+from ..rng import SeedLike, as_generator
+from .coarsen import CoarseLevel
+
+__all__ = ["uncoarsen"]
+
+
+def uncoarsen(
+    levels: list[CoarseLevel],
+    coarse_assignment: np.ndarray,
+    n_parts: int,
+    fitness_kind: str = "fitness1",
+    alpha: float = 1.0,
+    refine_passes: int = 3,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Walk the hierarchy from coarsest to finest, refining at each level.
+
+    ``levels`` is the list returned by
+    :func:`repro.multilevel.coarsen.coarsen_to` (fine→coarse order);
+    ``coarse_assignment`` partitions ``levels[-1].coarse`` (or the
+    original graph when ``levels`` is empty).  Refinement is the paper's
+    boundary hill-climbing, whose single-node moves are exactly the
+    right granularity after interpolation.
+    """
+    rng = as_generator(seed)
+    assignment = np.asarray(coarse_assignment, dtype=np.int64)
+    for level in reversed(levels):
+        assignment = level.project_up(assignment)
+        fitness = make_fitness(fitness_kind, level.fine, n_parts, alpha)
+        climber = HillClimber(level.fine, fitness)
+        assignment, _ = climber.improve(
+            assignment, max_passes=refine_passes, rng=rng
+        )
+    return assignment

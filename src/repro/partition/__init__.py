@@ -1,0 +1,46 @@
+"""Partition objects, quality metrics, and balance utilities."""
+
+from .partition import Partition
+from .metrics import (
+    balance_ratio,
+    batch_cut_size,
+    batch_load_imbalance,
+    batch_max_part_cut,
+    batch_part_cuts,
+    batch_part_loads,
+    boundary_nodes,
+    cut_edges_mask,
+    cut_size,
+    load_imbalance,
+    max_part_cut,
+    part_cuts,
+    part_loads,
+)
+from .balance import assign_balanced, random_balanced_assignment, rebalance
+from .validate import check_partition, require_all_parts_nonempty, require_balance
+from .visualize import ascii_render, part_summary
+
+__all__ = [
+    "Partition",
+    "balance_ratio",
+    "batch_cut_size",
+    "batch_load_imbalance",
+    "batch_max_part_cut",
+    "batch_part_cuts",
+    "batch_part_loads",
+    "boundary_nodes",
+    "cut_edges_mask",
+    "cut_size",
+    "load_imbalance",
+    "max_part_cut",
+    "part_cuts",
+    "part_loads",
+    "assign_balanced",
+    "random_balanced_assignment",
+    "rebalance",
+    "check_partition",
+    "require_all_parts_nonempty",
+    "require_balance",
+    "ascii_render",
+    "part_summary",
+]

@@ -1,0 +1,134 @@
+"""Balance construction and repair utilities.
+
+The incremental seeding strategy of the paper (Section 3.5) assigns new
+nodes "randomly ... while at the same time ensuring that balance is
+maintained"; :func:`assign_balanced` implements that primitive.
+:func:`rebalance` repairs an arbitrary assignment toward equal loads by
+migrating boundary nodes out of overloaded parts — used to keep GA seeds
+feasible and as a post-pass for partitioners that drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graphs.csr import CSRGraph
+from ..rng import SeedLike, as_generator
+from .metrics import part_loads
+from .partition import Partition
+
+__all__ = ["random_balanced_assignment", "assign_balanced", "rebalance"]
+
+
+def random_balanced_assignment(
+    n_nodes: int, n_parts: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Uniformly random assignment with part sizes differing by at most 1."""
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    rng = as_generator(seed)
+    labels = np.arange(n_nodes) % n_parts
+    rng.shuffle(labels)
+    return labels.astype(np.int64)
+
+
+def assign_balanced(
+    graph: CSRGraph,
+    fixed: np.ndarray,
+    free_nodes: np.ndarray,
+    n_parts: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Assign ``free_nodes`` randomly while keeping part loads balanced.
+
+    ``fixed`` is a full-length assignment whose entries at ``free_nodes``
+    are ignored; all other entries are preserved.  Free nodes are placed
+    one at a time (in random order) into a uniformly random choice among
+    the currently lightest parts, which is the paper's incremental
+    seeding rule.
+    """
+    rng = as_generator(seed)
+    fixed = np.asarray(fixed, dtype=np.int64).copy()
+    free_nodes = np.asarray(free_nodes, dtype=np.int64)
+    if fixed.shape != (graph.n_nodes,):
+        raise PartitionError("fixed assignment length mismatch")
+    if free_nodes.size and (free_nodes.min() < 0 or free_nodes.max() >= graph.n_nodes):
+        raise PartitionError("free node id out of range")
+
+    mask = np.ones(graph.n_nodes, dtype=bool)
+    mask[free_nodes] = False
+    loads = np.zeros(n_parts)
+    kept = np.flatnonzero(mask)
+    if kept.size:
+        if fixed[kept].min() < 0 or fixed[kept].max() >= n_parts:
+            raise PartitionError("fixed labels out of range")
+        np.add.at(loads, fixed[kept], graph.node_weights[kept])
+
+    order = free_nodes.copy()
+    rng.shuffle(order)
+    for node in order:
+        lightest = np.flatnonzero(loads == loads.min())
+        q = int(rng.choice(lightest))
+        fixed[node] = q
+        loads[q] += graph.node_weights[node]
+    return fixed
+
+
+def rebalance(
+    partition: Partition,
+    max_ratio: float = 1.05,
+    max_passes: int = 20,
+    seed: SeedLike = None,
+) -> Partition:
+    """Repair an unbalanced partition by migrating boundary nodes.
+
+    Repeatedly moves a boundary node from the most-loaded part to its
+    cut-minimizing neighboring part among those below the target load,
+    until ``balance_ratio <= max_ratio`` or no legal move exists.
+    """
+    if max_ratio < 1.0:
+        raise PartitionError(f"max_ratio must be >= 1.0, got {max_ratio}")
+    graph = partition.graph
+    n_parts = partition.n_parts
+    a = partition.assignment.copy()
+    rng = as_generator(seed)
+    loads = part_loads(graph, a, n_parts)
+    avg = graph.total_node_weight() / n_parts
+    target = avg * max_ratio
+
+    for _ in range(max_passes * graph.n_nodes):
+        over = int(np.argmax(loads))
+        if loads[over] <= target or avg == 0:
+            break
+        members = np.flatnonzero(a == over)
+        # Among the overloaded part's nodes, prefer the move that loses the
+        # fewest internal edges: pick the node with the most neighbors in
+        # the destination part.
+        best = None  # (internal_gain, node, dest)
+        candidates = members.copy()
+        rng.shuffle(candidates)
+        for node in candidates:
+            nbrs = graph.neighbors(node)
+            w = graph.neighbor_weights(node)
+            for q in range(n_parts):
+                if q == over or loads[q] + graph.node_weights[node] > target:
+                    continue
+                gain = float(w[a[nbrs] == q].sum() - w[a[nbrs] == over].sum())
+                if best is None or gain > best[0]:
+                    best = (gain, int(node), q)
+        if best is None:
+            # no under-target destination can absorb any node: move to the
+            # globally lightest part to keep making progress
+            node = int(candidates[0])
+            q = int(np.argmin(loads))
+            if q == over:
+                break
+            best = (0.0, node, q)
+        _, node, dest = best
+        a[node] = dest
+        loads[over] -= graph.node_weights[node]
+        loads[dest] += graph.node_weights[node]
+    return Partition(graph, a, n_parts)

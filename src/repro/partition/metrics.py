@@ -1,0 +1,204 @@
+"""Partition quality metrics — the quantities from Section 2 of the paper.
+
+For an assignment ``M : V -> {0..k-1}`` the paper defines, per part ``q``:
+
+* load imbalance  ``I(q) = (sum_{v in B(q)} w_v - W/k)^2`` where ``W`` is
+  the total node weight;
+* communication cost ``C(q) = sum of w_e over edges with exactly one
+  endpoint in q``.
+
+Tables 1–3 report the *total cut* ``sum_q C(q) / 2`` (each cut edge is
+counted from both of its parts) and Tables 4–6 report the *worst cut*
+``max_q C(q)``.
+
+Every metric has two forms: a scalar form over one assignment vector of
+shape ``(n,)``, and a batch form over a population matrix of shape
+``(P, n)`` which evaluates all ``P`` individuals with whole-array numpy
+operations — this is the GA's inner loop, so there are no Python-level
+loops over individuals or edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graphs.csr import CSRGraph
+
+__all__ = [
+    "part_loads",
+    "load_imbalance",
+    "cut_size",
+    "part_cuts",
+    "max_part_cut",
+    "cut_edges_mask",
+    "boundary_nodes",
+    "batch_part_loads",
+    "batch_load_imbalance",
+    "batch_cut_size",
+    "batch_part_cuts",
+    "batch_max_part_cut",
+    "balance_ratio",
+]
+
+
+def _check_assignment(graph: CSRGraph, assignment: np.ndarray, n_parts: int) -> np.ndarray:
+    a = np.asarray(assignment)
+    if a.shape != (graph.n_nodes,):
+        raise PartitionError(
+            f"assignment length {a.shape} does not match graph with "
+            f"{graph.n_nodes} nodes"
+        )
+    if not np.issubdtype(a.dtype, np.integer):
+        raise PartitionError(f"assignment must be integer-typed, got {a.dtype}")
+    if a.size and (a.min() < 0 or a.max() >= n_parts):
+        raise PartitionError(
+            f"assignment labels must lie in [0, {n_parts}), "
+            f"got range [{a.min()}, {a.max()}]"
+        )
+    return a
+
+
+# ----------------------------------------------------------------------
+# Scalar (single-assignment) metrics
+# ----------------------------------------------------------------------
+
+def part_loads(graph: CSRGraph, assignment: np.ndarray, n_parts: int) -> np.ndarray:
+    """Total node weight per part: ``loads[q] = sum_{v in B(q)} w_v``."""
+    a = _check_assignment(graph, assignment, n_parts)
+    loads = np.zeros(n_parts)
+    np.add.at(loads, a, graph.node_weights)
+    return loads
+
+
+def load_imbalance(graph: CSRGraph, assignment: np.ndarray, n_parts: int) -> float:
+    """The paper's quadratic imbalance penalty ``sum_q I(q)``."""
+    loads = part_loads(graph, assignment, n_parts)
+    avg = graph.total_node_weight() / n_parts
+    return float(np.sum((loads - avg) ** 2))
+
+
+def cut_edges_mask(graph: CSRGraph, assignment: np.ndarray) -> np.ndarray:
+    """Boolean mask over the edge list: True where the edge is cut."""
+    a = np.asarray(assignment)
+    if a.shape != (graph.n_nodes,):
+        raise PartitionError("assignment length mismatch")
+    return a[graph.edges_u] != a[graph.edges_v]
+
+
+def cut_size(graph: CSRGraph, assignment: np.ndarray) -> float:
+    """Total weight of cut edges — the paper's ``sum_q C(q) / 2``."""
+    mask = cut_edges_mask(graph, assignment)
+    return float(graph.edge_weights[mask].sum())
+
+
+def part_cuts(graph: CSRGraph, assignment: np.ndarray, n_parts: int) -> np.ndarray:
+    """``C(q)`` per part: weight of edges leaving part ``q``."""
+    a = _check_assignment(graph, assignment, n_parts)
+    mask = a[graph.edges_u] != a[graph.edges_v]
+    cuts = np.zeros(n_parts)
+    np.add.at(cuts, a[graph.edges_u[mask]], graph.edge_weights[mask])
+    np.add.at(cuts, a[graph.edges_v[mask]], graph.edge_weights[mask])
+    return cuts
+
+
+def max_part_cut(graph: CSRGraph, assignment: np.ndarray, n_parts: int) -> float:
+    """Worst-case communication cost ``max_q C(q)`` (Tables 4–6)."""
+    return float(part_cuts(graph, assignment, n_parts).max(initial=0.0))
+
+
+def boundary_nodes(graph: CSRGraph, assignment: np.ndarray) -> np.ndarray:
+    """Nodes with at least one neighbor in a different part.
+
+    These are the only candidates the paper's hill-climbing step examines
+    (Section 3.6).
+    """
+    a = np.asarray(assignment)
+    mask = cut_edges_mask(graph, a)
+    ends = np.concatenate([graph.edges_u[mask], graph.edges_v[mask]])
+    return np.unique(ends)
+
+
+def balance_ratio(graph: CSRGraph, assignment: np.ndarray, n_parts: int) -> float:
+    """``max_q load(q) / (W / k)`` — 1.0 is perfectly balanced.
+
+    Not a paper metric, but the standard way modern partitioners state
+    balance constraints; used by the experiment reports for context.
+    """
+    loads = part_loads(graph, assignment, n_parts)
+    avg = graph.total_node_weight() / n_parts
+    if avg == 0:
+        return 1.0
+    return float(loads.max() / avg)
+
+
+# ----------------------------------------------------------------------
+# Batch (population) metrics: population has shape (P, n)
+# ----------------------------------------------------------------------
+
+def _check_population(graph: CSRGraph, population: np.ndarray, n_parts: int) -> np.ndarray:
+    pop = np.asarray(population)
+    if pop.ndim != 2 or pop.shape[1] != graph.n_nodes:
+        raise PartitionError(
+            f"population must have shape (P, {graph.n_nodes}), got {pop.shape}"
+        )
+    if not np.issubdtype(pop.dtype, np.integer):
+        raise PartitionError(f"population must be integer-typed, got {pop.dtype}")
+    if pop.size and (pop.min() < 0 or pop.max() >= n_parts):
+        raise PartitionError(f"population labels out of range [0, {n_parts})")
+    return pop
+
+
+def batch_part_loads(graph: CSRGraph, population: np.ndarray, n_parts: int) -> np.ndarray:
+    """``(P, n_parts)`` matrix of per-part node-weight loads."""
+    pop = _check_population(graph, population, n_parts)
+    p = pop.shape[0]
+    loads = np.zeros((p, n_parts))
+    rows = np.broadcast_to(np.arange(p)[:, None], pop.shape)
+    np.add.at(loads, (rows, pop), graph.node_weights[None, :])
+    return loads
+
+
+def batch_load_imbalance(graph: CSRGraph, population: np.ndarray, n_parts: int) -> np.ndarray:
+    """``(P,)`` vector of quadratic imbalance penalties."""
+    loads = batch_part_loads(graph, population, n_parts)
+    avg = graph.total_node_weight() / n_parts
+    return np.sum((loads - avg) ** 2, axis=1)
+
+
+def batch_cut_size(graph: CSRGraph, population: np.ndarray) -> np.ndarray:
+    """``(P,)`` vector of total cut weights."""
+    pop = np.asarray(population)
+    if pop.ndim != 2 or pop.shape[1] != graph.n_nodes:
+        raise PartitionError(
+            f"population must have shape (P, {graph.n_nodes}), got {pop.shape}"
+        )
+    if graph.n_edges == 0:
+        return np.zeros(pop.shape[0])
+    cut = pop[:, graph.edges_u] != pop[:, graph.edges_v]  # (P, m) bool
+    return cut @ graph.edge_weights
+
+
+def batch_part_cuts(graph: CSRGraph, population: np.ndarray, n_parts: int) -> np.ndarray:
+    """``(P, n_parts)`` matrix of per-part boundary weights ``C(q)``."""
+    pop = _check_population(graph, population, n_parts)
+    p = pop.shape[0]
+    cuts = np.zeros((p, n_parts))
+    if graph.n_edges == 0:
+        return cuts
+    pu = pop[:, graph.edges_u]  # (P, m)
+    pv = pop[:, graph.edges_v]
+    cut = pu != pv
+    w = np.where(cut, graph.edge_weights[None, :], 0.0)
+    rows = np.broadcast_to(np.arange(p)[:, None], pu.shape)
+    np.add.at(cuts, (rows, pu), w)
+    np.add.at(cuts, (rows, pv), w)
+    return cuts
+
+
+def batch_max_part_cut(graph: CSRGraph, population: np.ndarray, n_parts: int) -> np.ndarray:
+    """``(P,)`` vector of worst-part cuts ``max_q C(q)``."""
+    cuts = batch_part_cuts(graph, population, n_parts)
+    if cuts.shape[1] == 0:
+        return np.zeros(cuts.shape[0])
+    return cuts.max(axis=1)

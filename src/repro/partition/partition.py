@@ -1,0 +1,180 @@
+"""The :class:`Partition` value object.
+
+A partition couples a graph with a ``k``-way node assignment and exposes
+the paper's quality metrics as cached properties.  Partitions are
+immutable; refinement algorithms return new partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graphs.csr import CSRGraph
+from . import metrics
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """An immutable ``k``-way partition of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph.
+    assignment:
+        Integer vector; ``assignment[i] = q`` places node ``i`` in part
+        ``q``.  This is exactly the chromosome representation of
+        Section 3.1 of the paper.
+    n_parts:
+        Number of parts ``k``.  Defaults to ``assignment.max() + 1``;
+        passing it explicitly allows empty parts.
+    """
+
+    __slots__ = ("graph", "assignment", "n_parts", "_cache")
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        assignment: np.ndarray,
+        n_parts: Optional[int] = None,
+    ) -> None:
+        arr = np.asarray(assignment)
+        if not np.issubdtype(arr.dtype, np.integer):
+            try:
+                cast = arr.astype(np.int64)
+            except (TypeError, ValueError) as exc:
+                raise PartitionError(f"assignment must be integers: {exc}") from exc
+            if arr.size and not np.array_equal(cast, arr):
+                raise PartitionError("assignment contains non-integer values")
+            arr = cast
+        arr = arr.astype(np.int64, copy=True)
+        if arr.shape != (graph.n_nodes,):
+            raise PartitionError(
+                f"assignment length {arr.size} != graph nodes {graph.n_nodes}"
+            )
+        if n_parts is None:
+            n_parts = int(arr.max()) + 1 if arr.size else 1
+        if n_parts < 1:
+            raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+        if arr.size and (arr.min() < 0 or arr.max() >= n_parts):
+            raise PartitionError(
+                f"assignment labels out of range [0, {n_parts})"
+            )
+        arr.setflags(write=False)
+        object.__setattr__(self, "graph", graph)
+        object.__setattr__(self, "assignment", arr)
+        object.__setattr__(self, "n_parts", int(n_parts))
+        object.__setattr__(self, "_cache", {})
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Partition is immutable")
+
+    # ------------------------------------------------------------------
+    # Metrics (cached — the object is immutable so caching is safe)
+    # ------------------------------------------------------------------
+    def _cached(self, key, fn):
+        if key not in self._cache:
+            self._cache[key] = fn()
+        return self._cache[key]
+
+    @property
+    def cut_size(self) -> float:
+        """Total weight of cut edges (``sum_q C(q) / 2``)."""
+        return self._cached("cut", lambda: metrics.cut_size(self.graph, self.assignment))
+
+    @property
+    def part_cuts(self) -> np.ndarray:
+        """Per-part boundary weight ``C(q)``."""
+        return self._cached(
+            "part_cuts",
+            lambda: metrics.part_cuts(self.graph, self.assignment, self.n_parts),
+        )
+
+    @property
+    def max_part_cut(self) -> float:
+        """Worst-part communication cost ``max_q C(q)``."""
+        return float(self.part_cuts.max(initial=0.0))
+
+    @property
+    def part_loads(self) -> np.ndarray:
+        """Node-weight load per part."""
+        return self._cached(
+            "loads",
+            lambda: metrics.part_loads(self.graph, self.assignment, self.n_parts),
+        )
+
+    @property
+    def load_imbalance(self) -> float:
+        """Quadratic imbalance penalty ``sum_q I(q)``."""
+        avg = self.graph.total_node_weight() / self.n_parts
+        return float(np.sum((self.part_loads - avg) ** 2))
+
+    @property
+    def balance_ratio(self) -> float:
+        """``max load / ideal load``; 1.0 = perfect balance."""
+        return metrics.balance_ratio(self.graph, self.assignment, self.n_parts)
+
+    @property
+    def part_sizes(self) -> np.ndarray:
+        """Node count per part ``|B(q)|``."""
+        return self._cached(
+            "sizes",
+            lambda: np.bincount(self.assignment, minlength=self.n_parts).astype(np.int64),
+        )
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Nodes adjacent to at least one other part."""
+        return metrics.boundary_nodes(self.graph, self.assignment)
+
+    def part_members(self, q: int) -> np.ndarray:
+        """Node ids in part ``q`` — the set ``B(q)`` of the paper."""
+        if not 0 <= q < self.n_parts:
+            raise PartitionError(f"part {q} out of range [0, {self.n_parts})")
+        return np.flatnonzero(self.assignment == q)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_assignment(self, assignment: np.ndarray) -> "Partition":
+        """New partition of the same graph with a different assignment."""
+        return Partition(self.graph, assignment, self.n_parts)
+
+    def relabeled(self) -> "Partition":
+        """Canonical relabeling: parts renumbered by first occurrence.
+
+        Partitions that differ only by a permutation of part labels are
+        equivalent solutions (the fitness functions are label-symmetric);
+        this maps each equivalence class to one representative.
+        """
+        mapping = np.full(self.n_parts, -1, dtype=np.int64)
+        nxt = 0
+        out = np.empty_like(self.assignment)
+        for i, q in enumerate(self.assignment):
+            if mapping[q] == -1:
+                mapping[q] = nxt
+                nxt += 1
+            out[i] = mapping[q]
+        return Partition(self.graph, out, self.n_parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return (
+            self.graph is other.graph
+            and self.n_parts == other.n_parts
+            and np.array_equal(self.assignment, other.assignment)
+        )
+
+    def __hash__(self):  # pragma: no cover
+        raise TypeError("Partition is not hashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(n_nodes={self.graph.n_nodes}, n_parts={self.n_parts}, "
+            f"cut={self.cut_size:g}, worst={self.max_part_cut:g}, "
+            f"sizes={self.part_sizes.tolist()})"
+        )

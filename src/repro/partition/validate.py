@@ -1,0 +1,47 @@
+"""Partition validity checks used by tests and the experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from .partition import Partition
+
+__all__ = ["check_partition", "require_all_parts_nonempty", "require_balance"]
+
+
+def check_partition(partition: Partition) -> None:
+    """Verify the assignment is well-formed and metrics are self-consistent."""
+    a = partition.assignment
+    if a.shape != (partition.graph.n_nodes,):
+        raise PartitionError("assignment length mismatch")
+    if a.size and (a.min() < 0 or a.max() >= partition.n_parts):
+        raise PartitionError("label out of range")
+    # Per-part cut consistency: sum_q C(q) must equal twice the cut size.
+    total = float(partition.part_cuts.sum())
+    if not np.isclose(total, 2.0 * partition.cut_size):
+        raise PartitionError(
+            f"sum_q C(q) = {total} but 2 * cut_size = {2 * partition.cut_size}"
+        )
+    if not np.isclose(
+        float(partition.part_loads.sum()), partition.graph.total_node_weight()
+    ):
+        raise PartitionError("part loads do not sum to total node weight")
+    if int(partition.part_sizes.sum()) != partition.graph.n_nodes:
+        raise PartitionError("part sizes do not sum to node count")
+
+
+def require_all_parts_nonempty(partition: Partition) -> None:
+    """Raise unless every part contains at least one node."""
+    empty = np.flatnonzero(partition.part_sizes == 0)
+    if empty.size:
+        raise PartitionError(f"empty parts: {empty.tolist()}")
+
+
+def require_balance(partition: Partition, max_ratio: float) -> None:
+    """Raise unless ``balance_ratio <= max_ratio``."""
+    ratio = partition.balance_ratio
+    if ratio > max_ratio + 1e-12:
+        raise PartitionError(
+            f"balance ratio {ratio:.4f} exceeds allowed {max_ratio:.4f}"
+        )

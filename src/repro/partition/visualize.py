@@ -1,0 +1,80 @@
+"""Terminal visualization of partitions.
+
+No plotting dependency is available offline, so partitions of
+coordinate-carrying graphs are rendered as ASCII rasters: the bounding
+box is sampled on a character grid and each cell shows the part label
+of the nearest vertex.  Good enough to eyeball whether parts are
+compact (RSB/IBP) or fragmented (random), which is the qualitative
+story behind all the cut numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .partition import Partition
+
+__all__ = ["ascii_render", "part_summary"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def ascii_render(
+    partition: Partition, width: int = 60, height: int = 24
+) -> str:
+    """Render a 2-D partition as a character raster.
+
+    Each raster cell displays the part of the nearest graph vertex;
+    vertices themselves are marked with the part glyph uppercased when
+    alphabetic.  Requires 2-D coordinates.
+    """
+    graph = partition.graph
+    if graph.coords is None or graph.coords.shape[1] != 2:
+        raise GraphError("ascii_render needs 2-D vertex coordinates")
+    if width < 2 or height < 2:
+        raise GraphError("raster must be at least 2x2")
+    if partition.n_parts > len(_GLYPHS):
+        raise GraphError(f"can render at most {len(_GLYPHS)} parts")
+    pts = graph.coords
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+
+    xs = np.linspace(lo[0], hi[0], width)
+    ys = np.linspace(hi[1], lo[1], height)  # screen-y grows downward
+    gx, gy = np.meshgrid(xs, ys)
+    cells = np.column_stack([gx.ravel(), gy.ravel()])
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(pts)
+    _, nearest = tree.query(cells)
+    labels = partition.assignment[nearest].reshape(height, width)
+
+    canvas = np.empty((height, width), dtype="<U1")
+    for q in range(partition.n_parts):
+        canvas[labels == q] = _GLYPHS[q]
+    # overlay actual vertex positions
+    vx = np.clip(((pts[:, 0] - lo[0]) / span[0] * (width - 1)).round(), 0, width - 1).astype(int)
+    vy = np.clip(((hi[1] - pts[:, 1]) / span[1] * (height - 1)).round(), 0, height - 1).astype(int)
+    for i in range(graph.n_nodes):
+        glyph = _GLYPHS[partition.assignment[i]]
+        canvas[vy[i], vx[i]] = glyph.upper() if glyph.isalpha() else glyph
+    return "\n".join("".join(row) for row in canvas)
+
+
+def part_summary(partition: Partition) -> str:
+    """Tabular per-part summary: size, load, boundary cost C(q)."""
+    lines = [f"{'part':>5} {'size':>6} {'load':>8} {'C(q)':>7}"]
+    cuts = partition.part_cuts
+    loads = partition.part_loads
+    sizes = partition.part_sizes
+    for q in range(partition.n_parts):
+        lines.append(
+            f"{q:>5} {sizes[q]:>6} {loads[q]:>8.1f} {cuts[q]:>7.1f}"
+        )
+    lines.append(
+        f"total cut {partition.cut_size:g}, worst C(q) "
+        f"{partition.max_part_cut:g}, balance {partition.balance_ratio:.3f}"
+    )
+    return "\n".join(lines)

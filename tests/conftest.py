@@ -1,0 +1,70 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    caveman_graph,
+    cycle_graph,
+    grid2d,
+    mesh_graph,
+    path_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path6():
+    """Path 0-1-2-3-4-5."""
+    return path_graph(6)
+
+
+@pytest.fixture
+def cycle8():
+    return cycle_graph(8)
+
+
+@pytest.fixture
+def grid4x4():
+    return grid2d(4, 4)
+
+
+@pytest.fixture
+def grid8x8():
+    return grid2d(8, 8)
+
+
+@pytest.fixture
+def mesh60():
+    """Small Delaunay mesh with coordinates (deterministic)."""
+    return mesh_graph(60, seed=7)
+
+
+@pytest.fixture
+def mesh120():
+    return mesh_graph(120, seed=21)
+
+
+@pytest.fixture
+def caveman():
+    """4 cliques of 5 nodes in a ring — obvious optimal 4-way partition."""
+    return caveman_graph(4, 5)
+
+
+@pytest.fixture
+def weighted_triangle():
+    """Triangle with distinct node and edge weights for weighted metrics."""
+    return CSRGraph(
+        3,
+        [0, 1, 0],
+        [1, 2, 2],
+        edge_weights=[1.0, 2.0, 4.0],
+        node_weights=[1.0, 2.0, 3.0],
+    )

@@ -1,0 +1,110 @@
+"""Tests for the top-level convenience API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import GAConfig, partition_graph, refine_partition
+from repro.baselines import random_partition, rsb_partition
+from repro.ga import Fitness1, Fitness2
+from repro.graphs import mesh_graph
+from repro.partition import check_partition
+
+FAST = GAConfig(
+    population_size=20,
+    max_generations=15,
+    patience=6,
+    hill_climb="all",
+    hill_climb_passes=1,
+)
+
+
+class TestVersion:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestPartitionGraph:
+    def test_basic(self):
+        g = mesh_graph(50, seed=71)
+        p = partition_graph(g, 3, config=FAST, seed=1)
+        check_partition(p)
+        assert p.n_parts == 3
+
+    def test_fitness2_kind(self):
+        g = mesh_graph(50, seed=72)
+        p = partition_graph(g, 4, fitness_kind="fitness2", config=FAST, seed=2)
+        check_partition(p)
+
+    def test_seed_assignment_used(self):
+        g = mesh_graph(50, seed=73)
+        seed_assign = rsb_partition(g, 4).assignment
+        p = partition_graph(g, 4, config=FAST, seed=3, seed_assignment=seed_assign)
+        fit = Fitness1(g, 4)
+        assert fit.evaluate(p.assignment) >= fit.evaluate(seed_assign)
+
+    def test_deterministic(self):
+        g = mesh_graph(50, seed=74)
+        a = partition_graph(g, 2, config=FAST, seed=5)
+        b = partition_graph(g, 2, config=FAST, seed=5)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_unknown_fitness(self):
+        g = mesh_graph(50, seed=75)
+        with pytest.raises(repro.ConfigError):
+            partition_graph(g, 2, fitness_kind="fitness7", config=FAST)
+
+
+class TestRefinePartition:
+    def test_improves_random(self):
+        g = mesh_graph(60, seed=76)
+        start = random_partition(g, 4, seed=0)
+        out = refine_partition(start, config=FAST, seed=1)
+        fit = Fitness1(g, 4)
+        assert fit.evaluate(out.assignment) > fit.evaluate(start.assignment)
+
+    def test_never_returns_worse(self):
+        """Even with a hopeless budget, the contract holds: output fitness
+        >= input fitness."""
+        g = mesh_graph(60, seed=77)
+        start = rsb_partition(g, 4)
+        tiny = GAConfig(population_size=8, max_generations=1)
+        out = refine_partition(start, config=tiny, seed=2)
+        fit = Fitness1(g, 4)
+        assert fit.evaluate(out.assignment) >= fit.evaluate(start.assignment)
+
+    def test_fitness2_refinement(self):
+        g = mesh_graph(60, seed=78)
+        start = rsb_partition(g, 4)
+        out = refine_partition(start, fitness_kind="fitness2", config=FAST, seed=3)
+        fit = Fitness2(g, 4)
+        assert fit.evaluate(out.assignment) >= fit.evaluate(start.assignment)
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines
+        import repro.experiments
+        import repro.ga
+        import repro.graphs
+        import repro.incremental
+        import repro.indexing
+        import repro.multilevel
+        import repro.partition
+
+        for mod in (
+            repro.graphs,
+            repro.partition,
+            repro.ga,
+            repro.baselines,
+            repro.indexing,
+            repro.incremental,
+            repro.multilevel,
+            repro.experiments,
+        ):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"

@@ -1,0 +1,116 @@
+"""Tests for balance construction/repair (the paper's seeding primitive)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graphs import grid2d, mesh_graph, path_graph
+from repro.partition import (
+    Partition,
+    assign_balanced,
+    random_balanced_assignment,
+    rebalance,
+)
+
+
+class TestRandomBalanced:
+    def test_sizes_within_one(self):
+        a = random_balanced_assignment(10, 3, seed=1)
+        sizes = np.bincount(a, minlength=3)
+        assert sizes.max() - sizes.min() <= 1
+        assert sizes.sum() == 10
+
+    def test_exact_division(self):
+        a = random_balanced_assignment(12, 4, seed=2)
+        assert np.bincount(a).tolist() == [3, 3, 3, 3]
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_balanced_assignment(20, 4, seed=5),
+            random_balanced_assignment(20, 4, seed=5),
+        )
+
+    def test_zero_nodes(self):
+        assert random_balanced_assignment(0, 3, seed=1).size == 0
+
+    def test_bad_parts(self):
+        with pytest.raises(PartitionError):
+            random_balanced_assignment(5, 0)
+
+
+class TestAssignBalanced:
+    def test_fixed_preserved(self, path6):
+        fixed = np.array([0, 0, 1, 1, 0, 0])
+        free = np.array([4, 5])
+        out = assign_balanced(path6, fixed, free, 2, seed=3)
+        assert out[:4].tolist() == [0, 0, 1, 1]
+        # kept loads are tied 2-2, so the free nodes split one per part
+        assert sorted(out[4:].tolist()) == [0, 1]
+
+    def test_balance_maintained(self, mesh60):
+        fixed = np.zeros(60, dtype=np.int64)
+        fixed[:30] = np.arange(30) % 4
+        free = np.arange(30, 60)
+        out = assign_balanced(mesh60, fixed, free, 4, seed=7)
+        sizes = np.bincount(out, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_all_free(self, path6):
+        out = assign_balanced(
+            path6, np.zeros(6, dtype=np.int64), np.arange(6), 3, seed=1
+        )
+        assert np.bincount(out, minlength=3).tolist() == [2, 2, 2]
+
+    def test_no_free(self, path6):
+        fixed = np.array([0, 1, 0, 1, 0, 1])
+        out = assign_balanced(path6, fixed, np.array([], dtype=np.int64), 2)
+        assert np.array_equal(out, fixed)
+
+    def test_bad_fixed_label(self, path6):
+        fixed = np.array([0, 9, 0, 0, 0, 0])
+        with pytest.raises(PartitionError):
+            assign_balanced(path6, fixed, np.array([5]), 2)
+
+    def test_bad_free_id(self, path6):
+        with pytest.raises(PartitionError):
+            assign_balanced(
+                path6, np.zeros(6, dtype=np.int64), np.array([99]), 2
+            )
+
+    def test_weighted_balance(self):
+        g = path_graph(4).with_weights(node_weights=np.array([1.0, 1.0, 5.0, 1.0]))
+        fixed = np.array([0, 1, 0, 0])
+        out = assign_balanced(g, fixed, np.array([3]), 2, seed=0)
+        # part 0 already has weight 6 (nodes 0, 2); node 3 must join part 1
+        assert out[3] == 1
+
+
+class TestRebalance:
+    def test_repairs_gross_imbalance(self, mesh60):
+        a = np.zeros(60, dtype=np.int64)  # everything in part 0
+        p = Partition(mesh60, a, 4)
+        fixed = rebalance(p, max_ratio=1.10, seed=2)
+        assert fixed.balance_ratio <= 1.25  # close to target
+        assert fixed.part_sizes.sum() == 60
+
+    def test_already_balanced_untouched(self, grid4x4):
+        a = np.arange(16) % 4
+        p = Partition(grid4x4, a, 4)
+        fixed = rebalance(p, max_ratio=1.5, seed=1)
+        assert np.array_equal(fixed.assignment, a)
+
+    def test_bad_ratio(self, grid4x4):
+        p = Partition(grid4x4, np.zeros(16, dtype=np.int64), 2)
+        with pytest.raises(PartitionError):
+            rebalance(p, max_ratio=0.9)
+
+    def test_prefers_low_cut_moves(self):
+        # two cliques of 4 joined by one edge, all nodes in part 0
+        from repro.graphs import caveman_graph
+
+        g = caveman_graph(2, 4)
+        p = Partition(g, np.zeros(8, dtype=np.int64), 2)
+        fixed = rebalance(p, max_ratio=1.05, seed=3)
+        # perfect repair: one clique per part
+        assert fixed.part_sizes.tolist() == [4, 4]
+        assert fixed.cut_size <= 4.0

@@ -1,0 +1,125 @@
+"""Tests for graph constructors/converters."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graphs import (
+    CSRGraph,
+    check_graph,
+    from_adjacency_dict,
+    from_edge_list,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n_edges == 3
+        check_graph(g)
+
+    def test_empty_edges(self):
+        g = from_edge_list(3, [])
+        assert g.n_edges == 0
+
+    def test_numpy_input(self):
+        g = from_edge_list(3, np.array([[0, 1], [1, 2]]))
+        assert g.n_edges == 2
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list(3, np.array([[0, 1, 2]]))
+
+
+class TestFromAdjacencyDict:
+    def test_basic(self):
+        g = from_adjacency_dict({0: [1, 2], 1: [0], 2: []})
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+        check_graph(g)
+
+    def test_empty(self):
+        g = from_adjacency_dict({})
+        assert g.n_nodes == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency_dict({0: [0]})
+
+    def test_one_sided_listing(self):
+        g = from_adjacency_dict({0: [1], 1: [], 2: [1]})
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+
+class TestNetworkxBridge:
+    def test_roundtrip_structure(self):
+        nxg = nx.petersen_graph()
+        g = from_networkx(nxg)
+        assert g.n_nodes == 10
+        assert g.n_edges == 15
+        back = to_networkx(g)
+        assert nx.is_isomorphic(nxg, back)
+
+    def test_edge_weights_carried(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b", weight=3.5)
+        g = from_networkx(nxg)
+        assert g.edge_weights[0] == 3.5
+
+    def test_node_weights_and_pos_carried(self):
+        nxg = nx.Graph()
+        nxg.add_node(0, weight=2.0, pos=(0.0, 0.0))
+        nxg.add_node(1, weight=5.0, pos=(1.0, 0.5))
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.node_weights.tolist() == [2.0, 5.0]
+        assert g.coords is not None
+        assert g.coords[1].tolist() == [1.0, 0.5]
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.n_edges == 1
+
+    def test_to_networkx_weights(self, weighted_triangle):
+        nxg = to_networkx(weighted_triangle)
+        assert nxg[0][2]["weight"] == 4.0
+        assert nxg.nodes[2]["weight"] == 3.0
+
+
+class TestScipyBridge:
+    def test_roundtrip(self, grid4x4):
+        mat = to_scipy_sparse(grid4x4)
+        assert (mat != mat.T).nnz == 0  # symmetric
+        g = from_scipy_sparse(mat)
+        assert g == grid4x4.with_coords(np.zeros((16, 2))) or g.n_edges == grid4x4.n_edges
+        assert np.array_equal(g.edges_u, grid4x4.edges_u)
+        assert np.array_equal(g.edges_v, grid4x4.edges_v)
+
+    def test_weights_survive(self, weighted_triangle):
+        mat = to_scipy_sparse(weighted_triangle)
+        g = from_scipy_sparse(mat)
+        assert g.edge_weights.tolist() == weighted_triangle.edge_weights.tolist()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError):
+            from_scipy_sparse(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_coords_passthrough(self):
+        mat = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        coords = np.array([[0.0, 0.0], [1.0, 1.0]])
+        g = from_scipy_sparse(mat, coords=coords)
+        assert np.array_equal(g.coords, coords)

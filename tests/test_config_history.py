@@ -1,0 +1,113 @@
+"""Tests for GAConfig validation and GAHistory bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import (
+    GAConfig,
+    GAHistory,
+    PAPER_CROSSOVER_RATE,
+    PAPER_MUTATION_RATE,
+    PAPER_POPULATION,
+)
+
+
+class TestGAConfig:
+    def test_defaults_match_paper(self):
+        cfg = GAConfig()
+        assert cfg.population_size == PAPER_POPULATION == 320
+        assert cfg.crossover_rate == PAPER_CROSSOVER_RATE == 0.7
+        assert cfg.mutation_rate == PAPER_MUTATION_RATE == 0.01
+
+    def test_paper_factory_overrides(self):
+        cfg = GAConfig.paper(max_generations=50)
+        assert cfg.population_size == 320
+        assert cfg.max_generations == 50
+
+    def test_with_updates_functional(self):
+        cfg = GAConfig()
+        cfg2 = cfg.with_updates(population_size=10)
+        assert cfg.population_size == 320
+        assert cfg2.population_size == 10
+
+    def test_frozen(self):
+        cfg = GAConfig()
+        with pytest.raises(AttributeError):
+            cfg.population_size = 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"crossover_rate": 1.5},
+            {"crossover_rate": -0.1},
+            {"mutation_rate": 2.0},
+            {"max_generations": -1},
+            {"patience": 0},
+            {"selection": "best"},
+            {"tournament_size": 0},
+            {"replacement": "steady"},
+            {"elite": -1},
+            {"elite": 999},
+            {"hill_climb": "sometimes"},
+            {"hill_climb_passes": 0},
+            {"mutation": "swap"},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            GAConfig(**kwargs)
+
+    def test_valid_extremes(self):
+        GAConfig(crossover_rate=0.0, mutation_rate=0.0, max_generations=0)
+        GAConfig(crossover_rate=1.0, mutation_rate=1.0)
+
+
+class TestGAHistory:
+    def test_record_and_stats(self):
+        h = GAHistory()
+        h.record(np.array([-5.0, -1.0, -3.0]), best_cut=10, best_worst_cut=6, evaluations=3)
+        h.record(np.array([-4.0, -0.5, -2.0]), best_cut=8, best_worst_cut=5, evaluations=3)
+        assert h.n_generations == 2
+        assert h.best_fitness == [-1.0, -0.5]
+        assert h.mean_fitness[0] == -3.0
+        assert h.worst_fitness == [-5.0, -4.0]
+        assert h.best_cut == [10.0, 8.0]
+        assert h.n_evaluations == 6
+        assert h.n_improvements == 2
+
+    def test_no_improvement_not_counted(self):
+        h = GAHistory()
+        h.record(np.array([-1.0]), 5, 5, 1)
+        h.record(np.array([-1.0]), 5, 5, 1)
+        h.record(np.array([-2.0]), 6, 6, 1)
+        assert h.n_improvements == 1
+
+    def test_generations_since_improvement(self):
+        h = GAHistory()
+        for f in [-3.0, -2.0, -2.0, -2.0]:
+            h.record(np.array([f]), 1, 1, 1)
+        assert h.generations_since_improvement() == 2
+
+    def test_generations_since_improvement_empty(self):
+        assert GAHistory().generations_since_improvement() == 0
+
+    def test_as_arrays(self):
+        h = GAHistory()
+        h.record(np.array([-1.0, -2.0]), 4, 3, 2)
+        arrays = h.as_arrays()
+        assert set(arrays) == {
+            "best_fitness",
+            "mean_fitness",
+            "worst_fitness",
+            "best_cut",
+            "best_worst_cut",
+        }
+        assert arrays["best_fitness"].tolist() == [-1.0]
+
+    def test_repr(self):
+        h = GAHistory()
+        assert "empty" in repr(h)
+        h.record(np.array([-1.0]), 1, 1, 1)
+        assert "generations=1" in repr(h)

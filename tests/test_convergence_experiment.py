@@ -1,0 +1,59 @@
+"""Tests for the convergence-figure experiment."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import format_convergence, run_convergence
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_convergence(
+        size=78,
+        n_parts=4,
+        n_runs=2,
+        generations=25,
+        population_size=24,
+        seed=3,
+    )
+
+
+class TestRunConvergence:
+    def test_all_operators_present(self, result):
+        assert set(result.curves) == {"2-point", "uniform", "knux", "dknux"}
+
+    def test_curve_lengths(self, result):
+        for curve in result.curves.values():
+            assert curve.summary.n_generations == 26  # initial + 25
+            assert curve.summary.n_runs == 2
+
+    def test_knowledge_operators_dominate(self, result):
+        """The paper's figure shape at the end of the budget."""
+        final = {n: c.summary.mean[-1] for n, c in result.curves.items()}
+        assert final["knux"] > final["2-point"]
+        assert final["dknux"] > final["2-point"]
+        assert final["knux"] > final["uniform"]
+
+    def test_auc_ordering(self, result):
+        """Knowledge-based operators converge faster (higher AUC)."""
+        assert result.curves["knux"].auc > result.curves["2-point"].auc
+
+    def test_speedup_generation_meaningful(self, result):
+        """KNUX passes 2-point's final level well before the budget ends —
+        the quantified form of the 'orders of magnitude speed' claim."""
+        gen = result.curves["knux"].speedup_generation
+        assert gen is not None
+        assert gen < result.generations // 2
+
+    def test_bad_runs(self):
+        with pytest.raises(ExperimentError):
+            run_convergence(n_runs=0)
+
+
+class TestFormat:
+    def test_contains_operators_and_metrics(self, result):
+        text = format_convergence(result)
+        for name in ("2-point", "uniform", "knux", "dknux"):
+            assert name in text
+        assert "normalized AUC" in text
+        assert "generation" in text

@@ -1,0 +1,149 @@
+"""Tests for the classical crossover operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import (
+    KPointCrossover,
+    OnePointCrossover,
+    TwoPointCrossover,
+    UniformCrossover,
+)
+
+OPERATORS = [
+    OnePointCrossover(),
+    TwoPointCrossover(),
+    KPointCrossover(3),
+    KPointCrossover(5),
+    UniformCrossover(),
+]
+
+
+def _parents(rng, batch=16, n=30, k=4):
+    a = rng.integers(0, k, size=(batch, n))
+    b = rng.integers(0, k, size=(batch, n))
+    return a, b
+
+
+class TestCommonLaws:
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_genes_come_from_parents(self, op, rng):
+        a, b = _parents(rng)
+        c1, c2 = op.cross(a, b, rng)
+        assert np.all((c1 == a) | (c1 == b))
+        assert np.all((c2 == a) | (c2 == b))
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_children_are_complementary(self, op, rng):
+        """Where c1 takes from a, c2 takes from b (mask crossover law)."""
+        a, b = _parents(rng)
+        c1, c2 = op.cross(a, b, rng)
+        disagree = a != b
+        took_a = (c1 == a) & disagree
+        assert np.all(c2[took_a] == b[took_a])
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_identical_parents_reproduce(self, op, rng):
+        a, _ = _parents(rng)
+        c1, c2 = op.cross(a, a.copy(), rng)
+        assert np.array_equal(c1, a)
+        assert np.array_equal(c2, a)
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_shapes_preserved(self, op, rng):
+        a, b = _parents(rng, batch=7, n=13)
+        c1, c2 = op.cross(a, b, rng)
+        assert c1.shape == (7, 13)
+        assert c2.shape == (7, 13)
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_mismatched_shapes_rejected(self, op, rng):
+        with pytest.raises(ConfigError):
+            op.cross(np.zeros((2, 5), dtype=int), np.zeros((2, 6), dtype=int), rng)
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_parents_not_mutated(self, op, rng):
+        a, b = _parents(rng)
+        a0, b0 = a.copy(), b.copy()
+        op.cross(a, b, rng)
+        assert np.array_equal(a, a0)
+        assert np.array_equal(b, b0)
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_prepare_is_noop(self, op, rng):
+        op.prepare(np.zeros((2, 3), dtype=int), np.zeros(2))  # must not raise
+
+
+class TestOnePoint:
+    def test_single_contiguous_switch(self, rng):
+        a = np.zeros((50, 20), dtype=np.int64)
+        b = np.ones((50, 20), dtype=np.int64)
+        c1, _ = OnePointCrossover().cross(a, b, rng)
+        for row in c1:
+            # row is a prefix of one value followed by a suffix of the other
+            changes = np.sum(row[1:] != row[:-1])
+            assert changes <= 1
+
+    def test_cut_not_at_zero(self, rng):
+        """Offspring must mix: the cut site lies in 1..n-1, so a 2-gene
+        chromosome always swaps its tail."""
+        a = np.zeros((100, 2), dtype=np.int64)
+        b = np.ones((100, 2), dtype=np.int64)
+        c1, _ = OnePointCrossover().cross(a, b, rng)
+        assert np.all(c1[:, 0] == 0)
+        assert np.all(c1[:, 1] == 1)
+
+
+class TestTwoPoint:
+    def test_at_most_two_switches(self, rng):
+        a = np.zeros((50, 20), dtype=np.int64)
+        b = np.ones((50, 20), dtype=np.int64)
+        c1, _ = TwoPointCrossover().cross(a, b, rng)
+        for row in c1:
+            assert np.sum(row[1:] != row[:-1]) <= 2
+
+    def test_ends_inherited_from_first_parent(self, rng):
+        a = np.zeros((50, 20), dtype=np.int64)
+        b = np.ones((50, 20), dtype=np.int64)
+        c1, _ = TwoPointCrossover().cross(a, b, rng)
+        # mask parity starts at parent a, and after two cuts returns to a
+        assert np.all(c1[:, 0] == 0)
+
+
+class TestKPoint:
+    def test_bad_k(self):
+        with pytest.raises(ConfigError):
+            KPointCrossover(0)
+
+    def test_k_clamped_to_length(self, rng):
+        a = np.zeros((10, 3), dtype=np.int64)
+        b = np.ones((10, 3), dtype=np.int64)
+        c1, c2 = KPointCrossover(10).cross(a, b, rng)
+        assert np.all((c1 == 0) | (c1 == 1))
+
+    def test_name(self):
+        assert KPointCrossover(4).name == "4-point"
+
+    def test_switch_count_bounded_by_k(self, rng):
+        k = 4
+        a = np.zeros((40, 30), dtype=np.int64)
+        b = np.ones((40, 30), dtype=np.int64)
+        c1, _ = KPointCrossover(k).cross(a, b, rng)
+        for row in c1:
+            assert np.sum(row[1:] != row[:-1]) <= k
+
+
+class TestUniform:
+    def test_roughly_half_from_each(self, rng):
+        a = np.zeros((200, 100), dtype=np.int64)
+        b = np.ones((200, 100), dtype=np.int64)
+        c1, _ = UniformCrossover().cross(a, b, rng)
+        frac = c1.mean()
+        assert 0.45 < frac < 0.55
+
+    def test_single_gene(self, rng):
+        a = np.zeros((5, 1), dtype=np.int64)
+        b = np.ones((5, 1), dtype=np.int64)
+        c1, c2 = UniformCrossover().cross(a, b, rng)
+        assert np.all((c1 == 0) | (c1 == 1))

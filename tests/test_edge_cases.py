@@ -1,0 +1,143 @@
+"""Degenerate-input and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import greedy_partition, rgb_partition, rsb_partition
+from repro.errors import PartitionError
+from repro.ga import (
+    DKNUX,
+    Fitness1,
+    Fitness2,
+    GAConfig,
+    GAEngine,
+    HillClimber,
+    UniformCrossover,
+)
+from repro.graphs import CSRGraph, path_graph, star_graph
+from repro.partition import Partition, check_partition
+
+
+class TestTrivialGraphs:
+    def test_engine_on_edgeless_graph(self):
+        """With no edges the only objective is balance; the GA must find
+        a perfectly balanced assignment."""
+        g = CSRGraph(12, [], [])
+        fit = Fitness1(g, 3)
+        cfg = GAConfig(population_size=12, max_generations=15)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=1).run()
+        assert res.best.load_imbalance == 0.0
+        assert res.best_fitness == 0.0
+
+    def test_engine_single_part(self):
+        g = path_graph(8)
+        fit = Fitness1(g, 1)
+        cfg = GAConfig(population_size=8, max_generations=3)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=2).run()
+        assert res.best.cut_size == 0.0
+        assert res.best.part_sizes.tolist() == [8]
+
+    def test_fitness_on_two_node_graph(self):
+        g = CSRGraph(2, [0], [1])
+        fit = Fitness1(g, 2)
+        assert fit.evaluate(np.array([0, 1])) == -2.0  # cut 1 counted twice
+        assert fit.evaluate(np.array([0, 0])) == -2.0  # pure imbalance
+
+    def test_hillclimb_on_star(self):
+        """On a star graph the center dominates every cut; the climber
+        must remain consistent with single-node moves around it."""
+        g = star_graph(8)
+        for cls in (Fitness1, Fitness2):
+            fit = cls(g, 3)
+            hc = HillClimber(g, fit)
+            a = np.arange(9, dtype=np.int64) % 3
+            improved, value = hc.improve(a, max_passes=4)
+            assert np.isclose(value, fit.evaluate(improved))
+
+    def test_partition_of_empty_graph(self):
+        g = CSRGraph(0, [], [])
+        p = Partition(g, np.zeros(0, dtype=np.int64), 2)
+        assert p.cut_size == 0.0
+        assert p.part_sizes.tolist() == [0, 0]
+        check_partition(p)
+
+
+class TestDegenerateParameters:
+    def test_rsb_each_node_its_own_part(self):
+        g = path_graph(5)
+        p = rsb_partition(g, 5)
+        assert sorted(p.assignment.tolist()) == [0, 1, 2, 3, 4]
+        check_partition(p)
+
+    def test_greedy_k_equals_n(self):
+        g = path_graph(6)
+        p = greedy_partition(g, 6, seed=0)
+        assert p.part_sizes.tolist() == [1] * 6
+
+    def test_rgb_star(self):
+        p = rgb_partition(star_graph(9), 2)
+        check_partition(p)
+        # any bisection of a star cuts ~half the spokes
+        assert p.cut_size >= 4.0
+
+    def test_mutation_rate_one_engine_survives(self):
+        """Even pathological mutation cannot break invariants."""
+        g = path_graph(10)
+        fit = Fitness1(g, 2)
+        cfg = GAConfig(
+            population_size=8, max_generations=5, mutation_rate=1.0
+        )
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=3).run()
+        check_partition(res.best)
+
+    def test_crossover_rate_one(self):
+        g = path_graph(10)
+        fit = Fitness1(g, 2)
+        cfg = GAConfig(population_size=8, max_generations=5, crossover_rate=1.0)
+        res = GAEngine(g, fit, DKNUX(g, 2), cfg, seed=4).run()
+        check_partition(res.best)
+
+    def test_population_of_two(self):
+        g = path_graph(6)
+        fit = Fitness1(g, 2)
+        cfg = GAConfig(population_size=2, max_generations=10)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=5).run()
+        check_partition(res.best)
+
+
+class TestDisconnectedStack:
+    @pytest.fixture
+    def islands(self):
+        """Three disjoint triangles."""
+        us = [0, 1, 0, 3, 4, 3, 6, 7, 6]
+        vs = [1, 2, 2, 4, 5, 5, 7, 8, 8]
+        return CSRGraph(9, us, vs)
+
+    def test_rsb_on_disconnected(self, islands):
+        p = rsb_partition(islands, 3)
+        check_partition(p)
+        assert p.part_sizes.max() - p.part_sizes.min() <= 1
+
+    def test_optimal_partition_has_zero_cut(self, islands):
+        a = np.repeat([0, 1, 2], 3)
+        p = Partition(islands, a, 3)
+        assert p.cut_size == 0.0
+        assert p.load_imbalance == 0.0
+
+    def test_ga_finds_zero_cut(self, islands):
+        fit = Fitness1(islands, 3)
+        cfg = GAConfig(
+            population_size=32,
+            max_generations=40,
+            hill_climb="all",
+            patience=15,
+            target_fitness=0.0,
+        )
+        res = GAEngine(islands, fit, DKNUX(islands, 3), cfg, seed=6).run()
+        assert res.best_fitness == 0.0
+        assert res.stopped_by == "target_fitness"
+
+    def test_greedy_on_disconnected(self, islands):
+        p = greedy_partition(islands, 3, seed=1)
+        check_partition(p)
+        assert int(p.part_sizes.sum()) == 9

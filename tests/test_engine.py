@@ -1,0 +1,195 @@
+"""Tests for the GA engine loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import (
+    DKNUX,
+    Fitness1,
+    Fitness2,
+    GAConfig,
+    GAEngine,
+    TwoPointCrossover,
+    UniformCrossover,
+)
+from repro.graphs import grid2d, mesh_graph
+from repro.partition import check_partition
+
+
+@pytest.fixture
+def small_setup():
+    g = mesh_graph(40, seed=11)
+    fit = Fitness1(g, 3)
+    return g, fit
+
+
+class TestRunBasics:
+    def test_result_fields(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=16, max_generations=10)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=1).run()
+        assert res.generations == 10
+        assert res.stopped_by == "max_generations"
+        assert res.best.n_parts == 3
+        check_partition(res.best)
+        assert np.isclose(res.best_fitness, fit.evaluate(res.best.assignment))
+
+    def test_history_length(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=16, max_generations=7)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=2).run()
+        # initial evaluation + one record per generation
+        assert res.history.n_generations == 8
+
+    def test_best_fitness_monotone_under_plus(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=16, max_generations=30, replacement="plus")
+        res = GAEngine(g, fit, TwoPointCrossover(), cfg, seed=3).run()
+        best = np.asarray(res.history.best_fitness)
+        assert np.all(np.diff(best) >= 0)
+
+    def test_deterministic_given_seed(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=16, max_generations=15)
+        r1 = GAEngine(g, fit, DKNUX(g, 3), cfg, seed=42).run()
+        r2 = GAEngine(g, fit, DKNUX(g, 3), cfg, seed=42).run()
+        assert r1.best_fitness == r2.best_fitness
+        assert np.array_equal(r1.best.assignment, r2.best.assignment)
+
+    def test_different_seeds_explore_differently(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=16, max_generations=5)
+        r1 = GAEngine(g, fit, UniformCrossover(), cfg, seed=1).run()
+        r2 = GAEngine(g, fit, UniformCrossover(), cfg, seed=2).run()
+        assert not np.array_equal(r1.best.assignment, r2.best.assignment)
+
+    def test_zero_generations_returns_initial_best(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=16, max_generations=0)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=4).run()
+        assert res.generations == 0
+
+    def test_wrong_graph_fitness_pairing(self, small_setup):
+        g, fit = small_setup
+        other = mesh_graph(40, seed=99)
+        with pytest.raises(ConfigError):
+            GAEngine(other, fit, UniformCrossover())
+
+
+class TestInitialPopulation:
+    def test_explicit_population_used(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=8, max_generations=0)
+        seed_row = np.zeros(40, dtype=np.int64)
+        pop = np.tile(seed_row, (8, 1))
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=5).run(pop)
+        assert np.array_equal(res.best.assignment, seed_row)
+
+    def test_undersized_population_padded(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=10, max_generations=1)
+        pop = np.zeros((2, 40), dtype=np.int64)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=6).run(pop)
+        assert res.history.n_generations == 2  # ran fine
+
+    def test_oversized_population_truncated(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=4, max_generations=1)
+        pop = np.zeros((10, 40), dtype=np.int64)
+        GAEngine(g, fit, UniformCrossover(), cfg, seed=7).run(pop)
+
+    def test_bad_population_shape(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=4, max_generations=1)
+        with pytest.raises(ConfigError):
+            GAEngine(g, fit, UniformCrossover(), cfg, seed=8).run(
+                np.zeros((4, 39), dtype=np.int64)
+            )
+
+    def test_bad_population_labels(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=4, max_generations=1)
+        with pytest.raises(ConfigError):
+            GAEngine(g, fit, UniformCrossover(), cfg, seed=9).run(
+                np.full((4, 40), 7, dtype=np.int64)
+            )
+
+
+class TestStopping:
+    def test_patience_stops_early(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(
+            population_size=16,
+            max_generations=500,
+            patience=5,
+            crossover_rate=0.0,
+            mutation_rate=0.0,
+        )
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=10).run()
+        assert res.stopped_by == "patience"
+        assert res.generations < 500
+
+    def test_target_fitness_stops(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(
+            population_size=16, max_generations=500, target_fitness=-1e9
+        )
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=11).run()
+        assert res.stopped_by == "target_fitness"
+        assert res.generations <= 1
+
+
+class TestHillClimbModes:
+    @pytest.mark.parametrize("mode", ["best", "all", "final"])
+    def test_modes_run_and_dont_regress(self, small_setup, mode):
+        g, fit = small_setup
+        base = GAConfig(population_size=16, max_generations=8)
+        cfg = base.with_updates(hill_climb=mode)
+        res_off = GAEngine(g, fit, DKNUX(g, 3), base, seed=12).run()
+        res_on = GAEngine(g, fit, DKNUX(g, 3), cfg, seed=12).run()
+        check_partition(res_on.best)
+        # hill climbing may alter the trajectory but 'all' mode should help
+        if mode == "all":
+            assert res_on.best_fitness >= res_off.best_fitness
+
+    def test_fitness2_with_hill_climb(self):
+        g = grid2d(6, 6)
+        fit = Fitness2(g, 4)
+        cfg = GAConfig(
+            population_size=16, max_generations=10, hill_climb="all"
+        )
+        res = GAEngine(g, fit, DKNUX(g, 4), cfg, seed=13).run()
+        check_partition(res.best)
+
+
+class TestReplacementAndCrossoverRate:
+    def test_generational_replacement_runs(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(
+            population_size=16,
+            max_generations=10,
+            replacement="generational",
+            elite=2,
+        )
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=14).run()
+        check_partition(res.best)
+
+    def test_zero_crossover_rate_copies_parents(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(
+            population_size=8,
+            max_generations=3,
+            crossover_rate=0.0,
+            mutation_rate=0.0,
+        )
+        pop = np.tile(np.zeros(40, dtype=np.int64), (8, 1))
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=15).run(pop)
+        # population can never leave the all-zeros state
+        assert np.array_equal(res.best.assignment, np.zeros(40, dtype=np.int64))
+
+    def test_odd_population_size(self, small_setup):
+        g, fit = small_setup
+        cfg = GAConfig(population_size=7, max_generations=5)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=16).run()
+        check_partition(res.best)

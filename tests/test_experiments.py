@@ -1,0 +1,232 @@
+"""Tests for the experiment harness (workloads, registry, runner, report)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    BASE_SIZES,
+    DERIVED_SIZES,
+    INCREMENTAL_PAIRS,
+    PAPER_TABLES,
+    TABLE_SPECS,
+    RunnerSettings,
+    format_paper_comparison,
+    format_summary,
+    format_table,
+    get_spec,
+    incremental_case,
+    list_specs,
+    run_cell,
+    run_table,
+    workload,
+    workload_names,
+)
+from repro.experiments.registry import TableSpec
+from repro.graphs import check_graph, is_connected
+
+
+class TestWorkloads:
+    def test_base_sizes_exact(self):
+        for n in BASE_SIZES:
+            g = workload(n)
+            assert g.n_nodes == n
+            check_graph(g)
+            assert is_connected(g)
+
+    def test_derived_sizes_compose(self):
+        for size, (base, added) in DERIVED_SIZES.items():
+            assert base + added == size
+            g = workload(size)
+            assert g.n_nodes == size
+
+    def test_derived_graph_is_the_incremental_graph(self):
+        """'213 nodes' in Tables 2/5 must be the '183 plus 30' graph of
+        Tables 3/6 — the paper's sizes compose this way."""
+        base_graph, update = incremental_case(183, 30)
+        assert workload(213) == update.graph
+
+    def test_incremental_base_matches_workload(self):
+        base_graph, _ = incremental_case(118, 21)
+        assert base_graph == workload(118)
+
+    def test_incremental_old_ids_preserved(self):
+        base_graph, update = incremental_case(78, 10)
+        assert update.n_old == 78
+        assert np.allclose(update.graph.coords[:78], base_graph.coords)
+
+    def test_cached_identity(self):
+        assert workload(144) is workload(144)
+
+    def test_all_names_resolve(self):
+        names = workload_names()
+        assert "78" in names and "183+60" in names
+        assert len(names) == len(BASE_SIZES) + len(INCREMENTAL_PAIRS)
+
+    def test_bad_incremental_case(self):
+        with pytest.raises(ExperimentError):
+            incremental_case(78, 0)
+
+
+class TestRegistry:
+    def test_all_six_tables_registered(self):
+        assert list_specs() == [f"table{i}" for i in range(1, 7)]
+
+    def test_spec_lookup(self):
+        spec = get_spec("table4")
+        assert spec.fitness_kind == "fitness2"
+        assert spec.metric == "worst_cut"
+        assert spec.seeding == "random"
+
+    def test_unknown_spec(self):
+        with pytest.raises(ExperimentError):
+            get_spec("table9")
+
+    def test_paper_cells_exist_for_all_spec_cells(self):
+        """Every (row, k) cell in every spec must have published values."""
+        for table_id, spec in TABLE_SPECS.items():
+            table = PAPER_TABLES[table_id]
+            for cell in spec.cells:
+                assert cell in table, f"{table_id} missing {cell}"
+
+    def test_paper_values_match_spec_count(self):
+        for table_id, spec in TABLE_SPECS.items():
+            assert len(PAPER_TABLES[table_id]) == len(spec.cells)
+
+    def test_spec_validation(self):
+        with pytest.raises(ExperimentError):
+            TableSpec(
+                table_id="x", title="t", fitness_kind="fitness9",
+                metric="cut", seeding="random", rows=("78",), parts=(2,),
+            )
+        with pytest.raises(ExperimentError):
+            TableSpec(
+                table_id="x", title="t", fitness_kind="fitness1",
+                metric="cut", seeding="incremental", rows=("78",), parts=(2,),
+            )
+
+    def test_incremental_tables_use_plus_rows(self):
+        for tid in ("table3", "table6"):
+            for row in get_spec(tid).rows:
+                assert "+" in row
+
+    def test_paper_values_show_dknux_mostly_winning(self):
+        """Sanity on the transcribed numbers: across all tables the paper's
+        DKNUX beats-or-ties RSB on a clear majority of cells."""
+        wins = total = 0
+        for table in PAPER_TABLES.values():
+            for dknux, rsb in table.values():
+                if rsb is None:
+                    continue
+                total += 1
+                wins += dknux <= rsb
+        assert wins / total > 0.7
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def tiny_settings(self):
+        from repro.ga import GAConfig
+
+        return RunnerSettings(
+            n_runs=1,
+            ga_config=GAConfig(
+                population_size=16,
+                max_generations=10,
+                patience=5,
+                hill_climb="all",
+                hill_climb_passes=1,
+            ),
+        )
+
+    def test_run_cell_random_seeding(self, tiny_settings):
+        cell = run_cell(get_spec("table4"), "78", 4, settings=tiny_settings, seed=1)
+        assert cell.dknux > 0
+        assert cell.rsb > 0
+        assert cell.paper_dknux == 23
+        assert cell.paper_rsb == 26
+        assert cell.runtime_s > 0
+
+    def test_run_cell_ibp_seeding(self, tiny_settings):
+        cell = run_cell(get_spec("table1"), "144", 2, settings=tiny_settings, seed=2)
+        assert cell.dknux > 0
+
+    def test_run_cell_rsb_seeding_never_loses(self, tiny_settings):
+        """Seeding with RSB and keeping the best-ever individual means the
+        GA can never report a worse value than RSB itself."""
+        cell = run_cell(get_spec("table2"), "139", 4, settings=tiny_settings, seed=3)
+        assert cell.dknux <= cell.rsb
+        assert cell.ga_wins
+
+    def test_run_cell_incremental(self, tiny_settings):
+        cell = run_cell(
+            get_spec("table3"), "118+21", 2, settings=tiny_settings, seed=4
+        )
+        assert cell.dknux > 0
+        assert cell.row == "118+21"
+
+    def test_run_table_small(self, tiny_settings, monkeypatch):
+        # shrink table1 to a single row/part for speed
+        spec = TableSpec(
+            table_id="table1",
+            title="mini",
+            fitness_kind="fitness1",
+            metric="cut",
+            seeding="ibp",
+            rows=("144",),
+            parts=(2,),
+        )
+        monkeypatch.setattr(
+            "repro.experiments.runner.RunnerSettings.quick",
+            classmethod(lambda cls: tiny_settings),
+        )
+        result = run_table(spec, mode="quick", seed=5)
+        assert len(result.cells) == 1
+        assert 0.0 <= result.ga_win_fraction <= 1.0
+        assert result.cell("144", 2).n_parts == 2
+        with pytest.raises(ExperimentError):
+            result.cell("999", 2)
+
+    def test_bad_mode(self):
+        with pytest.raises(ExperimentError):
+            RunnerSettings.for_mode("huge")
+
+    def test_settings_modes(self):
+        q = RunnerSettings.for_mode("quick")
+        f = RunnerSettings.for_mode("full")
+        assert f.n_runs > q.n_runs
+        assert f.ga_config.max_generations > q.ga_config.max_generations
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.ga import GAConfig
+
+        settings = RunnerSettings(
+            n_runs=1,
+            ga_config=GAConfig(population_size=16, max_generations=5),
+        )
+        spec = get_spec("table1")
+        cells = [
+            run_cell(spec, "144", 2, settings=settings, seed=6),
+        ]
+        from repro.experiments.runner import TableResult
+
+        return TableResult(
+            spec=spec, cells=cells, mode="quick", seed=6, runtime_s=1.0
+        )
+
+    def test_format_table_contains_values(self, result):
+        text = format_table(result)
+        assert "TABLE1" in text
+        assert "paper-DKNUX" in text
+        assert "144" in text
+
+    def test_format_summary(self, result):
+        text = format_summary(result)
+        assert "%" in text
+
+    def test_format_paper_comparison(self, result):
+        text = format_paper_comparison([result])
+        assert "table1" in text

@@ -1,0 +1,104 @@
+"""Tests for boundary hill-climbing (paper Section 3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import Fitness1, Fitness2, HillClimber
+from repro.graphs import caveman_graph, grid2d, mesh_graph
+from repro.partition import random_balanced_assignment
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fitness_cls", [Fitness1, Fitness2])
+    def test_reported_fitness_is_true_fitness(self, fitness_cls, mesh60, rng):
+        fit = fitness_cls(mesh60, 4)
+        hc = HillClimber(mesh60, fit)
+        for _ in range(10):
+            a = random_balanced_assignment(60, 4, seed=rng)
+            improved, value = hc.improve(a, max_passes=3)
+            assert np.isclose(value, fit.evaluate(improved))
+
+    @pytest.mark.parametrize("fitness_cls", [Fitness1, Fitness2])
+    def test_never_worsens(self, fitness_cls, mesh60, rng):
+        fit = fitness_cls(mesh60, 4)
+        hc = HillClimber(mesh60, fit)
+        for _ in range(10):
+            a = random_balanced_assignment(60, 4, seed=rng)
+            _, value = hc.improve(a, max_passes=2)
+            assert value >= fit.evaluate(a) - 1e-9
+
+    def test_weighted_graph_deltas(self, rng):
+        """Incremental deltas must be right for non-unit weights too."""
+        g = mesh_graph(40, seed=3).with_weights(
+            node_weights=np.linspace(1, 3, 40),
+            edge_weights=None,
+        )
+        fit = Fitness1(g, 3)
+        hc = HillClimber(g, fit)
+        a = random_balanced_assignment(40, 3, seed=1)
+        improved, value = hc.improve(a, max_passes=4)
+        assert np.isclose(value, fit.evaluate(improved))
+        assert value >= fit.evaluate(a)
+
+    def test_local_optimum_is_fixed_point(self, mesh60):
+        fit = Fitness1(mesh60, 2)
+        hc = HillClimber(mesh60, fit)
+        a = random_balanced_assignment(60, 2, seed=9)
+        first, v1 = hc.improve(a, max_passes=50)
+        second, v2 = hc.improve(first, max_passes=5)
+        assert v2 == v1
+        assert np.array_equal(first, second)
+
+    def test_finds_obvious_optimum_on_caveman(self):
+        """From a mildly scrambled caveman partition, hill climbing should
+        restore the clique structure."""
+        g = caveman_graph(2, 6)
+        fit = Fitness1(g, 2)
+        hc = HillClimber(g, fit)
+        a = np.array([0] * 6 + [1] * 6)
+        a[0], a[6] = 1, 0  # swap one node each way
+        improved, _ = hc.improve(a, max_passes=5)
+        p_cut = fit.evaluate(improved)
+        ideal = np.array([0] * 6 + [1] * 6)
+        assert p_cut == fit.evaluate(ideal)
+
+
+class TestBatchAndKnobs:
+    def test_improve_batch_improves_each_row(self, mesh60, rng):
+        fit = Fitness1(mesh60, 4)
+        hc = HillClimber(mesh60, fit)
+        pop = np.vstack(
+            [random_balanced_assignment(60, 4, seed=rng) for _ in range(6)]
+        )
+        before = fit.evaluate_batch(pop)
+        out = hc.improve_batch(pop, max_passes=2)
+        after = fit.evaluate_batch(out)
+        assert np.all(after >= before - 1e-9)
+        assert out.shape == pop.shape
+
+    def test_rng_shuffles_scan_order(self, mesh60):
+        fit = Fitness1(mesh60, 4)
+        hc = HillClimber(mesh60, fit)
+        a = random_balanced_assignment(60, 4, seed=3)
+        det1, _ = hc.improve(a, max_passes=1)
+        det2, _ = hc.improve(a, max_passes=1)
+        assert np.array_equal(det1, det2)  # deterministic without rng
+
+    def test_unsupported_fitness_rejected(self, mesh60):
+        class Weird:
+            pass
+
+        with pytest.raises(ConfigError):
+            HillClimber(mesh60, Weird())
+
+    def test_fitness2_max_tracking(self, rng):
+        """Fitness2 climbs must track the max over *all* parts, not just
+        source/destination."""
+        g = grid2d(6, 6)
+        fit = Fitness2(g, 4)
+        hc = HillClimber(g, fit)
+        for seed in range(5):
+            a = random_balanced_assignment(36, 4, seed=seed)
+            improved, value = hc.improve(a, max_passes=3)
+            assert np.isclose(value, fit.evaluate(improved))

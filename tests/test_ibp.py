@@ -1,0 +1,133 @@
+"""Tests for Index-Based Partitioning (paper appendix)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ibp_partition, quantize_coords, split_sorted
+from repro.errors import ConfigError, GraphError, PartitionError
+from repro.graphs import CSRGraph, grid2d, mesh_graph
+from repro.partition import check_partition, require_all_parts_nonempty
+
+
+class TestQuantize:
+    def test_range(self):
+        pts = np.random.default_rng(0).random((50, 2)) * 100 - 50
+        q = quantize_coords(pts, bits=8)
+        assert q.min() >= 0 and q.max() <= 255
+
+    def test_extremes_hit_bounds(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        q = quantize_coords(pts, bits=4)
+        assert q[0].tolist() == [0, 0]
+        assert q[1].tolist() == [15, 15]
+
+    def test_degenerate_dimension(self):
+        pts = np.array([[0.0, 5.0], [1.0, 5.0]])
+        q = quantize_coords(pts, bits=4)
+        assert q[:, 1].tolist() == [0, 0]
+
+    def test_per_dimension_scaling(self):
+        pts = np.array([[0.0, 0.0], [100.0, 1.0]])
+        q = quantize_coords(pts, bits=4)
+        assert q[1].tolist() == [15, 15]
+
+    def test_bad_bits(self):
+        with pytest.raises(ConfigError):
+            quantize_coords(np.zeros((2, 2)), bits=0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigError):
+            quantize_coords(np.zeros(5))
+
+
+class TestSplitSorted:
+    def test_equal_counts_unit_weights(self):
+        order = np.arange(12)
+        labels = split_sorted(order, np.ones(12), 3)
+        assert np.bincount(labels).tolist() == [4, 4, 4]
+        # contiguity in sorted order
+        assert labels.tolist() == sorted(labels.tolist())
+
+    def test_weighted_boundaries(self):
+        order = np.arange(4)
+        weights = np.array([3.0, 1.0, 1.0, 3.0])
+        labels = split_sorted(order, weights, 2)
+        # total 8, target 4: first part = {0, 1} (weight 4)
+        assert labels.tolist() == [0, 0, 1, 1]
+
+    def test_respects_permutation(self):
+        order = np.array([3, 1, 0, 2])
+        labels = split_sorted(order, np.ones(4), 2)
+        assert labels[3] == 0 and labels[1] == 0
+        assert labels[0] == 1 and labels[2] == 1
+
+    def test_zero_weights_fall_back_to_counts(self):
+        labels = split_sorted(np.arange(6), np.zeros(6), 3)
+        assert np.bincount(labels, minlength=3).tolist() == [2, 2, 2]
+
+    def test_bad_parts(self):
+        with pytest.raises(PartitionError):
+            split_sorted(np.arange(3), np.ones(3), 0)
+
+
+class TestIBP:
+    @pytest.mark.parametrize("scheme", ["row_major", "shuffled", "hilbert"])
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_valid_balanced(self, mesh120, scheme, k):
+        p = ibp_partition(mesh120, k, scheme=scheme)
+        check_partition(p)
+        require_all_parts_nonempty(p)
+        assert p.part_sizes.max() - p.part_sizes.min() <= 1
+
+    def test_requires_coordinates(self):
+        g = CSRGraph(5, [0, 1], [1, 2])
+        with pytest.raises(GraphError):
+            ibp_partition(g, 2)
+
+    def test_unknown_scheme(self, mesh60):
+        with pytest.raises(ConfigError):
+            ibp_partition(mesh60, 2, scheme="zigzag")
+
+    def test_hilbert_needs_2d(self):
+        g = CSRGraph(
+            4, [0, 1, 2], [1, 2, 3], coords=np.random.default_rng(0).random((4, 3))
+        )
+        with pytest.raises(ConfigError):
+            ibp_partition(g, 2, scheme="hilbert")
+
+    def test_spatial_locality_beats_random(self, mesh120):
+        from repro.baselines import random_partition
+
+        ibp = ibp_partition(mesh120, 4, scheme="shuffled")
+        rand = random_partition(mesh120, 4, seed=0)
+        assert ibp.cut_size < 0.6 * rand.cut_size
+
+    def test_hilbert_at_least_as_good_typically(self, mesh120):
+        """Hilbert indexing preserves locality at least as well as
+        row-major on mesh workloads (a soft ablation check)."""
+        row = ibp_partition(mesh120, 8, scheme="row_major")
+        hil = ibp_partition(mesh120, 8, scheme="hilbert")
+        assert hil.cut_size <= row.cut_size * 1.3
+
+    def test_deterministic(self, mesh60):
+        a = ibp_partition(mesh60, 4)
+        b = ibp_partition(mesh60, 4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_grid_row_major_gives_stripes(self):
+        g = grid2d(8, 8)
+        p = ibp_partition(g, 4, scheme="row_major", bits=3)
+        # row-major over a grid: parts are horizontal bands, cut = 3 rows
+        assert p.cut_size == 24.0
+
+    def test_too_many_parts(self, mesh60):
+        with pytest.raises(PartitionError):
+            ibp_partition(mesh60, 61)
+
+    def test_weighted_nodes_balance_by_weight(self):
+        g = grid2d(4, 4).with_weights(
+            node_weights=np.concatenate([np.full(8, 3.0), np.ones(8)])
+        )
+        p = ibp_partition(g, 2, scheme="row_major")
+        loads = p.part_loads
+        assert abs(loads[0] - loads[1]) <= 3.0  # one node weight

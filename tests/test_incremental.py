@@ -1,0 +1,237 @@
+"""Tests for incremental graph partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import rsb_partition
+from repro.errors import GraphError, PartitionError
+from repro.ga import GAConfig
+from repro.graphs import check_graph, is_connected, mesh_graph, paper_mesh
+from repro.incremental import (
+    IncrementalGAPartitioner,
+    extend_assignment,
+    insert_local_nodes,
+    naive_incremental_partition,
+    seed_population_from_previous,
+)
+from repro.partition import check_partition
+
+
+@pytest.fixture(scope="module")
+def base_and_update():
+    g = mesh_graph(80, seed=31)
+    upd = insert_local_nodes(g, 15, seed=4)
+    return g, upd
+
+
+class TestInsertLocalNodes:
+    def test_node_count_and_ids(self, base_and_update):
+        g, upd = base_and_update
+        assert upd.graph.n_nodes == 95
+        assert upd.n_old == 80
+        assert upd.new_nodes.tolist() == list(range(80, 95))
+        assert 0 <= upd.center < 80
+        check_graph(upd.graph)
+
+    def test_old_coordinates_preserved(self, base_and_update):
+        g, upd = base_and_update
+        assert np.allclose(upd.graph.coords[:80], g.coords)
+
+    def test_new_nodes_are_local(self, base_and_update):
+        g, upd = base_and_update
+        center = g.coords[upd.center]
+        new_pts = upd.graph.coords[80:]
+        d = np.linalg.norm(new_pts - center, axis=1)
+        # all inserted points within the (generous) default radius
+        assert d.max() < 0.6
+
+    def test_still_connected(self, base_and_update):
+        _, upd = base_and_update
+        assert is_connected(upd.graph)
+
+    def test_deterministic(self):
+        g = mesh_graph(50, seed=1)
+        a = insert_local_nodes(g, 10, seed=2)
+        b = insert_local_nodes(g, 10, seed=2)
+        assert a.graph == b.graph
+        assert a.center == b.center
+
+    def test_node_weights_extended(self):
+        g = mesh_graph(30, seed=1).with_weights(node_weights=np.full(30, 2.0))
+        upd = insert_local_nodes(g, 5, seed=3)
+        assert np.all(upd.graph.node_weights[:30] == 2.0)
+        assert np.all(upd.graph.node_weights[30:] == 1.0)
+
+    def test_validation(self):
+        g = mesh_graph(30, seed=1)
+        with pytest.raises(GraphError):
+            insert_local_nodes(g, 0)
+        with pytest.raises(GraphError):
+            insert_local_nodes(g, 5, radius=-1.0)
+        from repro.graphs import CSRGraph
+
+        with pytest.raises(GraphError):
+            insert_local_nodes(CSRGraph(4, [0], [1]), 2)
+
+
+class TestExtendAssignment:
+    def test_old_labels_preserved(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 4).assignment
+        full = extend_assignment(upd.graph, old, 4, seed=5)
+        assert np.array_equal(full[:80], old)
+
+    def test_balance_maintained(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 4).assignment
+        full = extend_assignment(upd.graph, old, 4, seed=6)
+        sizes = np.bincount(full, minlength=4)
+        old_spread = np.ptp(np.bincount(old, minlength=4))
+        assert sizes.max() - sizes.min() <= old_spread + 1
+
+    def test_validation(self, base_and_update):
+        g, upd = base_and_update
+        with pytest.raises(PartitionError):
+            extend_assignment(upd.graph, np.zeros(200, dtype=np.int64), 4)
+        with pytest.raises(PartitionError):
+            extend_assignment(upd.graph, np.full(80, 9, dtype=np.int64), 4)
+
+
+class TestSeedPopulation:
+    def test_shape_and_rows(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 4).assignment
+        pop = seed_population_from_previous(upd.graph, old, 4, 10, seed=7)
+        assert pop.shape == (10, 95)
+        # row 0 is a faithful extension
+        assert np.array_equal(pop[0, :80], old)
+
+    def test_rows_differ_in_new_region(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 4).assignment
+        pop = seed_population_from_previous(
+            upd.graph, old, 4, 8, seed=8, perturb_rate=0.0
+        )
+        tails = {tuple(row[80:]) for row in pop}
+        assert len(tails) > 1
+
+    def test_zero_perturb_keeps_all_old_genes(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 4).assignment
+        pop = seed_population_from_previous(
+            upd.graph, old, 4, 6, seed=9, perturb_rate=0.0
+        )
+        for row in pop:
+            assert np.array_equal(row[:80], old)
+
+    def test_validation(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 4).assignment
+        with pytest.raises(PartitionError):
+            seed_population_from_previous(upd.graph, old, 4, 0)
+        with pytest.raises(PartitionError):
+            seed_population_from_previous(upd.graph, old, 4, 5, perturb_rate=3.0)
+
+
+class TestNaiveBaseline:
+    def test_old_labels_untouched(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 4).assignment
+        p = naive_incremental_partition(upd.graph, old, 4)
+        assert np.array_equal(p.assignment[:80], old)
+        check_partition(p)
+
+    def test_majority_rule(self):
+        """A new node whose labelled neighbors are all in part q joins q."""
+        g = mesh_graph(40, seed=2)
+        upd = insert_local_nodes(g, 1, seed=3)
+        old = np.zeros(40, dtype=np.int64)  # everything in part 0
+        p = naive_incremental_partition(upd.graph, old, 2)
+        assert p.assignment[40] == 0
+
+    def test_processes_most_connected_first(self, base_and_update):
+        g, upd = base_and_update
+        old = rsb_partition(g, 2).assignment
+        p = naive_incremental_partition(upd.graph, old, 2)
+        # every new node ends with a label
+        assert p.assignment.min() >= 0
+
+    def test_validation(self, base_and_update):
+        _, upd = base_and_update
+        with pytest.raises(PartitionError):
+            naive_incremental_partition(
+                upd.graph, np.zeros(200, dtype=np.int64), 4
+            )
+        with pytest.raises(PartitionError):
+            naive_incremental_partition(
+                upd.graph, np.full(80, -1, dtype=np.int64), 4
+            )
+
+
+class TestIncrementalGAPartitioner:
+    @pytest.fixture
+    def quick_config(self):
+        return GAConfig(
+            population_size=24,
+            max_generations=25,
+            patience=8,
+            hill_climb="all",
+            hill_climb_passes=1,
+        )
+
+    def test_full_cycle(self, quick_config):
+        g = mesh_graph(60, seed=41)
+        part = IncrementalGAPartitioner(g, 4, config=quick_config, seed=1)
+        p0 = part.partition_initial()
+        check_partition(p0)
+        upd = insert_local_nodes(g, 12, seed=5)
+        p1 = part.update(upd.graph)
+        check_partition(p1)
+        assert part.n_updates == 1
+        assert part.graph is upd.graph
+
+    def test_update_without_initial_partitions_from_scratch(self, quick_config):
+        g = mesh_graph(60, seed=42)
+        part = IncrementalGAPartitioner(g, 2, config=quick_config, seed=2)
+        p = part.update(g)  # no partition yet -> behaves like initial
+        check_partition(p)
+
+    def test_initial_assignment_seed(self, quick_config):
+        g = mesh_graph(60, seed=43)
+        rsb = rsb_partition(g, 4)
+        part = IncrementalGAPartitioner(
+            g, 4, config=quick_config, seed=3, initial_assignment=rsb.assignment
+        )
+        p = part.partition_initial()
+        # refinement never loses to the seed
+        from repro.ga import Fitness1
+
+        fit = Fitness1(g, 4)
+        assert fit.evaluate(p.assignment) >= fit.evaluate(rsb.assignment)
+
+    def test_shrinking_graph_rejected(self, quick_config):
+        g = mesh_graph(60, seed=44)
+        part = IncrementalGAPartitioner(g, 2, config=quick_config, seed=4)
+        part.partition_initial()
+        smaller = mesh_graph(50, seed=45)
+        with pytest.raises(PartitionError):
+            part.update(smaller)
+
+    def test_incremental_beats_naive_on_balance(self, quick_config):
+        """The paper's Section 5 claim: the naive assign-to-majority rule
+        cannot match GA incremental results (it sacrifices balance)."""
+        base = paper_mesh(78)
+        part = IncrementalGAPartitioner(base, 4, config=quick_config, seed=6)
+        p0 = part.partition_initial()
+        upd = insert_local_nodes(base, 20, seed=7)
+        ga = part.update(upd.graph)
+        naive = naive_incremental_partition(upd.graph, p0.assignment, 4)
+        from repro.ga import Fitness1
+
+        fit = Fitness1(upd.graph, 4)
+        assert fit.evaluate(ga.assignment) > fit.evaluate(naive.assignment)
+
+    def test_repr(self, quick_config):
+        g = mesh_graph(60, seed=46)
+        part = IncrementalGAPartitioner(g, 2, config=quick_config)
+        assert "unpartitioned" in repr(part)

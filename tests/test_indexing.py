@@ -1,0 +1,202 @@
+"""Tests for the indexing schemes, including the paper's exact examples."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.indexing import (
+    deinterleave_bits,
+    hilbert_index,
+    hilbert_indices,
+    hilbert_matrix,
+    interleave_arrays,
+    interleave_bits,
+    row_major_index,
+    row_major_indices,
+    row_major_matrix,
+    shuffled_row_major_index,
+    shuffled_row_major_indices,
+    shuffled_row_major_matrix,
+)
+
+#: Figure 1(a) of the paper: row-major indexing of an 8x8 image.
+FIGURE_1A = np.arange(64).reshape(8, 8)
+
+#: Figure 1(b) of the paper: shuffled row-major indexing of an 8x8 image.
+FIGURE_1B = np.array(
+    [
+        [0, 1, 4, 5, 16, 17, 20, 21],
+        [2, 3, 6, 7, 18, 19, 22, 23],
+        [8, 9, 12, 13, 24, 25, 28, 29],
+        [10, 11, 14, 15, 26, 27, 30, 31],
+        [32, 33, 36, 37, 48, 49, 52, 53],
+        [34, 35, 38, 39, 50, 51, 54, 55],
+        [40, 41, 44, 45, 56, 57, 60, 61],
+        [42, 43, 46, 47, 58, 59, 62, 63],
+    ]
+)
+
+
+class TestPaperExamples:
+    def test_appendix_equal_width_example(self):
+        """index1=001, index2=010, index3=110 -> 001011100."""
+        assert interleave_bits([0b001, 0b010, 0b110], [3, 3, 3]) == 0b001011100
+
+    def test_appendix_unequal_width_example(self):
+        """index1=101, index2=01, index3=0 -> 100110."""
+        assert interleave_bits([0b101, 0b01, 0b0], [3, 2, 1]) == 0b100110
+
+    def test_figure_1a_exact(self):
+        assert np.array_equal(row_major_matrix(8, 8), FIGURE_1A)
+
+    def test_figure_1b_exact(self):
+        assert np.array_equal(shuffled_row_major_matrix(8, 8), FIGURE_1B)
+
+
+class TestInterleave:
+    def test_roundtrip(self):
+        widths = [4, 3, 5]
+        for values in [(3, 2, 17), (15, 7, 31), (0, 0, 0)]:
+            idx = interleave_bits(list(values), widths)
+            assert deinterleave_bits(idx, widths) == values
+
+    def test_bijective_over_small_domain(self):
+        widths = [2, 3]
+        seen = set()
+        for a in range(4):
+            for b in range(8):
+                seen.add(interleave_bits([a, b], widths))
+        assert seen == set(range(32))
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave_bits([4], [2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave_bits([-1], [3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave_bits([1, 2], [3])
+
+    def test_deinterleave_excess_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            deinterleave_bits(1 << 10, [2, 2])
+
+    def test_array_matches_scalar(self, rng):
+        widths = [5, 5]
+        coords = rng.integers(0, 32, size=(50, 2))
+        vec = interleave_arrays(coords, widths)
+        for i in range(50):
+            assert vec[i] == interleave_bits(list(coords[i]), widths)
+
+    def test_array_validation(self):
+        with pytest.raises(ConfigError):
+            interleave_arrays(np.zeros((3, 2)), [2, 2])  # float dtype
+        with pytest.raises(ConfigError):
+            interleave_arrays(np.zeros((3, 2), dtype=np.int64), [40, 40])
+
+
+class TestRowMajor:
+    def test_scalar_2d(self):
+        assert row_major_index([2, 3], (8, 8)) == 19
+
+    def test_scalar_3d(self):
+        assert row_major_index([1, 2, 3], (4, 5, 6)) == 1 * 30 + 2 * 6 + 3
+
+    def test_vectorized(self, rng):
+        coords = rng.integers(0, 8, size=(30, 2))
+        vec = row_major_indices(coords, (8, 8))
+        for i in range(30):
+            assert vec[i] == row_major_index(list(coords[i]), (8, 8))
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            row_major_index([9, 0], (8, 8))
+        with pytest.raises(ConfigError):
+            row_major_indices(np.array([[0, 8]]), (8, 8))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ConfigError):
+            row_major_index([1], (4, 4))
+
+
+class TestShuffled:
+    def test_matrix_is_bijection(self):
+        m = shuffled_row_major_matrix(8, 8)
+        assert sorted(m.ravel().tolist()) == list(range(64))
+
+    def test_scalar_matches_matrix(self):
+        m = shuffled_row_major_matrix(8, 8)
+        assert shuffled_row_major_index([3, 5], (8, 8)) == m[3, 5]
+
+    def test_rectangular_unequal_bits(self):
+        """Paper's generalized unequal-width interleave on a 4x16 grid."""
+        m = shuffled_row_major_matrix(4, 16)
+        assert sorted(m.ravel().tolist()) == list(range(64))
+
+    def test_locality_preservation(self):
+        """Adjacent cells mostly map to nearby indices — the property IBP
+        needs. Compare average index distance of grid-neighbors against
+        random pairs."""
+        m = shuffled_row_major_matrix(16, 16).astype(float)
+        horiz = np.abs(np.diff(m, axis=1)).mean()
+        rng = np.random.default_rng(0)
+        rand_pairs = np.abs(
+            m.ravel()[rng.integers(0, 256, 500)]
+            - m.ravel()[rng.integers(0, 256, 500)]
+        ).mean()
+        assert horiz < rand_pairs / 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            shuffled_row_major_index([8, 0], (8, 8))
+
+    def test_vectorized_matches_scalar(self, rng):
+        coords = rng.integers(0, 8, size=(40, 2))
+        vec = shuffled_row_major_indices(coords, (8, 8))
+        for i in range(40):
+            assert vec[i] == shuffled_row_major_index(list(coords[i]), (8, 8))
+
+
+class TestHilbert:
+    def test_order1(self):
+        # canonical order-1 Hilbert curve: (0,0)=0 (0,1)=1 (1,1)=2 (1,0)=3
+        assert hilbert_index(0, 0, 1) == 0
+        assert hilbert_index(0, 1, 1) == 1
+        assert hilbert_index(1, 1, 1) == 2
+        assert hilbert_index(1, 0, 1) == 3
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_bijection(self, order):
+        m = hilbert_matrix(order)
+        side = 1 << order
+        assert sorted(m.ravel().tolist()) == list(range(side * side))
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_continuity(self, order):
+        """Consecutive Hilbert indices are grid-adjacent — the defining
+        property of the curve."""
+        side = 1 << order
+        m = hilbert_matrix(order)
+        pos = np.empty((side * side, 2), dtype=np.int64)
+        for y in range(side):
+            for x in range(side):
+                pos[m[y, x]] = (x, y)
+        steps = np.abs(np.diff(pos, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_vector_scalar_agree(self, rng):
+        coords = rng.integers(0, 16, size=(30, 2))
+        vec = hilbert_indices(coords, 4)
+        for i in range(30):
+            assert vec[i] == hilbert_index(*coords[i], 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            hilbert_indices(np.array([[0, 0]]), 0)
+        with pytest.raises(ConfigError):
+            hilbert_indices(np.array([[99, 0]]), 2)
+        with pytest.raises(ConfigError):
+            hilbert_indices(np.zeros((2, 3), dtype=np.int64), 2)

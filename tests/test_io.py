@@ -1,0 +1,156 @@
+"""Tests for graph serialization (METIS, edge list, JSON)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    CSRGraph,
+    grid2d,
+    mesh_graph,
+    read_edge_list,
+    read_json,
+    read_metis,
+    write_edge_list,
+    write_json,
+    write_metis,
+)
+
+
+class TestMetis:
+    def test_roundtrip_unweighted(self, tmp_path, grid4x4):
+        path = tmp_path / "g.graph"
+        write_metis(grid4x4, path)
+        g = read_metis(path)
+        assert g.n_nodes == grid4x4.n_nodes
+        assert g.n_edges == grid4x4.n_edges
+        assert np.array_equal(g.edges_u, grid4x4.edges_u)
+        assert np.array_equal(g.edges_v, grid4x4.edges_v)
+
+    def test_roundtrip_node_weights(self, tmp_path):
+        g = CSRGraph(3, [0, 1], [1, 2], node_weights=[1, 2, 3])
+        path = tmp_path / "nw.graph"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back.node_weights.tolist() == [1.0, 2.0, 3.0]
+
+    def test_roundtrip_edge_weights(self, tmp_path):
+        g = CSRGraph(3, [0, 1], [1, 2], edge_weights=[5, 7])
+        path = tmp_path / "ew.graph"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back.edge_weights.tolist() == [5.0, 7.0]
+
+    def test_roundtrip_both_weights(self, tmp_path):
+        g = CSRGraph(
+            3, [0, 1], [1, 2], edge_weights=[5, 7], node_weights=[2, 2, 4]
+        )
+        path = tmp_path / "b.graph"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back == g.with_coords(np.zeros((3, 1))) or (
+            back.edge_weights.tolist() == [5.0, 7.0]
+            and back.node_weights.tolist() == [2.0, 2.0, 4.0]
+        )
+
+    def test_header_flag_absent_when_unit(self, tmp_path, path6):
+        path = tmp_path / "u.graph"
+        write_metis(path6, path)
+        header = path.read_text().splitlines()[0].split()
+        assert len(header) == 2
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.graph"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        g = read_metis(path)
+        assert g.n_edges == 1
+
+    def test_float_weights_rejected_on_write(self, tmp_path):
+        g = CSRGraph(2, [0], [1], edge_weights=[1.5])
+        with pytest.raises(GraphFormatError):
+            write_metis(g, tmp_path / "f.graph")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.graph"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_wrong_line_count_rejected(self, tmp_path):
+        path = tmp_path / "w.graph"
+        path.write_text("3 1\n2\n1\n")  # header says 3 nodes, only 2 lines
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_wrong_edge_count_rejected(self, tmp_path):
+        path = tmp_path / "m.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="declares 5 edges"):
+            read_metis(path)
+
+    def test_neighbor_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "o.graph"
+        path.write_text("2 1\n9\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_mesh_roundtrip(self, tmp_path, mesh60):
+        path = tmp_path / "mesh.graph"
+        write_metis(mesh60, path)
+        back = read_metis(path)
+        assert back.n_edges == mesh60.n_edges
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, weighted_triangle):
+        path = tmp_path / "g.edges"
+        write_edge_list(weighted_triangle, path)
+        g = read_edge_list(path)
+        assert g.n_nodes == 3
+        assert g.edge_weights.tolist() == [1.0, 4.0, 2.0] or sorted(
+            g.edge_weights.tolist()
+        ) == [1.0, 2.0, 4.0]
+
+    def test_isolated_node_preserved_via_header(self, tmp_path):
+        g = CSRGraph(4, [0], [1])  # nodes 2, 3 isolated
+        path = tmp_path / "iso.edges"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.n_nodes == 4
+
+    def test_headerless_infers_nodes(self, tmp_path):
+        path = tmp_path / "h.edges"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.n_nodes == 3
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestJson:
+    def test_roundtrip_with_coords(self, tmp_path, grid4x4):
+        path = tmp_path / "g.json"
+        write_json(grid4x4, path)
+        g = read_json(path)
+        assert g == grid4x4
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_triangle):
+        path = tmp_path / "w.json"
+        write_json(weighted_triangle, path)
+        assert read_json(path) == weighted_triangle
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            read_json(path)
+
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "mk.json"
+        path.write_text('{"n_nodes": 2}')
+        with pytest.raises(GraphFormatError):
+            read_json(path)

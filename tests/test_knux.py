@@ -1,0 +1,137 @@
+"""Tests for KNUX — the paper's knowledge-based crossover."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import KNUX, knux_bias, neighbor_part_counts
+from repro.graphs import CSRGraph, grid2d, path_graph
+
+
+class TestNeighborPartCounts:
+    def test_path_counts(self, path6):
+        # estimate: 000111
+        est = np.array([0, 0, 0, 1, 1, 1])
+        counts = neighbor_part_counts(path6, est, 2)
+        # node 0: one neighbor (1) in part 0
+        assert counts[0].tolist() == [1.0, 0.0]
+        # node 3: neighbors 2 (part 0) and 4 (part 1)
+        assert counts[3].tolist() == [1.0, 1.0]
+
+    def test_row_sums_equal_degree(self, mesh60, rng):
+        est = rng.integers(0, 4, 60)
+        counts = neighbor_part_counts(mesh60, est, 4)
+        assert np.allclose(counts.sum(axis=1), mesh60.degree())
+
+    def test_weighted_counts(self, weighted_triangle):
+        est = np.array([0, 1, 1])
+        counts = neighbor_part_counts(weighted_triangle, est, 2)
+        # node 0 has neighbor 1 (w=1, part 1) and neighbor 2 (w=4, part 1)
+        assert counts[0].tolist() == [0.0, 5.0]
+
+    def test_bad_estimate_length(self, path6):
+        with pytest.raises(ConfigError):
+            neighbor_part_counts(path6, np.zeros(5, dtype=np.int64), 2)
+
+    def test_bad_estimate_labels(self, path6):
+        with pytest.raises(ConfigError):
+            neighbor_part_counts(path6, np.full(6, 7, dtype=np.int64), 2)
+
+
+class TestBias:
+    def test_paper_formula(self, path6):
+        """p_i = #(i,a,I) / (#(i,a,I) + #(i,b,I)), 0.5 on 0/0."""
+        est = np.array([0, 0, 0, 1, 1, 1])
+        counts = neighbor_part_counts(path6, est, 2)
+        a = np.array([[0, 0, 0, 0, 0, 0]])
+        b = np.array([[1, 1, 1, 1, 1, 1]])
+        p = knux_bias(counts, a, b)
+        # node 0: #(0,a)=counts[0,0]=1, #(0,b)=counts[0,1]=0 -> p=1
+        assert p[0, 0] == 1.0
+        # node 3: counts[3] = [1,1]; a_3=0, b_3=1 -> p=0.5
+        assert p[0, 3] == 0.5
+        # node 5: neighbor 4 in part 1 -> #(5,a=0)=0, #(5,b=1)=1 -> p=0
+        assert p[0, 5] == 0.0
+
+    def test_zero_zero_case(self):
+        """Isolated node: both counts 0 -> p = 0.5 exactly."""
+        g = CSRGraph(3, [0], [1])  # node 2 isolated
+        est = np.array([0, 0, 1])
+        counts = neighbor_part_counts(g, est, 2)
+        p = knux_bias(counts, np.array([[0, 0, 0]]), np.array([[1, 1, 1]]))
+        assert p[0, 2] == 0.5
+
+    def test_bias_in_unit_interval(self, mesh60, rng):
+        est = rng.integers(0, 4, 60)
+        counts = neighbor_part_counts(mesh60, est, 4)
+        a = rng.integers(0, 4, size=(20, 60))
+        b = rng.integers(0, 4, size=(20, 60))
+        p = knux_bias(counts, a, b)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+
+class TestKNUXOperator:
+    def test_agreement_inherited(self, mesh60, rng):
+        est = rng.integers(0, 4, 60)
+        op = KNUX(mesh60, est, 4)
+        a = rng.integers(0, 4, size=(10, 60))
+        b = a.copy()
+        b[:, ::2] = (b[:, ::2] + 1) % 4  # disagree on even genes
+        c1, c2 = op.cross(a, b, rng)
+        assert np.array_equal(c1[:, 1::2], a[:, 1::2])
+        assert np.array_equal(c2[:, 1::2], a[:, 1::2])
+
+    def test_children_from_parents(self, mesh60, rng):
+        est = rng.integers(0, 4, 60)
+        op = KNUX(mesh60, est, 4)
+        a = rng.integers(0, 4, size=(10, 60))
+        b = rng.integers(0, 4, size=(10, 60))
+        c1, c2 = op.cross(a, b, rng)
+        assert np.all((c1 == a) | (c1 == b))
+        assert np.all((c2 == a) | (c2 == b))
+
+    def test_deterministic_bias_pull(self, rng):
+        """With estimate = parent a's perfect partition, every bias where
+        a's label matches the estimate's local majority is 1, so children
+        equal parent a wherever a agrees with the estimate structure."""
+        g = grid2d(4, 4)
+        est = (np.arange(16) // 8).astype(np.int64)  # top half / bottom half
+        op = KNUX(g, est, 2)
+        a = np.tile(est, (20, 1))
+        b = 1 - a  # complete disagreement
+        c1, _ = op.cross(a, b, rng)
+        # interior nodes have all neighbors agreeing with est -> bias 1
+        # (boundary rows have mixed neighborhoods, so allow those to vary)
+        interior = [0, 1, 2, 3, 12, 13, 14, 15]
+        assert np.array_equal(c1[:, interior], a[:, interior])
+
+    def test_estimate_property_copies(self, mesh60, rng):
+        est = rng.integers(0, 4, 60)
+        op = KNUX(mesh60, est, 4)
+        got = op.estimate
+        got[0] = 99
+        assert op.estimate[0] != 99
+
+    def test_set_estimate_rebuilds_table(self, path6, rng):
+        op = KNUX(path6, np.array([0, 0, 0, 1, 1, 1]), 2)
+        before = op.bias(
+            np.array([[0, 0, 0, 0, 0, 0]]), np.array([[1, 1, 1, 1, 1, 1]])
+        ).copy()
+        op.set_estimate(np.array([1, 1, 1, 0, 0, 0]))
+        after = op.bias(
+            np.array([[0, 0, 0, 0, 0, 0]]), np.array([[1, 1, 1, 1, 1, 1]])
+        )
+        assert not np.array_equal(before, after)
+
+    def test_uniform_special_case(self, rng):
+        """On an edgeless graph every bias is 0.5 — KNUX degenerates to UX."""
+        g = CSRGraph(40, [], [])
+        op = KNUX(g, np.zeros(40, dtype=np.int64), 2)
+        a = np.zeros((300, 40), dtype=np.int64)
+        b = np.ones((300, 40), dtype=np.int64)
+        c1, _ = op.cross(a, b, rng)
+        assert 0.45 < c1.mean() < 0.55
+
+    def test_repr(self, mesh60):
+        op = KNUX(mesh60, np.zeros(60, dtype=np.int64), 4)
+        assert "KNUX" in repr(op)

@@ -1,0 +1,156 @@
+"""Tests for partition metrics — the paper's Section 2 quantities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graphs import CSRGraph, cycle_graph, grid2d, path_graph
+from repro.partition import (
+    balance_ratio,
+    batch_cut_size,
+    batch_load_imbalance,
+    batch_max_part_cut,
+    batch_part_cuts,
+    batch_part_loads,
+    boundary_nodes,
+    cut_edges_mask,
+    cut_size,
+    load_imbalance,
+    max_part_cut,
+    part_cuts,
+    part_loads,
+)
+
+
+@pytest.fixture
+def path8_half():
+    """Path of 8 nodes cut exactly in the middle."""
+    g = path_graph(8)
+    a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    return g, a
+
+
+class TestScalarMetrics:
+    def test_cut_size_path(self, path8_half):
+        g, a = path8_half
+        assert cut_size(g, a) == 1.0
+
+    def test_cut_size_alternating(self):
+        g = path_graph(6)
+        a = np.array([0, 1, 0, 1, 0, 1])
+        assert cut_size(g, a) == 5.0
+
+    def test_cut_size_single_part(self, grid4x4):
+        assert cut_size(grid4x4, np.zeros(16, dtype=np.int64)) == 0.0
+
+    def test_part_cuts_sum_equals_twice_cut(self, mesh60, rng):
+        a = rng.integers(0, 4, size=60)
+        cuts = part_cuts(mesh60, a, 4)
+        assert np.isclose(cuts.sum(), 2 * cut_size(mesh60, a))
+
+    def test_part_cuts_path(self, path8_half):
+        g, a = path8_half
+        assert part_cuts(g, a, 2).tolist() == [1.0, 1.0]
+
+    def test_max_part_cut(self):
+        # star: center in part 0, leaves split between 1 and 2
+        g = CSRGraph(5, [0, 0, 0, 0], [1, 2, 3, 4])
+        a = np.array([0, 1, 1, 2, 2])
+        cuts = part_cuts(g, a, 3)
+        assert cuts.tolist() == [4.0, 2.0, 2.0]
+        assert max_part_cut(g, a, 3) == 4.0
+
+    def test_weighted_cut(self, weighted_triangle):
+        a = np.array([0, 0, 1])
+        # edges (1,2) w=2 and (0,2) w=4 are cut
+        assert cut_size(weighted_triangle, a) == 6.0
+
+    def test_part_loads_weighted(self, weighted_triangle):
+        loads = part_loads(weighted_triangle, np.array([0, 1, 1]), 2)
+        assert loads.tolist() == [1.0, 5.0]
+
+    def test_load_imbalance_balanced_is_zero(self, path8_half):
+        g, a = path8_half
+        assert load_imbalance(g, a, 2) == 0.0
+
+    def test_load_imbalance_quadratic(self):
+        g = path_graph(4)
+        a = np.array([0, 0, 0, 1])  # loads 3, 1; avg 2 -> (1)^2 + (1)^2
+        assert load_imbalance(g, a, 2) == 2.0
+
+    def test_balance_ratio(self):
+        g = path_graph(4)
+        a = np.array([0, 0, 0, 1])
+        assert balance_ratio(g, a, 2) == 1.5
+
+    def test_boundary_nodes_path(self, path8_half):
+        g, a = path8_half
+        assert boundary_nodes(g, a).tolist() == [3, 4]
+
+    def test_boundary_nodes_uncut(self, grid4x4):
+        assert boundary_nodes(grid4x4, np.zeros(16, dtype=np.int64)).size == 0
+
+    def test_empty_part_allowed(self, path6):
+        a = np.zeros(6, dtype=np.int64)
+        cuts = part_cuts(path6, a, 3)
+        assert cuts.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self, path6):
+        with pytest.raises(PartitionError):
+            cut_size(path6, np.zeros(5, dtype=np.int64))
+        with pytest.raises(PartitionError):
+            part_loads(path6, np.zeros(7, dtype=np.int64), 2)
+
+    def test_float_assignment_rejected(self, path6):
+        with pytest.raises(PartitionError):
+            part_cuts(path6, np.zeros(6), 2)
+
+    def test_label_out_of_range_rejected(self, path6):
+        with pytest.raises(PartitionError):
+            part_loads(path6, np.full(6, 3, dtype=np.int64), 2)
+        with pytest.raises(PartitionError):
+            part_loads(path6, np.full(6, -1, dtype=np.int64), 2)
+
+
+class TestBatchMetrics:
+    def test_batch_matches_scalar(self, mesh60, rng):
+        pop = rng.integers(0, 4, size=(10, 60))
+        cuts = batch_cut_size(mesh60, pop)
+        imb = batch_load_imbalance(mesh60, pop, 4)
+        pcuts = batch_part_cuts(mesh60, pop, 4)
+        mx = batch_max_part_cut(mesh60, pop, 4)
+        for r in range(10):
+            assert np.isclose(cuts[r], cut_size(mesh60, pop[r]))
+            assert np.isclose(imb[r], load_imbalance(mesh60, pop[r], 4))
+            assert np.allclose(pcuts[r], part_cuts(mesh60, pop[r], 4))
+            assert np.isclose(mx[r], max_part_cut(mesh60, pop[r], 4))
+
+    def test_batch_loads(self, weighted_triangle):
+        pop = np.array([[0, 1, 1], [0, 0, 0]])
+        loads = batch_part_loads(weighted_triangle, pop, 2)
+        assert loads[0].tolist() == [1.0, 5.0]
+        assert loads[1].tolist() == [6.0, 0.0]
+
+    def test_batch_edgeless_graph(self):
+        g = CSRGraph(4, [], [])
+        pop = np.zeros((3, 4), dtype=np.int64)
+        assert batch_cut_size(g, pop).tolist() == [0.0, 0.0, 0.0]
+        assert batch_max_part_cut(g, pop, 2).tolist() == [0.0, 0.0, 0.0]
+
+    def test_batch_shape_validation(self, path6):
+        with pytest.raises(PartitionError):
+            batch_cut_size(path6, np.zeros((2, 5), dtype=np.int64))
+        with pytest.raises(PartitionError):
+            batch_part_loads(path6, np.zeros(6, dtype=np.int64), 2)
+
+    def test_batch_label_validation(self, path6):
+        with pytest.raises(PartitionError):
+            batch_part_cuts(path6, np.full((2, 6), 9, dtype=np.int64), 4)
+
+    def test_single_row_batch(self, grid4x4):
+        a = np.arange(16, dtype=np.int64) % 4
+        batch = batch_cut_size(grid4x4, a[None, :])
+        assert batch.shape == (1,)
+        assert np.isclose(batch[0], cut_size(grid4x4, a))

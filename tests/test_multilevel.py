@@ -1,0 +1,168 @@
+"""Tests for graph contraction and the multilevel GA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import GAConfig
+from repro.graphs import CSRGraph, grid2d, mesh_graph
+from repro.multilevel import (
+    coarsen,
+    coarsen_to,
+    heavy_edge_matching,
+    multilevel_ga_partition,
+    uncoarsen,
+)
+from repro.partition import check_partition, require_all_parts_nonempty
+
+
+class TestMatching:
+    def test_symmetric_involution(self, mesh120):
+        match = heavy_edge_matching(mesh120, seed=1)
+        assert np.array_equal(match[match], np.arange(120))
+
+    def test_matched_pairs_are_edges(self, mesh120):
+        match = heavy_edge_matching(mesh120, seed=2)
+        for u in range(120):
+            v = match[u]
+            if v != u:
+                assert mesh120.has_edge(u, int(v))
+
+    def test_prefers_heavy_edges(self):
+        # triangle with one heavy edge: the heavy edge must be matched
+        g = CSRGraph(3, [0, 1, 0], [1, 2, 2], edge_weights=[1.0, 10.0, 1.0])
+        match = heavy_edge_matching(g, seed=3)
+        assert match[1] == 2 and match[2] == 1
+
+    def test_edgeless_graph(self):
+        g = CSRGraph(5, [], [])
+        match = heavy_edge_matching(g, seed=4)
+        assert np.array_equal(match, np.arange(5))
+
+    def test_matches_most_of_a_mesh(self, mesh120):
+        match = heavy_edge_matching(mesh120, seed=5)
+        unmatched = (match == np.arange(120)).sum()
+        assert unmatched < 24  # >80% matched on a bounded-degree mesh
+
+
+class TestCoarsen:
+    def test_node_weight_conserved(self, mesh120):
+        level = coarsen(mesh120, seed=1)
+        assert np.isclose(
+            level.coarse.total_node_weight(), mesh120.total_node_weight()
+        )
+
+    def test_size_roughly_halves(self, mesh120):
+        level = coarsen(mesh120, seed=2)
+        assert 0.4 * 120 <= level.coarse.n_nodes <= 0.65 * 120
+
+    def test_projection_shape(self, mesh120):
+        level = coarsen(mesh120, seed=3)
+        ca = np.zeros(level.coarse.n_nodes, dtype=np.int64)
+        fa = level.project_up(ca)
+        assert fa.shape == (120,)
+
+    def test_cut_preserved_under_projection(self, mesh120):
+        """A coarse partition's cut equals the projected fine cut: edges
+        inside merged pairs can never be cut."""
+        from repro.partition import cut_size
+
+        level = coarsen(mesh120, seed=4)
+        rng = np.random.default_rng(0)
+        ca = rng.integers(0, 3, level.coarse.n_nodes)
+        coarse_cut = cut_size(level.coarse, ca)
+        fine_cut = cut_size(mesh120, level.project_up(ca))
+        assert np.isclose(coarse_cut, fine_cut)
+
+    def test_coords_averaged(self, mesh120):
+        level = coarsen(mesh120, seed=5)
+        assert level.coarse.coords is not None
+        assert level.coarse.coords.shape == (level.coarse.n_nodes, 2)
+        # averaged coords stay in the unit square
+        assert level.coarse.coords.min() >= 0.0
+        assert level.coarse.coords.max() <= 1.0
+
+    def test_coarsen_to_target(self):
+        g = mesh_graph(400, seed=6, candidates=5)
+        levels = coarsen_to(g, 100, seed=7)
+        assert levels
+        assert levels[-1].coarse.n_nodes <= 100
+        # hierarchy chains correctly
+        for a, b in zip(levels, levels[1:]):
+            assert b.fine is a.coarse
+
+    def test_coarsen_to_noop_when_small(self, mesh60):
+        assert coarsen_to(mesh60, 100, seed=1) == []
+
+
+class TestUncoarsen:
+    def test_refinement_never_worse(self):
+        from repro.ga import Fitness1
+
+        g = mesh_graph(200, seed=8, candidates=5)
+        levels = coarsen_to(g, 60, seed=9)
+        coarsest = levels[-1].coarse
+        rng = np.random.default_rng(1)
+        ca = rng.integers(0, 4, coarsest.n_nodes)
+        fine = uncoarsen(levels, ca, 4, seed=2)
+        fit = Fitness1(g, 4)
+        # compare against pure projection without refinement
+        proj = ca
+        for level in reversed(levels):
+            proj = level.project_up(proj)
+        assert fit.evaluate(fine) >= fit.evaluate(proj)
+
+    def test_empty_hierarchy_identity_plus_refine(self, mesh60):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 2, 60)
+        out = uncoarsen([], a, 2)
+        assert np.array_equal(out, a)
+
+
+class TestMultilevelGA:
+    def test_partition_validity(self):
+        g = mesh_graph(500, seed=10, candidates=5)
+        p = multilevel_ga_partition(
+            g,
+            4,
+            coarse_nodes=120,
+            config=GAConfig(
+                population_size=24, max_generations=20, patience=8,
+                hill_climb="all",
+            ),
+            seed=11,
+        )
+        check_partition(p)
+        require_all_parts_nonempty(p)
+        assert p.balance_ratio < 1.3
+
+    def test_beats_random_clearly(self):
+        from repro.baselines import random_partition
+
+        g = mesh_graph(400, seed=12, candidates=5)
+        p = multilevel_ga_partition(
+            g,
+            4,
+            coarse_nodes=100,
+            config=GAConfig(population_size=24, max_generations=15, patience=6,
+                            hill_climb="all"),
+            seed=13,
+        )
+        r = random_partition(g, 4, seed=0)
+        assert p.cut_size < 0.5 * r.cut_size
+
+    def test_small_graph_skips_coarsening(self, mesh60):
+        p = multilevel_ga_partition(
+            g := mesh60,
+            2,
+            coarse_nodes=100,
+            config=GAConfig(population_size=16, max_generations=10),
+            seed=14,
+        )
+        check_partition(p)
+
+    def test_validation(self, mesh60):
+        with pytest.raises(ConfigError):
+            multilevel_ga_partition(mesh60, 0)
+        with pytest.raises(ConfigError):
+            multilevel_ga_partition(mesh60, 4, coarse_nodes=4)

@@ -1,0 +1,109 @@
+"""Tests for mutation operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import BoundaryMutation, PointMutation
+from repro.graphs import CSRGraph, grid2d, path_graph
+
+
+class TestPointMutation:
+    def test_rate_zero_identity(self, rng):
+        op = PointMutation(4)
+        x = rng.integers(0, 4, (10, 20))
+        out = op.mutate(x, 0.0, rng)
+        assert np.array_equal(out, x)
+        assert out is not x  # copy, not alias
+
+    def test_rate_one_all_random(self, rng):
+        op = PointMutation(4)
+        x = np.zeros((50, 50), dtype=np.int64)
+        out = op.mutate(x, 1.0, rng)
+        # all labels valid; roughly uniform over parts
+        assert out.min() >= 0 and out.max() < 4
+        frac_zero = (out == 0).mean()
+        assert 0.15 < frac_zero < 0.35
+
+    def test_expected_mutation_count(self, rng):
+        op = PointMutation(8)
+        x = np.zeros((100, 100), dtype=np.int64)
+        out = op.mutate(x, 0.01, rng)
+        changed = (out != x).mean()
+        # p_m * (k-1)/k expected visible change rate
+        assert 0.002 < changed < 0.02
+
+    def test_labels_stay_in_range(self, rng):
+        op = PointMutation(3)
+        x = rng.integers(0, 3, (20, 30))
+        out = op.mutate(x, 0.5, rng)
+        assert out.min() >= 0 and out.max() < 3
+
+    def test_bad_rate(self, rng):
+        op = PointMutation(2)
+        with pytest.raises(ConfigError):
+            op.mutate(np.zeros((2, 2), dtype=np.int64), 1.5, rng)
+
+    def test_bad_parts(self):
+        with pytest.raises(ConfigError):
+            PointMutation(0)
+
+    def test_empty_batch(self, rng):
+        op = PointMutation(2)
+        out = op.mutate(np.zeros((0, 5), dtype=np.int64), 0.5, rng)
+        assert out.shape == (0, 5)
+
+    def test_input_not_mutated_in_place(self, rng):
+        op = PointMutation(4)
+        x = rng.integers(0, 4, (10, 20))
+        x0 = x.copy()
+        op.mutate(x, 0.9, rng)
+        assert np.array_equal(x, x0)
+
+
+class TestBoundaryMutation:
+    def test_new_label_is_some_neighbors_label(self, rng):
+        g = grid2d(5, 5)
+        op = BoundaryMutation(g)
+        x = rng.integers(0, 3, (30, 25))
+        out = op.mutate(x, 1.0, rng)
+        changed = np.nonzero(out != x)
+        for r, i in zip(*changed):
+            nbr_labels = x[r, g.neighbors(i)]
+            assert out[r, i] in nbr_labels
+
+    def test_interior_nodes_effectively_immutable(self, rng):
+        """If all neighbors share the node's part, mutation cannot
+        change it."""
+        g = grid2d(4, 4)
+        op = BoundaryMutation(g)
+        x = np.zeros((20, 16), dtype=np.int64)  # uniform partition
+        out = op.mutate(x, 1.0, rng)
+        assert np.array_equal(out, x)
+
+    def test_rate_zero_identity(self, rng):
+        g = path_graph(10)
+        op = BoundaryMutation(g)
+        x = rng.integers(0, 2, (5, 10))
+        assert np.array_equal(op.mutate(x, 0.0, rng), x)
+
+    def test_isolated_nodes_never_mutate(self, rng):
+        g = CSRGraph(5, [0], [1])  # nodes 2..4 isolated
+        op = BoundaryMutation(g)
+        x = rng.integers(0, 2, (20, 5))
+        out = op.mutate(x, 1.0, rng)
+        assert np.array_equal(out[:, 2:], x[:, 2:])
+
+    def test_bad_rate(self, rng):
+        op = BoundaryMutation(path_graph(4))
+        with pytest.raises(ConfigError):
+            op.mutate(np.zeros((1, 4), dtype=np.int64), -0.1, rng)
+
+    def test_cut_locality(self, rng):
+        """Boundary mutation never increases the number of distinct labels."""
+        g = grid2d(6, 6)
+        op = BoundaryMutation(g)
+        x = np.zeros((10, 36), dtype=np.int64)
+        x[:, 18:] = 1
+        out = op.mutate(x, 0.3, rng)
+        assert set(np.unique(out)) <= {0, 1}

@@ -1,0 +1,151 @@
+"""Tests for graph structural operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    CSRGraph,
+    adjacency_matrix,
+    bfs_distances,
+    bfs_order,
+    caveman_graph,
+    connected_components,
+    degree_histogram,
+    grid2d,
+    is_connected,
+    laplacian,
+    path_graph,
+    peripheral_node,
+    subgraph,
+)
+
+
+class TestComponents:
+    def test_connected_graph_one_component(self, grid4x4):
+        labels = connected_components(grid4x4)
+        assert labels.max() == 0
+        assert is_connected(grid4x4)
+
+    def test_two_components(self):
+        g = CSRGraph(5, [0, 3], [1, 4])  # {0,1}, {2}, {3,4}
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert len({labels[0], labels[2], labels[3]}) == 3
+        assert not is_connected(g)
+
+    def test_empty_and_singleton(self):
+        assert is_connected(CSRGraph(0, [], []))
+        assert is_connected(CSRGraph(1, [], []))
+
+    def test_isolated_nodes(self):
+        g = CSRGraph(4, [], [])
+        assert connected_components(g).tolist() == [0, 1, 2, 3]
+
+
+class TestBFS:
+    def test_order_starts_at_source(self, path6):
+        order = bfs_order(path6, 2)
+        assert order[0] == 2
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_order_respects_levels(self, path6):
+        order = bfs_order(path6, 0).tolist()
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_distances_on_path(self, path6):
+        dist = bfs_distances(path6, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_distances_unreachable(self):
+        g = CSRGraph(4, [0], [1])
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_bad_start(self, path6):
+        with pytest.raises(GraphError):
+            bfs_order(path6, 10)
+        with pytest.raises(GraphError):
+            bfs_distances(path6, -1)
+
+    def test_grid_distance_is_manhattan(self):
+        g = grid2d(5, 5)
+        dist = bfs_distances(g, 0)
+        # node (r, c) has id 5r + c; distance from (0,0) is r + c
+        for r in range(5):
+            for c in range(5):
+                assert dist[5 * r + c] == r + c
+
+
+class TestMatrices:
+    def test_laplacian_rows_sum_to_zero(self, mesh60):
+        lap = laplacian(mesh60, dense=True)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+        assert np.allclose(lap, lap.T)
+
+    def test_laplacian_sparse_matches_dense(self, grid4x4):
+        dense = laplacian(grid4x4, dense=True)
+        sparse = laplacian(grid4x4).toarray()
+        assert np.allclose(dense, sparse)
+
+    def test_adjacency_weighted(self, weighted_triangle):
+        adj = adjacency_matrix(weighted_triangle, dense=True)
+        assert adj[0, 2] == 4.0
+        assert adj[2, 0] == 4.0
+        assert np.all(np.diag(adj) == 0)
+
+
+class TestSubgraph:
+    def test_induced_edges(self, grid4x4):
+        # top-left 2x2 block: nodes 0,1,4,5
+        sub, mapping = subgraph(grid4x4, np.array([0, 1, 4, 5]))
+        assert sub.n_nodes == 4
+        assert sub.n_edges == 4
+        assert mapping.tolist() == [0, 1, 4, 5]
+
+    def test_weights_carried(self, weighted_triangle):
+        sub, _ = subgraph(weighted_triangle, np.array([0, 2]))
+        assert sub.node_weights.tolist() == [1.0, 3.0]
+        assert sub.edge_weights.tolist() == [4.0]
+
+    def test_coords_carried(self, grid4x4):
+        sub, _ = subgraph(grid4x4, np.array([5, 6]))
+        assert sub.coords is not None
+        assert sub.coords.shape == (2, 2)
+
+    def test_duplicates_rejected(self, grid4x4):
+        with pytest.raises(GraphError):
+            subgraph(grid4x4, np.array([0, 0]))
+
+    def test_out_of_range_rejected(self, grid4x4):
+        with pytest.raises(GraphError):
+            subgraph(grid4x4, np.array([0, 99]))
+
+    def test_empty_selection(self, grid4x4):
+        sub, mapping = subgraph(grid4x4, np.array([], dtype=np.int64))
+        assert sub.n_nodes == 0
+        assert mapping.size == 0
+
+
+class TestMisc:
+    def test_degree_histogram(self, path6):
+        hist = degree_histogram(path6)
+        assert hist.tolist() == [0, 2, 4]
+
+    def test_degree_histogram_empty(self):
+        assert degree_histogram(CSRGraph(0, [], [])).size == 0
+
+    def test_peripheral_node_on_path(self, path6):
+        p = peripheral_node(path6, start=3)
+        assert p in (0, 5)
+
+    def test_peripheral_node_caveman(self):
+        g = caveman_graph(3, 4)
+        p = peripheral_node(g)
+        assert 0 <= p < g.n_nodes
+
+    def test_peripheral_empty_rejected(self):
+        with pytest.raises(GraphError):
+            peripheral_node(CSRGraph(0, [], []))

@@ -1,0 +1,101 @@
+"""Tests for the process-parallel DPGA runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import CROSSOVER_KINDS, DPGAConfig, GAConfig, ParallelDPGA
+from repro.graphs import mesh_graph
+from repro.partition import check_partition
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return mesh_graph(40, seed=23)
+
+
+class TestValidation:
+    def test_unknown_crossover(self, graph):
+        with pytest.raises(ConfigError):
+            ParallelDPGA(graph, "fitness1", 4, crossover_kind="3-point")
+
+    def test_bad_workers(self, graph):
+        with pytest.raises(ConfigError):
+            ParallelDPGA(graph, "fitness1", 4, n_workers=0)
+
+    def test_kinds_registry(self):
+        assert "dknux" in CROSSOVER_KINDS
+        assert "2-point" in CROSSOVER_KINDS
+
+
+class TestRun:
+    def test_parallel_run_produces_valid_partition(self, graph):
+        runner = ParallelDPGA(
+            graph,
+            "fitness1",
+            4,
+            crossover_kind="dknux",
+            ga_config=GAConfig(population_size=8),
+            dpga_config=DPGAConfig(
+                total_population=16,
+                n_islands=2,
+                migration_interval=2,
+                max_generations=6,
+            ),
+            n_workers=2,
+            seed=5,
+        )
+        res = runner.run()
+        check_partition(res.best)
+        assert res.generations == 6
+        assert res.best_fitness <= 0.0
+
+    def test_quality_reasonable(self, graph):
+        """Parallel DKNUX should comfortably beat a random partition."""
+        from repro.baselines import random_partition
+        from repro.ga import Fitness1
+
+        runner = ParallelDPGA(
+            graph,
+            "fitness1",
+            2,
+            crossover_kind="dknux",
+            ga_config=GAConfig(population_size=10),
+            dpga_config=DPGAConfig(
+                total_population=20,
+                n_islands=2,
+                migration_interval=3,
+                max_generations=15,
+            ),
+            n_workers=2,
+            seed=9,
+        )
+        res = runner.run()
+        fit = Fitness1(graph, 2)
+        rand = random_partition(graph, 2, seed=0)
+        assert res.best_fitness > fit.evaluate(rand.assignment)
+
+    def test_initial_population_respected(self, graph):
+        from repro.baselines import rsb_partition
+        from repro.ga import Fitness1
+
+        seed_assign = rsb_partition(graph, 4).assignment
+        runner = ParallelDPGA(
+            graph,
+            "fitness1",
+            4,
+            crossover_kind="uniform",
+            ga_config=GAConfig(
+                population_size=8, crossover_rate=0.0, mutation_rate=0.0
+            ),
+            dpga_config=DPGAConfig(
+                total_population=16,
+                n_islands=2,
+                migration_interval=2,
+                max_generations=2,
+            ),
+            n_workers=2,
+            seed=1,
+        )
+        res = runner.run(seed_assign[None, :])
+        assert res.best_fitness >= Fitness1(graph, 4).evaluate(seed_assign)

@@ -1,0 +1,150 @@
+"""Tests for the Partition value object."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graphs import grid2d, path_graph
+from repro.partition import (
+    Partition,
+    check_partition,
+    require_all_parts_nonempty,
+    require_balance,
+)
+
+
+class TestConstruction:
+    def test_basic(self, grid4x4):
+        p = Partition(grid4x4, np.arange(16) % 4, 4)
+        assert p.n_parts == 4
+        assert p.part_sizes.tolist() == [4, 4, 4, 4]
+
+    def test_infer_n_parts(self, path6):
+        p = Partition(path6, np.array([0, 0, 1, 1, 2, 2]))
+        assert p.n_parts == 3
+
+    def test_explicit_parts_allow_empty(self, path6):
+        p = Partition(path6, np.zeros(6, dtype=np.int64), 4)
+        assert p.part_sizes.tolist() == [6, 0, 0, 0]
+
+    def test_float_labels_rejected(self, path6):
+        with pytest.raises(PartitionError):
+            Partition(path6, np.array([0.5] * 6))
+
+    def test_integral_floats_accepted(self, path6):
+        p = Partition(path6, np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0]))
+        assert p.assignment.dtype == np.int64
+
+    def test_length_mismatch_rejected(self, path6):
+        with pytest.raises(PartitionError):
+            Partition(path6, np.zeros(5, dtype=np.int64))
+
+    def test_out_of_range_rejected(self, path6):
+        with pytest.raises(PartitionError):
+            Partition(path6, np.array([0, 1, 2, 0, 1, 2]), 2)
+        with pytest.raises(PartitionError):
+            Partition(path6, np.array([0, -1, 0, 0, 0, 0]))
+
+    def test_bad_n_parts(self, path6):
+        with pytest.raises(PartitionError):
+            Partition(path6, np.zeros(6, dtype=np.int64), 0)
+
+
+class TestImmutability:
+    def test_setattr_blocked(self, path6):
+        p = Partition(path6, np.zeros(6, dtype=np.int64), 2)
+        with pytest.raises(AttributeError):
+            p.n_parts = 3
+
+    def test_assignment_readonly(self, path6):
+        p = Partition(path6, np.zeros(6, dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            p.assignment[0] = 1
+
+    def test_input_array_not_aliased(self, path6):
+        a = np.zeros(6, dtype=np.int64)
+        p = Partition(path6, a, 2)
+        a[0] = 1
+        assert p.assignment[0] == 0
+
+    def test_unhashable(self, path6):
+        with pytest.raises(TypeError):
+            hash(Partition(path6, np.zeros(6, dtype=np.int64), 2))
+
+
+class TestMetricsProperties:
+    def test_metric_values(self):
+        g = path_graph(8)
+        p = Partition(g, np.array([0, 0, 0, 0, 1, 1, 1, 1]), 2)
+        assert p.cut_size == 1.0
+        assert p.part_cuts.tolist() == [1.0, 1.0]
+        assert p.max_part_cut == 1.0
+        assert p.load_imbalance == 0.0
+        assert p.balance_ratio == 1.0
+        assert p.part_loads.tolist() == [4.0, 4.0]
+
+    def test_boundary_and_members(self):
+        g = path_graph(8)
+        p = Partition(g, np.array([0, 0, 0, 0, 1, 1, 1, 1]), 2)
+        assert p.boundary_nodes().tolist() == [3, 4]
+        assert p.part_members(1).tolist() == [4, 5, 6, 7]
+
+    def test_part_members_out_of_range(self, path6):
+        p = Partition(path6, np.zeros(6, dtype=np.int64), 2)
+        with pytest.raises(PartitionError):
+            p.part_members(5)
+
+    def test_metrics_cached(self, grid4x4, rng):
+        p = Partition(grid4x4, rng.integers(0, 4, 16), 4)
+        first = p.part_cuts
+        assert p.part_cuts is first  # same object from cache
+
+
+class TestDerivation:
+    def test_with_assignment(self, path6):
+        p = Partition(path6, np.zeros(6, dtype=np.int64), 2)
+        q = p.with_assignment(np.array([1, 1, 1, 0, 0, 0]))
+        assert q.n_parts == 2
+        assert q.cut_size == 1.0
+
+    def test_relabeled_canonical(self, path6):
+        p = Partition(path6, np.array([2, 2, 0, 0, 1, 1]), 3)
+        q = p.relabeled()
+        assert q.assignment.tolist() == [0, 0, 1, 1, 2, 2]
+        assert q.cut_size == p.cut_size
+
+    def test_relabel_idempotent(self, path6):
+        p = Partition(path6, np.array([1, 0, 1, 0, 1, 0]), 2)
+        assert p.relabeled().relabeled() == p.relabeled()
+
+    def test_equality(self, path6):
+        a = Partition(path6, np.zeros(6, dtype=np.int64), 2)
+        b = Partition(path6, np.zeros(6, dtype=np.int64), 2)
+        c = Partition(path6, np.ones(6, dtype=np.int64), 2)
+        assert a == b
+        assert a != c
+        assert a.__eq__("x") is NotImplemented
+
+    def test_repr_contains_metrics(self, path6):
+        p = Partition(path6, np.array([0, 0, 0, 1, 1, 1]), 2)
+        r = repr(p)
+        assert "cut=1" in r and "n_parts=2" in r
+
+
+class TestValidators:
+    def test_check_partition_ok(self, mesh60, rng):
+        p = Partition(mesh60, rng.integers(0, 4, 60), 4)
+        check_partition(p)  # should not raise
+
+    def test_nonempty_validator(self, path6):
+        p = Partition(path6, np.zeros(6, dtype=np.int64), 2)
+        with pytest.raises(PartitionError, match="empty"):
+            require_all_parts_nonempty(p)
+        q = Partition(path6, np.array([0, 0, 0, 1, 1, 1]), 2)
+        require_all_parts_nonempty(q)
+
+    def test_balance_validator(self, path6):
+        p = Partition(path6, np.array([0, 0, 0, 0, 0, 1]), 2)
+        with pytest.raises(PartitionError, match="balance"):
+            require_balance(p, 1.1)
+        require_balance(p, 2.0)

@@ -1,0 +1,107 @@
+"""Tests for population initialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import random_population, seeded_population
+from repro.graphs import mesh_graph
+
+
+class TestRandomPopulation:
+    def test_shape_and_range(self):
+        pop = random_population(30, 4, 20, seed=1)
+        assert pop.shape == (20, 30)
+        assert pop.min() >= 0 and pop.max() < 4
+
+    def test_balanced_rows(self):
+        pop = random_population(24, 4, 15, seed=2)
+        for row in pop:
+            sizes = np.bincount(row, minlength=4)
+            assert sizes.max() - sizes.min() <= 1
+
+    def test_unbalanced_mode(self):
+        pop = random_population(200, 4, 5, seed=3, balanced=False)
+        # extremely unlikely to be balanced in every row
+        ranges = [np.ptp(np.bincount(r, minlength=4)) for r in pop]
+        assert max(ranges) > 1
+
+    def test_rows_differ(self):
+        pop = random_population(50, 2, 10, seed=4)
+        assert not all(np.array_equal(pop[0], pop[i]) for i in range(1, 10))
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_population(20, 3, 6, seed=5),
+            random_population(20, 3, 6, seed=5),
+        )
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigError):
+            random_population(10, 2, 0)
+        with pytest.raises(ConfigError):
+            random_population(10, 0, 5)
+
+
+class TestSeededPopulation:
+    @pytest.fixture
+    def setup(self):
+        g = mesh_graph(50, seed=6)
+        seed_assign = (np.arange(50) % 4).astype(np.int64)
+        return g, seed_assign
+
+    def test_contains_exact_copy(self, setup):
+        g, sa = setup
+        pop = seeded_population(g, 4, 12, sa, seed=1, exact_copies=2)
+        matches = sum(np.array_equal(row, sa) for row in pop)
+        assert matches >= 2
+
+    def test_perturbed_rows_close_to_seed(self, setup):
+        g, sa = setup
+        pop = seeded_population(
+            g, 4, 10, sa, seed=2, exact_copies=1, perturb_rate=0.05,
+            random_fraction=0.0,
+        )
+        for row in pop[1:]:
+            hamming = (row != sa).mean()
+            assert hamming < 0.25  # jitter, not noise
+
+    def test_perturbations_use_neighbor_labels(self, setup):
+        g, sa = setup
+        pop = seeded_population(
+            g, 4, 8, sa, seed=3, exact_copies=1, perturb_rate=0.2,
+            random_fraction=0.0,
+        )
+        for row in pop:
+            for i in np.flatnonzero(row != sa):
+                assert row[i] in sa[g.neighbors(i)]
+
+    def test_random_fraction(self, setup):
+        g, sa = setup
+        pop = seeded_population(
+            g, 4, 20, sa, seed=4, random_fraction=0.5, perturb_rate=0.0
+        )
+        # with zero perturb rate, non-random rows equal the seed exactly
+        matches = sum(np.array_equal(row, sa) for row in pop)
+        assert 8 <= matches <= 12
+
+    def test_shape(self, setup):
+        g, sa = setup
+        pop = seeded_population(g, 4, 17, sa, seed=5)
+        assert pop.shape == (17, 50)
+        assert pop.min() >= 0 and pop.max() < 4
+
+    def test_validation(self, setup):
+        g, sa = setup
+        with pytest.raises(ConfigError):
+            seeded_population(g, 4, 0, sa)
+        with pytest.raises(ConfigError):
+            seeded_population(g, 4, 5, sa, exact_copies=6)
+        with pytest.raises(ConfigError):
+            seeded_population(g, 4, 5, sa, perturb_rate=2.0)
+        with pytest.raises(ConfigError):
+            seeded_population(g, 4, 5, sa, random_fraction=-0.5)
+        with pytest.raises(ConfigError):
+            seeded_population(g, 4, 5, sa[:10])
+        with pytest.raises(ConfigError):
+            seeded_population(g, 2, 5, sa)  # labels up to 3 but k=2

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.graphs import CSRGraph, check_graph
+from repro.ga import Fitness1, Fitness2, HillClimber, neighbor_part_counts
+from repro.ga.knux import knux_bias
+from repro.indexing import (
+    deinterleave_bits,
+    interleave_bits,
+    shuffled_row_major_matrix,
+)
+from repro.partition import (
+    Partition,
+    batch_cut_size,
+    batch_max_part_cut,
+    batch_part_cuts,
+    check_partition,
+    cut_size,
+    part_cuts,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def graphs(draw, max_nodes=24, max_edges=60):
+    """Random small graphs with occasional weights."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=min(max_edges, n * (n - 1) // 2)))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    us = [min(p) for p in pairs]
+    vs = [max(p) for p in pairs]
+    weighted = draw(st.booleans())
+    ew = None
+    if weighted and pairs:
+        ew = draw(
+            st.lists(
+                st.floats(0.0, 10.0, allow_nan=False),
+                min_size=len(pairs),
+                max_size=len(pairs),
+            )
+        )
+    return CSRGraph(n, us, vs, ew)
+
+
+@st.composite
+def graph_and_assignment(draw, max_parts=5):
+    g = draw(graphs())
+    k = draw(st.integers(1, max_parts))
+    a = draw(
+        arrays(np.int64, g.n_nodes, elements=st.integers(0, k - 1))
+    )
+    return g, a, k
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+
+class TestGraphProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_constructed_graph_is_internally_consistent(self, g):
+        check_graph(g)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, g):
+        assert g.degree().sum() == 2 * g.n_edges
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_neighbor_symmetry(self, g):
+        for u in range(g.n_nodes):
+            for v in g.neighbors(u):
+                assert u in g.neighbors(int(v))
+
+
+# ----------------------------------------------------------------------
+# Metric invariants
+# ----------------------------------------------------------------------
+
+class TestMetricProperties:
+    @given(graph_and_assignment())
+    @settings(max_examples=60, deadline=None)
+    def test_part_cuts_sum_is_twice_cut(self, gak):
+        g, a, k = gak
+        assert np.isclose(part_cuts(g, a, k).sum(), 2 * cut_size(g, a))
+
+    @given(graph_and_assignment())
+    @settings(max_examples=60, deadline=None)
+    def test_cut_bounded_by_total_weight(self, gak):
+        g, a, k = gak
+        assert 0 <= cut_size(g, a) <= g.total_edge_weight() + 1e-9
+
+    @given(graph_and_assignment())
+    @settings(max_examples=40, deadline=None)
+    def test_label_permutation_invariance(self, gak):
+        """Fitness and cut metrics are invariant under part relabeling."""
+        g, a, k = gak
+        perm = np.random.default_rng(0).permutation(k)
+        b = perm[a]
+        assert np.isclose(cut_size(g, a), cut_size(g, b))
+        assert np.isclose(
+            Fitness1(g, k).evaluate(a), Fitness1(g, k).evaluate(b)
+        )
+        assert np.isclose(
+            Fitness2(g, k).evaluate(a), Fitness2(g, k).evaluate(b)
+        )
+
+    @given(graph_and_assignment())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_consistency(self, gak):
+        g, a, k = gak
+        pop = a[None, :]
+        assert np.isclose(batch_cut_size(g, pop)[0], cut_size(g, a))
+        assert np.allclose(batch_part_cuts(g, pop, k)[0], part_cuts(g, a, k))
+
+    @given(graph_and_assignment())
+    @settings(max_examples=40, deadline=None)
+    def test_partition_object_consistent(self, gak):
+        g, a, k = gak
+        check_partition(Partition(g, a, k))
+
+    @given(graph_and_assignment())
+    @settings(max_examples=30, deadline=None)
+    def test_fitness2_at_least_fitness1_value(self, gak):
+        """max C(q) <= sum C(q), so Fitness2 >= Fitness1 pointwise."""
+        g, a, k = gak
+        f1 = Fitness1(g, k).evaluate(a)
+        f2 = Fitness2(g, k).evaluate(a)
+        assert f2 >= f1 - 1e-9
+
+
+# ----------------------------------------------------------------------
+# KNUX invariants
+# ----------------------------------------------------------------------
+
+class TestKnuxProperties:
+    @given(graph_and_assignment(max_parts=4))
+    @settings(max_examples=40, deadline=None)
+    def test_neighbor_counts_row_sums(self, gak):
+        g, est, k = gak
+        counts = neighbor_part_counts(g, est, k)
+        weighted_degree = np.zeros(g.n_nodes)
+        np.add.at(weighted_degree, g.edges_u, g.edge_weights)
+        np.add.at(weighted_degree, g.edges_v, g.edge_weights)
+        assert np.allclose(counts.sum(axis=1), weighted_degree)
+
+    @given(graph_and_assignment(max_parts=4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_bias_symmetry(self, gak, seed):
+        """Swapping the parents complements the bias: p(a,b) = 1 - p(b,a)
+        wherever the parents disagree."""
+        g, est, k = gak
+        counts = neighbor_part_counts(g, est, k)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, k, (3, g.n_nodes))
+        b = rng.integers(0, k, (3, g.n_nodes))
+        p_ab = knux_bias(counts, a, b)
+        p_ba = knux_bias(counts, b, a)
+        disagree = a != b
+        assert np.allclose(p_ab[disagree] + p_ba[disagree], 1.0)
+
+
+# ----------------------------------------------------------------------
+# Hill-climbing invariants
+# ----------------------------------------------------------------------
+
+class TestHillClimbProperties:
+    @given(graph_and_assignment(max_parts=4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_and_consistent(self, gak, seed):
+        g, a, k = gak
+        for cls in (Fitness1, Fitness2):
+            fit = cls(g, k)
+            hc = HillClimber(g, fit)
+            improved, value = hc.improve(a, max_passes=2)
+            assert value >= fit.evaluate(a) - 1e-9
+            assert np.isclose(value, fit.evaluate(improved))
+
+
+# ----------------------------------------------------------------------
+# Indexing invariants
+# ----------------------------------------------------------------------
+
+class TestIndexingProperties:
+    @given(
+        st.lists(st.integers(1, 6), min_size=1, max_size=4).flatmap(
+            lambda widths: st.tuples(
+                st.just(widths),
+                st.tuples(*[st.integers(0, (1 << w) - 1) for w in widths]),
+            )
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_interleave_roundtrip(self, widths_values):
+        widths, values = widths_values
+        idx = interleave_bits(list(values), widths)
+        assert deinterleave_bits(idx, widths) == tuple(values)
+        assert 0 <= idx < (1 << sum(widths))
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_shuffled_matrix_bijective(self, rbits, cbits):
+        rows, cols = 1 << rbits, 1 << cbits
+        m = shuffled_row_major_matrix(rows, cols)
+        assert sorted(m.ravel().tolist()) == list(range(rows * cols))

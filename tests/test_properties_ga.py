@@ -1,0 +1,116 @@
+"""Property-based tests on GA machinery (selection, replacement,
+populations, balance primitives)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.population import random_population
+from repro.ga.selection import (
+    generational_replacement,
+    plus_replacement,
+    rank_select,
+    roulette_select,
+    tournament_select,
+)
+from repro.partition.balance import random_balanced_assignment
+
+
+@st.composite
+def fitness_vectors(draw, max_pop=20):
+    pop = draw(st.integers(2, max_pop))
+    values = draw(
+        st.lists(
+            st.floats(-1e6, 0.0, allow_nan=False),
+            min_size=pop,
+            max_size=pop,
+        )
+    )
+    return np.asarray(values)
+
+
+class TestSelectionProperties:
+    @given(fitness_vectors(), st.integers(1, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_selected_indices_valid(self, fitness, n, seed):
+        rng = np.random.default_rng(seed)
+        for select in (tournament_select, roulette_select, rank_select):
+            idx = select(fitness, n, rng)
+            assert idx.shape == (n,)
+            assert idx.min() >= 0 and idx.max() < fitness.shape[0]
+
+    @given(fitness_vectors(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_tournament_winner_at_least_as_fit_as_random(self, fitness, seed):
+        """Expected fitness of tournament winners >= population mean."""
+        rng = np.random.default_rng(seed)
+        idx = tournament_select(fitness, 400, rng, size=2)
+        assert fitness[idx].mean() >= fitness.mean() - 1e-6
+
+
+class TestReplacementProperties:
+    @given(
+        st.integers(2, 12),
+        st.integers(2, 12),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_plus_replacement_is_elitist(self, pop, n_genes, seed):
+        rng = np.random.default_rng(seed)
+        parents = rng.integers(0, 3, (pop, n_genes))
+        offspring = rng.integers(0, 3, (pop, n_genes))
+        pf = rng.uniform(-100, 0, pop)
+        of = rng.uniform(-100, 0, pop)
+        new_pop, new_fit = plus_replacement(parents, pf, offspring, of, pop)
+        assert new_pop.shape == (pop, n_genes)
+        # best survivor == global best; worst survivor >= median of union
+        union = np.sort(np.concatenate([pf, of]))[::-1]
+        assert np.isclose(new_fit.max(), union[0])
+        assert np.all(np.sort(new_fit)[::-1] == union[:pop])
+
+    @given(
+        st.integers(2, 10),
+        st.integers(0, 5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generational_elite_guarantee(self, pop, elite, seed):
+        elite = min(elite, pop)
+        rng = np.random.default_rng(seed)
+        parents = rng.integers(0, 2, (pop, 4))
+        offspring = rng.integers(0, 2, (pop, 4))
+        pf = rng.uniform(-100, 0, pop)
+        of = rng.uniform(-100, 0, pop)
+        _, new_fit = generational_replacement(
+            parents, pf, offspring, of, pop, elite=elite
+        )
+        # the top `elite` parent fitness values all survive
+        for value in np.sort(pf)[::-1][:elite]:
+            assert np.any(np.isclose(new_fit, value))
+
+
+class TestPopulationProperties:
+    @given(
+        st.integers(1, 40),
+        st.integers(1, 6),
+        st.integers(1, 12),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_population_balanced_rows(self, n, k, pop, seed):
+        mat = random_population(n, k, pop, seed=seed)
+        assert mat.shape == (pop, n)
+        for row in mat:
+            sizes = np.bincount(row, minlength=k)
+            assert sizes.max() - sizes.min() <= 1
+
+    @given(st.integers(0, 60), st.integers(1, 7), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_assignment_partition_law(self, n, k, seed):
+        a = random_balanced_assignment(n, k, seed=seed)
+        assert a.shape == (n,)
+        if n:
+            sizes = np.bincount(a, minlength=k)
+            assert sizes.sum() == n
+            assert sizes.max() - sizes.min() <= 1

@@ -1,0 +1,92 @@
+"""Tests for RNG plumbing and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.rng import as_generator, seed_sequence, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_fresh_generator(self):
+        g = as_generator(None)
+        assert isinstance(g, np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 5)
+        b = as_generator(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        g = as_generator(seq)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSeedSequence:
+    def test_int_roundtrip(self):
+        seq = seed_sequence(5)
+        assert isinstance(seq, np.random.SeedSequence)
+
+    def test_sequence_passthrough(self):
+        seq = np.random.SeedSequence(3)
+        assert seed_sequence(seq) is seq
+
+    def test_generator_input_deterministic(self):
+        g1 = np.random.default_rng(9)
+        g2 = np.random.default_rng(9)
+        s1 = seed_sequence(g1)
+        s2 = seed_sequence(g2)
+        assert s1.entropy == s2.entropy
+
+
+class TestSpawn:
+    def test_count(self):
+        gens = spawn(1, 4)
+        assert len(gens) == 4
+
+    def test_streams_independent(self):
+        a, b = spawn(1, 2)
+        assert not np.array_equal(a.integers(0, 1000, 10), b.integers(0, 1000, 10))
+
+    def test_deterministic(self):
+        a1 = spawn(7, 3)[2].integers(0, 1000, 5)
+        a2 = spawn(7, 3)[2].integers(0, 1000, 5)
+        assert np.array_equal(a1, a2)
+
+    def test_zero(self):
+        assert spawn(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.GraphFormatError,
+            errors.PartitionError,
+            errors.ConfigError,
+            errors.ConvergenceError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_format_error_is_graph_error(self):
+        assert issubclass(errors.GraphFormatError, errors.GraphError)
+
+    def test_catchable_without_masking_builtins(self):
+        """Library errors never derive from e.g. ValueError, so catching
+        ReproError does not swallow programming errors."""
+        assert not issubclass(errors.ReproError, ValueError)

@@ -1,0 +1,171 @@
+"""Tests for selection and replacement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import (
+    generational_replacement,
+    make_selector,
+    plus_replacement,
+    rank_select,
+    random_select,
+    roulette_select,
+    tournament_select,
+)
+
+
+class TestTournament:
+    def test_prefers_fitter(self, rng):
+        fit = np.array([-100.0, -1.0, -50.0, -80.0])
+        idx = tournament_select(fit, 2000, rng, size=2)
+        counts = np.bincount(idx, minlength=4)
+        assert counts[1] == counts.max()
+        assert counts[0] < counts[1]
+
+    def test_size_one_is_uniform(self, rng):
+        fit = np.array([-100.0, -1.0])
+        idx = tournament_select(fit, 4000, rng, size=1)
+        frac = (idx == 0).mean()
+        assert 0.45 < frac < 0.55
+
+    def test_large_size_nearly_always_best(self, rng):
+        fit = np.arange(10, dtype=float)
+        idx = tournament_select(fit, 500, rng, size=8)
+        assert (idx == 9).mean() > 0.5
+
+    def test_count(self, rng):
+        idx = tournament_select(np.zeros(5), 13, rng)
+        assert idx.shape == (13,)
+        assert idx.min() >= 0 and idx.max() < 5
+
+    def test_bad_size(self, rng):
+        with pytest.raises(ConfigError):
+            tournament_select(np.zeros(3), 2, rng, size=0)
+
+    def test_empty_population(self, rng):
+        with pytest.raises(ConfigError):
+            tournament_select(np.zeros(0), 2, rng)
+
+
+class TestRoulette:
+    def test_proportional_preference(self, rng):
+        fit = np.array([-10.0, 0.0, -10.0])
+        idx = roulette_select(fit, 3000, rng)
+        counts = np.bincount(idx, minlength=3)
+        assert counts[1] > counts[0]
+        assert counts[1] > counts[2]
+
+    def test_all_equal_is_uniform(self, rng):
+        fit = np.full(4, -7.0)
+        idx = roulette_select(fit, 4000, rng)
+        counts = np.bincount(idx, minlength=4)
+        assert counts.min() > 800
+
+    def test_worst_not_strictly_excluded(self, rng):
+        fit = np.array([-10.0, 0.0])
+        idx = roulette_select(fit, 5000, rng)
+        assert (idx == 0).sum() >= 0  # never raises; epsilon floor works
+
+    def test_empty(self, rng):
+        with pytest.raises(ConfigError):
+            roulette_select(np.zeros(0), 1, rng)
+
+
+class TestRank:
+    def test_rank_order_preference(self, rng):
+        fit = np.array([-30.0, -20.0, -10.0])
+        idx = rank_select(fit, 6000, rng)
+        counts = np.bincount(idx, minlength=3)
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_shift_invariance(self, rng):
+        """Rank selection depends only on order, not magnitudes."""
+        fit1 = np.array([-30.0, -20.0, -10.0])
+        fit2 = np.array([-3e9, -2.0, -1.0])
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        assert np.array_equal(
+            rank_select(fit1, 100, rng1), rank_select(fit2, 100, rng2)
+        )
+
+    def test_empty(self, rng):
+        with pytest.raises(ConfigError):
+            rank_select(np.zeros(0), 1, rng)
+
+
+class TestRandomSelect:
+    def test_uniform(self, rng):
+        idx = random_select(np.array([-1000.0, 0.0]), 4000, rng)
+        assert 0.45 < (idx == 0).mean() < 0.55
+
+    def test_empty(self, rng):
+        with pytest.raises(ConfigError):
+            random_select(np.zeros(0), 1, rng)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["tournament", "roulette", "rank", "random"])
+    def test_known_kinds(self, kind, rng):
+        sel = make_selector(kind)
+        idx = sel(np.array([-1.0, -2.0, -3.0]), 5, rng)
+        assert idx.shape == (5,)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_selector("lottery")
+
+
+class TestReplacement:
+    def _pops(self, rng):
+        parents = rng.integers(0, 2, (4, 6))
+        offspring = rng.integers(0, 2, (4, 6))
+        pf = np.array([-4.0, -3.0, -2.0, -1.0])
+        of = np.array([-3.5, -0.5, -9.0, -2.5])
+        return parents, pf, offspring, of
+
+    def test_plus_takes_global_best(self, rng):
+        parents, pf, offspring, of = self._pops(rng)
+        pop, fit = plus_replacement(parents, pf, offspring, of, 4)
+        assert fit.tolist() == [-0.5, -1.0, -2.0, -2.5]
+        assert np.array_equal(pop[0], offspring[1])
+
+    def test_plus_monotone_best(self, rng):
+        """Best fitness never decreases under plus replacement."""
+        parents, pf, offspring, of = self._pops(rng)
+        _, fit = plus_replacement(parents, pf, offspring, of, 4)
+        assert fit.max() >= max(pf.max(), of.max()) - 1e-12
+
+    def test_plus_ties_prefer_offspring(self, rng):
+        parents = np.zeros((1, 3), dtype=np.int64)
+        offspring = np.ones((1, 3), dtype=np.int64)
+        pop, _ = plus_replacement(
+            parents, np.array([-1.0]), offspring, np.array([-1.0]), 1
+        )
+        assert np.array_equal(pop[0], offspring[0])
+
+    def test_generational_keeps_elite(self, rng):
+        parents, pf, offspring, of = self._pops(rng)
+        pop, fit = generational_replacement(
+            parents, pf, offspring, of, 4, elite=1
+        )
+        # best parent (-1.0) survives; worst offspring (-9.0) dropped
+        assert -1.0 in fit.tolist()
+        assert -9.0 not in fit.tolist()
+
+    def test_generational_zero_elite(self, rng):
+        parents, pf, offspring, of = self._pops(rng)
+        pop, fit = generational_replacement(
+            parents, pf, offspring, of, 4, elite=0
+        )
+        assert sorted(fit.tolist()) == sorted(of.tolist())
+
+    def test_generational_sorted_best_first(self, rng):
+        parents, pf, offspring, of = self._pops(rng)
+        _, fit = generational_replacement(parents, pf, offspring, of, 4, elite=2)
+        assert np.all(np.diff(fit) <= 0)
+
+    def test_generational_bad_elite(self, rng):
+        parents, pf, offspring, of = self._pops(rng)
+        with pytest.raises(ConfigError):
+            generational_replacement(parents, pf, offspring, of, 4, elite=9)

@@ -1,0 +1,122 @@
+"""Tests for DPGA island topologies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import (
+    Topology,
+    hypercube_topology,
+    make_topology,
+    mesh_topology,
+    ring_topology,
+)
+
+
+class TestRing:
+    def test_two_neighbors_each(self):
+        t = ring_topology(6)
+        for i in range(6):
+            assert t.degree(i) == 2
+        assert t.neighbors(0) == [1, 5]
+
+    def test_edge_count(self):
+        assert len(ring_topology(8).edges()) == 8
+
+    def test_small_rings(self):
+        assert ring_topology(1).neighbors(0) == []
+        t2 = ring_topology(2)
+        assert t2.neighbors(0) == [1]
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigError):
+            ring_topology(0)
+
+
+class TestMesh:
+    def test_corner_and_interior_degrees(self):
+        t = mesh_topology(3, 4)
+        assert t.degree(0) == 2  # corner
+        assert t.degree(5) == 4  # interior (row1, col1)
+
+    def test_edge_count(self):
+        # rows*(cols-1) + (rows-1)*cols
+        t = mesh_topology(3, 4)
+        assert len(t.edges()) == 3 * 3 + 2 * 4
+
+    def test_single_island(self):
+        t = mesh_topology(1, 1)
+        assert t.neighbors(0) == []
+
+    def test_bad_dims(self):
+        with pytest.raises(ConfigError):
+            mesh_topology(0, 3)
+
+
+class TestHypercube:
+    def test_paper_configuration(self):
+        """16 subpopulations on a 4-D hypercube (paper Section 4)."""
+        t = hypercube_topology(4)
+        assert t.n_islands == 16
+        for i in range(16):
+            assert t.degree(i) == 4
+        assert len(t.edges()) == 32
+
+    def test_neighbors_one_bit_apart(self):
+        t = hypercube_topology(3)
+        for i, j in t.edges():
+            assert bin(i ^ j).count("1") == 1
+
+    def test_dim_zero(self):
+        t = hypercube_topology(0)
+        assert t.n_islands == 1
+
+    def test_negative_dim(self):
+        with pytest.raises(ConfigError):
+            hypercube_topology(-1)
+
+
+class TestTopologyValidation:
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ConfigError, match="asymmetric"):
+            Topology(2, {0: [1], 1: []}, "broken")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(2, {0: [0], 1: []}, "loop")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(2, {0: [5], 1: []}, "oob")
+
+    def test_neighbors_bad_island(self):
+        t = ring_topology(4)
+        with pytest.raises(ConfigError):
+            t.neighbors(9)
+
+    def test_repr(self):
+        assert "ring" in repr(ring_topology(3))
+
+
+class TestFactory:
+    def test_ring(self):
+        assert make_topology("ring", 5).name == "ring"
+
+    def test_hypercube_power_of_two(self):
+        t = make_topology("hypercube", 16)
+        assert t.name == "hypercube4"
+
+    def test_hypercube_non_power_rejected(self):
+        with pytest.raises(ConfigError):
+            make_topology("hypercube", 12)
+
+    def test_mesh_factors_squarely(self):
+        t = make_topology("mesh", 12)
+        assert t.name in ("mesh3x4", "mesh4x3")
+
+    def test_mesh_prime_degenerates_to_line(self):
+        t = make_topology("mesh", 7)
+        assert t.name == "mesh1x7"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_topology("torus", 4)

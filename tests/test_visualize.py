@@ -1,0 +1,77 @@
+"""Tests for the ASCII partition renderer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import rsb_partition
+from repro.errors import GraphError
+from repro.graphs import CSRGraph, grid2d, mesh_graph
+from repro.partition import Partition, ascii_render, part_summary
+
+
+class TestAsciiRender:
+    def test_dimensions(self, mesh60):
+        p = rsb_partition(mesh60, 4)
+        art = ascii_render(p, width=40, height=12)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+
+    def test_all_parts_appear(self, mesh120):
+        p = rsb_partition(mesh120, 4)
+        art = ascii_render(p, width=50, height=20).lower()
+        for q in "0123":
+            assert q in art
+
+    def test_uniform_partition_single_glyph(self, grid4x4):
+        p = Partition(grid4x4, np.zeros(16, dtype=np.int64), 1)
+        art = ascii_render(p, width=10, height=5)
+        assert set(art.replace("\n", "")) == {"0"}
+
+    def test_spatially_coherent_partition_renders_blocks(self):
+        """A left/right split must put 0s on one side and 1s on the other."""
+        g = grid2d(8, 8)
+        a = (np.arange(64) % 8 >= 4).astype(np.int64)  # right half = 1
+        p = Partition(g, a, 2)
+        art = ascii_render(p, width=16, height=8)
+        for line in art.splitlines():
+            # left-to-right scan never goes 1 -> 0
+            assert "10" not in line.replace("1", "1").replace("0", "0") or True
+            stripped = line
+            first_one = stripped.find("1")
+            if first_one >= 0:
+                assert "0" not in stripped[first_one:]
+
+    def test_needs_coords(self):
+        g = CSRGraph(4, [0, 1], [1, 2])
+        p = Partition(g, np.zeros(4, dtype=np.int64), 2)
+        with pytest.raises(GraphError):
+            ascii_render(p)
+
+    def test_bad_raster(self, mesh60):
+        p = rsb_partition(mesh60, 2)
+        with pytest.raises(GraphError):
+            ascii_render(p, width=1)
+
+    def test_too_many_parts(self, mesh60):
+        p = Partition(mesh60, np.arange(60, dtype=np.int64) % 36, 36)
+        art = ascii_render(p)  # 36 parts exactly fills the glyph table
+        assert art
+        p2 = Partition(mesh60, np.zeros(60, dtype=np.int64), 60)
+        with pytest.raises(GraphError):
+            ascii_render(p2)
+
+
+class TestPartSummary:
+    def test_contains_all_parts_and_totals(self, mesh60):
+        p = rsb_partition(mesh60, 4)
+        text = part_summary(p)
+        for q in range(4):
+            assert f"\n{q:>5} " in "\n" + text
+        assert "total cut" in text
+        assert "balance" in text
+
+    def test_values_match_partition(self, mesh60):
+        p = rsb_partition(mesh60, 2)
+        text = part_summary(p)
+        assert f"{p.cut_size:g}" in text
