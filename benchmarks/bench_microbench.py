@@ -2,8 +2,11 @@
 
 These are classical pytest-benchmark timing benches (many rounds) for
 the vectorized primitives the engine is built on: batch fitness
-evaluation, KNUX bias + crossover, mutation, and a hill-climbing pass.
-They guard against performance regressions in the inner loop.
+evaluation, the batch partition metrics (with the seed's ``np.add.at``
+forms kept as before/after references), KNUX bias + crossover,
+mutation, and a hill-climbing pass.  They guard against performance
+regressions in the inner loop; ``check_bench.py`` turns the metric
+benches into a JSON perf-trajectory artifact.
 """
 
 import numpy as np
@@ -20,6 +23,36 @@ from repro.ga import (
 from repro.ga.knux import KNUX
 from repro.ga.population import random_population
 from repro.graphs import mesh_graph
+from repro.partition.metrics import (
+    batch_cut_size,
+    batch_part_cuts,
+    batch_part_loads,
+)
+
+
+# ----------------------------------------------------------------------
+# Reference kernels: the seed's scatter-add batch metrics, kept verbatim
+# so the bincount rewrites are benchmarked against a fixed baseline.
+# ----------------------------------------------------------------------
+
+def seed_batch_part_loads(graph, pop, n_parts):
+    p = pop.shape[0]
+    loads = np.zeros((p, n_parts))
+    rows = np.broadcast_to(np.arange(p)[:, None], pop.shape)
+    np.add.at(loads, (rows, pop), graph.node_weights[None, :])
+    return loads
+
+
+def seed_batch_part_cuts(graph, pop, n_parts):
+    p = pop.shape[0]
+    cuts = np.zeros((p, n_parts))
+    pu = pop[:, graph.edges_u]
+    pv = pop[:, graph.edges_v]
+    w = np.where(pu != pv, graph.edge_weights[None, :], 0.0)
+    rows = np.broadcast_to(np.arange(p)[:, None], pu.shape)
+    np.add.at(cuts, (rows, pu), w)
+    np.add.at(cuts, (rows, pv), w)
+    return cuts
 
 
 @pytest.fixture(scope="module")
@@ -28,6 +61,38 @@ def setup():
     k = 8
     pop = random_population(graph.n_nodes, k, 320, seed=1)
     return graph, k, pop
+
+
+def test_batch_part_loads_bincount(benchmark, setup):
+    graph, k, pop = setup
+    out = benchmark(batch_part_loads, graph, pop, k)
+    assert out.shape == (320, k)
+
+
+def test_batch_part_cuts_bincount(benchmark, setup):
+    graph, k, pop = setup
+    out = benchmark(batch_part_cuts, graph, pop, k)
+    assert out.shape == (320, k)
+
+
+def test_batch_cut_size(benchmark, setup):
+    graph, k, pop = setup
+    out = benchmark(batch_cut_size, graph, pop)
+    assert out.shape == (320,)
+
+
+def test_batch_part_loads_seed_addat(benchmark, setup):
+    """Baseline: the seed's np.add.at form (before/after comparison)."""
+    graph, k, pop = setup
+    out = benchmark(seed_batch_part_loads, graph, pop, k)
+    assert np.array_equal(out, batch_part_loads(graph, pop, k))
+
+
+def test_batch_part_cuts_seed_addat(benchmark, setup):
+    """Baseline: the seed's np.add.at form (before/after comparison)."""
+    graph, k, pop = setup
+    out = benchmark(seed_batch_part_cuts, graph, pop, k)
+    assert np.array_equal(out, batch_part_cuts(graph, pop, k))
 
 
 def test_fitness1_batch_eval(benchmark, setup):

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Perf guard for the GA's batch-metric kernels.
+
+Times the fused-bincount batch metrics against the seed's ``np.add.at``
+scatter-add forms at paper scale (P=320 individuals, ~300-node mesh,
+k=8), verifies the two agree numerically, and writes the measurements
+to ``BENCH_metrics.json`` so later PRs can track the perf trajectory.
+Exits non-zero if a kernel falls below its speedup floor or disagrees
+with the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench.py \
+        [--min-speedup 3.0] [--repeats 30] [--out benchmarks/BENCH_metrics.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ga import Fitness1
+from repro.ga.population import random_population
+from repro.graphs import mesh_graph
+from repro.partition.metrics import (
+    batch_cut_size,
+    batch_part_cuts,
+    batch_part_loads,
+)
+
+from bench_microbench import seed_batch_part_cuts, seed_batch_part_loads
+
+#: paper-scale workload (Section 4: population 320, few-hundred-node meshes)
+MESH_NODES = 300
+N_PARTS = 8
+POPULATION = 320
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best wall time over ``repeats`` runs (seconds); best-of filters
+    scheduler noise better than the mean for sub-ms kernels."""
+    fn()  # warm up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="floor for new/seed speedup of the rewritten kernels",
+    )
+    parser.add_argument("--repeats", type=int, default=30)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_metrics.json",
+    )
+    args = parser.parse_args(argv)
+
+    graph = mesh_graph(MESH_NODES, seed=77, candidates=6)
+    pop = random_population(graph.n_nodes, N_PARTS, POPULATION, seed=1)
+    fitness = Fitness1(graph, N_PARTS)
+
+    failures: list[str] = []
+    kernels: dict[str, dict] = {}
+
+    guarded = [
+        (
+            "batch_part_loads",
+            lambda: batch_part_loads(graph, pop, N_PARTS),
+            lambda: seed_batch_part_loads(graph, pop, N_PARTS),
+        ),
+        (
+            "batch_part_cuts",
+            lambda: batch_part_cuts(graph, pop, N_PARTS),
+            lambda: seed_batch_part_cuts(graph, pop, N_PARTS),
+        ),
+    ]
+    for name, new_fn, seed_fn in guarded:
+        if not np.allclose(new_fn(), seed_fn(), rtol=0, atol=1e-9):
+            failures.append(f"{name}: results diverge from the seed kernel")
+            continue
+        new_s = best_of(new_fn, args.repeats)
+        seed_s = best_of(seed_fn, args.repeats)
+        speedup = seed_s / new_s if new_s > 0 else float("inf")
+        kernels[name] = {
+            "new_ms": round(new_s * 1e3, 4),
+            "seed_ms": round(seed_s * 1e3, 4),
+            "speedup": round(speedup, 2),
+        }
+        if speedup < args.min_speedup:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below floor "
+                f"{args.min_speedup:.2f}x"
+            )
+
+    # trajectory-only kernels (no seed baseline / no floor)
+    for name, fn in [
+        ("batch_cut_size", lambda: batch_cut_size(graph, pop)),
+        ("fitness1_evaluate_batch", lambda: fitness.evaluate_batch(pop)),
+    ]:
+        kernels[name] = {"new_ms": round(best_of(fn, args.repeats) * 1e3, 4)}
+
+    report = {
+        "scale": {
+            "mesh_nodes": graph.n_nodes,
+            "edges": graph.n_edges,
+            "population": POPULATION,
+            "n_parts": N_PARTS,
+        },
+        "min_speedup": args.min_speedup,
+        "kernels": kernels,
+        "ok": not failures,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(json.dumps(report, indent=2))
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

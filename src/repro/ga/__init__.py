@@ -7,6 +7,7 @@ from .config import (
     PAPER_POPULATION,
 )
 from .fitness import Fitness1, Fitness2, FitnessFunction, make_fitness
+from .evaluation import BatchEvaluator
 from .crossover import (
     CrossoverOperator,
     KPointCrossover,
@@ -52,6 +53,7 @@ __all__ = [
     "PAPER_CROSSOVER_RATE",
     "PAPER_MUTATION_RATE",
     "PAPER_POPULATION",
+    "BatchEvaluator",
     "Fitness1",
     "Fitness2",
     "FitnessFunction",

@@ -240,48 +240,63 @@ class DPGA:
                 have = np.vstack([have, extra]) if have.size else extra
             populations.append(have[:island_pop].copy())
 
+        # Initial evaluation goes through each island engine's caching
+        # evaluator so the best-ever trackers see every row from the
+        # start (migrated copies were evaluated on their source island).
+        for engine in self.engines:
+            engine.evaluator.reset()
         fitnesses = [
-            self.fitness.evaluate_batch(pop) for pop in populations
+            self.engines[island].evaluator.evaluate(populations[island])[0]
+            for island in range(n_isl)
         ]
         history = GAHistory()
         island_histories = [GAHistory() for _ in range(n_isl)]
         best_fitness = -np.inf
         best_assignment = populations[0][0].copy()
-        self._record_global(history, populations, fitnesses, cfg.total_population)
+        self._record_global(
+            history, populations, fitnesses,
+            sum(pop.shape[0] for pop in populations),
+        )
         for island in range(n_isl):
             self.engines[island]._record(
                 island_histories[island], populations[island],
                 fitnesses[island], island_pop,
             )
-        for island in range(n_isl):
-            idx = int(np.argmax(fitnesses[island]))
-            if fitnesses[island][idx] > best_fitness:
-                best_fitness = float(fitnesses[island][idx])
-                best_assignment = populations[island][idx].copy()
+
+        def _harvest() -> bool:
+            """Pull best-ever-evaluated from the island trackers."""
+            nonlocal best_fitness, best_assignment
+            improved = False
+            for engine in self.engines:
+                tracker = engine.evaluator
+                if (
+                    tracker.best_assignment is not None
+                    and tracker.best_fitness > best_fitness
+                ):
+                    best_fitness = float(tracker.best_fitness)
+                    best_assignment = tracker.best_assignment.copy()
+                    improved = True
+            return improved
+
+        _harvest()
 
         stopped_by = "max_generations"
         stale = 0
         for gen in range(1, cfg.max_generations + 1):
+            gen_evals = 0
             for island in range(n_isl):
                 populations[island], fitnesses[island], evals = self.engines[
                     island
                 ].step(populations[island], fitnesses[island])
+                gen_evals += evals
                 self.engines[island]._record(
                     island_histories[island], populations[island],
                     fitnesses[island], evals,
                 )
             if gen % cfg.migration_interval == 0:
                 self._migrate(populations, fitnesses)
-            self._record_global(
-                history, populations, fitnesses, cfg.total_population
-            )
-            improved = False
-            for island in range(n_isl):
-                idx = int(np.argmax(fitnesses[island]))
-                if fitnesses[island][idx] > best_fitness:
-                    best_fitness = float(fitnesses[island][idx])
-                    best_assignment = populations[island][idx].copy()
-                    improved = True
+            self._record_global(history, populations, fitnesses, gen_evals)
+            improved = _harvest()
             stale = 0 if improved else stale + 1
             if cfg.patience is not None and stale >= cfg.patience:
                 stopped_by = "patience"

@@ -10,6 +10,13 @@ Everything between the per-generation bookkeeping lines is whole-array
 numpy over the ``(P, n)`` population matrix; a paper-scale generation
 (320 individuals, ~300-node mesh) costs a few milliseconds.
 
+All fitness values flow through a per-engine :class:`BatchEvaluator`,
+which skips re-evaluation of offspring that are verbatim copies of
+their parents (non-recombined pairs, unmutated rows), reuses the
+fitness the hill climber computes, counts every evaluated row exactly
+once into :class:`GAHistory`, and tracks the best individual *ever
+evaluated* — not merely the best that survived replacement.
+
 The engine is also the single integration point for DKNUX: the
 operator's :meth:`prepare` hook receives the evaluated population each
 generation, which is how the dynamic estimate tracks the best-so-far
@@ -30,6 +37,7 @@ from ..partition.partition import Partition
 from ..rng import SeedLike, as_generator
 from .config import GAConfig
 from .crossover import CrossoverOperator
+from .evaluation import BatchEvaluator
 from .fitness import FitnessFunction
 from .hillclimb import HillClimber
 from .history import GAHistory
@@ -97,6 +105,8 @@ class GAEngine:
         self._climber: Optional[HillClimber] = None
         if self.config.hill_climb != "off":
             self._climber = HillClimber(graph, fitness)
+        #: caching evaluation backend; owns eval counts and best-ever state
+        self.evaluator = BatchEvaluator(fitness)
 
     # ------------------------------------------------------------------
     def _initial_population(
@@ -125,9 +135,20 @@ class GAEngine:
         return pop.copy()
 
     def _make_offspring(
-        self, population: np.ndarray, fitness_values: np.ndarray
-    ) -> np.ndarray:
-        """Select parents, recombine (with prob p_c), and mutate."""
+        self,
+        population: np.ndarray,
+        fitness_values: np.ndarray,
+        track_clones: bool = True,
+    ) -> tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Select parents, recombine (with prob p_c), and mutate.
+
+        Returns ``(offspring, source_fitness, unchanged)``: each child's
+        source parent fitness and a mask of children that came through
+        crossover + mutation as verbatim copies of that parent — those
+        rows need no re-evaluation.  ``track_clones=False`` skips that
+        bookkeeping (both extras are ``None``) for callers that will
+        re-evaluate every row anyway.
+        """
         cfg = self.config
         p = population.shape[0]
         n_pairs = (p + 1) // 2
@@ -146,42 +167,75 @@ class GAEngine:
             child1[recombine] = c1
             child2[recombine] = c2
         offspring = np.vstack([child1, child2])[:p]
-        return self._mutator.mutate(offspring, cfg.mutation_rate, self.rng)
+        offspring = self._mutator.mutate(offspring, cfg.mutation_rate, self.rng)
+        if not track_clones:
+            return offspring, None, None
+        sources = np.vstack([parents_a, parents_b])[:p]
+        source_fitness = np.concatenate(
+            [fitness_values[idx_a], fitness_values[idx_b]]
+        )[:p]
+        unchanged = np.all(offspring == sources, axis=1)
+        return offspring, source_fitness, unchanged
 
     def _apply_hill_climbing(
         self, offspring: np.ndarray, offspring_fitness: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Returns (offspring, fitness, extra fitness evaluations).
+
+        Only handles "best" here; "all" is dispatched in :meth:`step`
+        before any offspring evaluation, since climbing every row makes
+        the pre-climb fitness pass pure waste.
+        """
         cfg = self.config
-        if self._climber is None or cfg.hill_climb in ("off", "final"):
-            return offspring, offspring_fitness
-        if cfg.hill_climb == "all":
-            improved = self._climber.improve_batch(
-                offspring, max_passes=cfg.hill_climb_passes, rng=self.rng
-            )
-            return improved, self.fitness.evaluate_batch(improved)
+        if self._climber is None or cfg.hill_climb in ("off", "final", "all"):
+            return offspring, offspring_fitness, 0
         # "best": climb only the best offspring of this generation
         idx = int(np.argmax(offspring_fitness))
         better, fit = self._climber.improve(
             offspring[idx], max_passes=cfg.hill_climb_passes, rng=self.rng
         )
+        self.evaluator.observe(better[None, :], np.array([fit]), evaluated=1)
         offspring = offspring.copy()
         offspring_fitness = offspring_fitness.copy()
         offspring[idx] = better
         offspring_fitness[idx] = fit
-        return offspring, offspring_fitness
+        return offspring, offspring_fitness, 1
 
     def step(
         self, population: np.ndarray, fitness_values: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, int]:
-        """Advance one generation; returns (pop, fitness, evaluations)."""
+        """Advance one generation; returns (pop, fitness, evaluations).
+
+        ``evaluations`` counts the rows actually passed through the
+        fitness function this generation — cloned offspring reuse their
+        parent's fitness and are not counted, hill-climb evaluations
+        are.
+        """
         cfg = self.config
+        climb_all = self._climber is not None and cfg.hill_climb == "all"
         self.crossover.prepare(population, fitness_values)
-        offspring = self._make_offspring(population, fitness_values)
-        offspring_fitness = self.fitness.evaluate_batch(offspring)
-        evaluations = offspring.shape[0]
-        offspring, offspring_fitness = self._apply_hill_climbing(
-            offspring, offspring_fitness
+        offspring, source_fitness, unchanged = self._make_offspring(
+            population, fitness_values, track_clones=not climb_all
         )
+        if climb_all:
+            # every row gets climbed, and the climber neither needs nor
+            # keeps pre-climb fitness — its batched evaluation of the
+            # climbed rows is the generation's only fitness pass
+            offspring, offspring_fitness = self._climber.improve_batch(
+                offspring, max_passes=cfg.hill_climb_passes, rng=self.rng
+            )
+            self.evaluator.observe(
+                offspring, offspring_fitness, evaluated=offspring.shape[0]
+            )
+            evaluations = offspring.shape[0]
+        else:
+            offspring_fitness, evaluations = self.evaluator.evaluate(
+                offspring, known_fitness=source_fitness, known_mask=unchanged
+            )
+            offspring, offspring_fitness, climb_evals = (
+                self._apply_hill_climbing(offspring, offspring_fitness)
+            )
+            evaluations += climb_evals
         if cfg.replacement == "plus":
             new_pop, new_fit = plus_replacement(
                 population, fitness_values, offspring, offspring_fitness,
@@ -199,29 +253,29 @@ class GAEngine:
         """Run to completion and return the best partition found.
 
         The result's ``best`` is the best individual *ever evaluated*
-        (the paper reports "the best individual explored by the GA"),
-        which under plus-replacement coincides with the final best.
+        (the paper reports "the best individual explored by the GA").
+        The evaluator tracks it at evaluation time, so offspring that
+        are dropped at replacement (generational mode with a small
+        elite) still count.
         """
         cfg = self.config
         history = GAHistory()
+        evaluator = self.evaluator
+        evaluator.reset()
         population = self._initial_population(initial_population)
-        fitness_values = self.fitness.evaluate_batch(population)
-        best_idx = int(np.argmax(fitness_values))
-        best_assignment = population[best_idx].copy()
-        best_fitness = float(fitness_values[best_idx])
-        self._record(history, population, fitness_values, population.shape[0])
+        fitness_values, evals = evaluator.evaluate(population)
+        self._record(history, population, fitness_values, evals)
 
         stopped_by = "max_generations"
         stale = 0
+        best_fitness = evaluator.best_fitness
         for _ in range(cfg.max_generations):
             population, fitness_values, evals = self.step(
                 population, fitness_values
             )
             self._record(history, population, fitness_values, evals)
-            idx = int(np.argmax(fitness_values))
-            if fitness_values[idx] > best_fitness:
-                best_fitness = float(fitness_values[idx])
-                best_assignment = population[idx].copy()
+            if evaluator.best_fitness > best_fitness:
+                best_fitness = evaluator.best_fitness
                 stale = 0
             else:
                 stale += 1
@@ -232,17 +286,23 @@ class GAEngine:
                 stopped_by = "patience"
                 break
 
+        best_assignment = evaluator.best_assignment
+        best_fitness = evaluator.best_fitness
         if self._climber is not None and cfg.hill_climb == "final":
             climbed, fit = self._climber.improve(
                 best_assignment, max_passes=cfg.hill_climb_passes, rng=self.rng
             )
+            evaluator.observe(climbed[None, :], np.array([fit]), evaluated=1)
+            history.add_evaluations(1)
             if fit > best_fitness:
                 best_assignment, best_fitness = climbed, fit
 
-        best = Partition(self.graph, best_assignment, self.n_parts)
+        best = Partition(
+            self.graph, np.array(best_assignment, dtype=np.int64), self.n_parts
+        )
         return GAResult(
             best=best,
-            best_fitness=best_fitness,
+            best_fitness=float(best_fitness),
             history=history,
             generations=history.n_generations - 1,
             stopped_by=stopped_by,

@@ -30,6 +30,7 @@ from ..partition.metrics import (
     batch_load_imbalance,
     batch_max_part_cut,
     batch_part_cuts,
+    check_population,
 )
 
 __all__ = ["FitnessFunction", "Fitness1", "Fitness2", "make_fitness"]
@@ -38,7 +39,10 @@ __all__ = ["FitnessFunction", "Fitness1", "Fitness2", "make_fitness"]
 class FitnessFunction:
     """Base class: maximize ``evaluate``; higher is better.
 
-    Subclasses implement :meth:`evaluate_batch`; the scalar form wraps it.
+    Subclasses implement :meth:`_communication_checked`; the public
+    entry points validate the population once and share the checked
+    kernels, so the reporting hooks can never diverge from what
+    evaluation computes.
     """
 
     #: short name used by configs and experiment reports
@@ -55,7 +59,28 @@ class FitnessFunction:
         self._avg_load = graph.total_node_weight() / n_parts
 
     def evaluate_batch(self, population: np.ndarray) -> np.ndarray:
-        """``(P,)`` fitness vector for a ``(P, n)`` population matrix."""
+        """``(P,)`` fitness vector for a ``(P, n)`` population matrix.
+
+        Validates the population once, then hands it to the subclass
+        kernel — the batch metrics are told to skip their own (repeated)
+        validation scans.
+        """
+        pop = check_population(self.graph, population, self.n_parts)
+        return self._evaluate_checked(pop)
+
+    def _evaluate_checked(self, population: np.ndarray) -> np.ndarray:
+        """Fitness kernel over an already-validated population."""
+        imb = self._imbalance_checked(population)
+        comm = self._communication_checked(population)
+        return -(imb + self.alpha * comm)
+
+    def _imbalance_checked(self, population: np.ndarray) -> np.ndarray:
+        return batch_load_imbalance(
+            self.graph, population, self.n_parts, validate=False
+        )
+
+    def _communication_checked(self, population: np.ndarray) -> np.ndarray:
+        """The communication term over an already-validated population."""
         raise NotImplementedError
 
     def evaluate(self, assignment: np.ndarray) -> float:
@@ -64,11 +89,13 @@ class FitnessFunction:
 
     # Components, exposed for reporting ---------------------------------
     def imbalance_batch(self, population: np.ndarray) -> np.ndarray:
-        return batch_load_imbalance(self.graph, population, self.n_parts)
+        pop = check_population(self.graph, population, self.n_parts)
+        return self._imbalance_checked(pop)
 
     def communication_batch(self, population: np.ndarray) -> np.ndarray:
         """The communication term this fitness penalizes (unscaled)."""
-        raise NotImplementedError
+        pop = check_population(self.graph, population, self.n_parts)
+        return self._communication_checked(pop)
 
     def __repr__(self) -> str:
         return (
@@ -81,13 +108,10 @@ class Fitness1(FitnessFunction):
 
     name = "fitness1"
 
-    def communication_batch(self, population: np.ndarray) -> np.ndarray:
-        return batch_part_cuts(self.graph, population, self.n_parts).sum(axis=1)
-
-    def evaluate_batch(self, population: np.ndarray) -> np.ndarray:
-        imb = self.imbalance_batch(population)
-        comm = self.communication_batch(population)
-        return -(imb + self.alpha * comm)
+    def _communication_checked(self, population: np.ndarray) -> np.ndarray:
+        return batch_part_cuts(
+            self.graph, population, self.n_parts, validate=False
+        ).sum(axis=1)
 
 
 class Fitness2(FitnessFunction):
@@ -95,13 +119,10 @@ class Fitness2(FitnessFunction):
 
     name = "fitness2"
 
-    def communication_batch(self, population: np.ndarray) -> np.ndarray:
-        return batch_max_part_cut(self.graph, population, self.n_parts)
-
-    def evaluate_batch(self, population: np.ndarray) -> np.ndarray:
-        imb = self.imbalance_batch(population)
-        comm = self.communication_batch(population)
-        return -(imb + self.alpha * comm)
+    def _communication_checked(self, population: np.ndarray) -> np.ndarray:
+        return batch_max_part_cut(
+            self.graph, population, self.n_parts, validate=False
+        )
 
 
 def make_fitness(

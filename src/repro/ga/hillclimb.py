@@ -68,6 +68,16 @@ class HillClimber:
         order biases which local optimum is reached); ``None`` keeps the
         deterministic ascending order.
         """
+        a = self._climb(assignment, max_passes, rng)
+        return a, self.fitness.evaluate(a)
+
+    def _climb(
+        self,
+        assignment: np.ndarray,
+        max_passes: int,
+        rng: Optional[np.random.Generator],
+    ) -> np.ndarray:
+        """Greedy migration passes; returns the climbed assignment only."""
         graph, k = self.graph, self.n_parts
         alpha = self.fitness.alpha
         a = np.asarray(assignment, dtype=np.int64).copy()
@@ -128,16 +138,23 @@ class HillClimber:
                     moved = True
             if not moved:
                 break
-        return a, self.fitness.evaluate(a)
+        return a
 
     def improve_batch(
         self,
         population: np.ndarray,
         max_passes: int = 1,
         rng: Optional[np.random.Generator] = None,
-    ) -> np.ndarray:
-        """Hill-climb every row of a ``(B, n)`` batch (returns a new array)."""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hill-climb every row of a ``(B, n)`` batch.
+
+        Returns ``(improved, fitness)`` where ``fitness`` comes from one
+        batched evaluation of the climbed rows — callers should reuse it
+        instead of re-evaluating the batch (which is what the engine
+        used to do, doubling the per-generation evaluation cost under
+        ``hill_climb="all"``).
+        """
         out = np.empty_like(population)
         for r in range(population.shape[0]):
-            out[r], _ = self.improve(population[r], max_passes=max_passes, rng=rng)
-        return out
+            out[r] = self._climb(population[r], max_passes, rng)
+        return out, self.fitness.evaluate_batch(out)

@@ -46,6 +46,11 @@ class GAHistory:
             self.n_improvements += 1
             self._last_best = best
 
+    def add_evaluations(self, n: int) -> None:
+        """Count ``n`` fitness evaluations made outside :meth:`record`
+        (e.g. the engine's final hill-climb)."""
+        self.n_evaluations += int(n)
+
     @property
     def n_generations(self) -> int:
         return len(self.best_fitness)

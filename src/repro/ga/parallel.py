@@ -107,13 +107,24 @@ def _get_engine(island: int) -> GAEngine:
 
 def _run_epoch(
     island: int, population: np.ndarray, fitness_values: np.ndarray, n_gens: int
-) -> tuple[int, np.ndarray, np.ndarray, int]:
+) -> tuple[int, np.ndarray, np.ndarray, int, Optional[np.ndarray], float]:
+    """Step one island for an epoch; also ship the engine evaluator's
+    best-ever individual so offspring dropped at replacement still reach
+    the coordinator's harvest."""
     engine = _get_engine(island)
     evals = 0
     for _ in range(n_gens):
         population, fitness_values, e = engine.step(population, fitness_values)
         evals += e
-    return island, population, fitness_values, evals
+    tracker = engine.evaluator
+    return (
+        island,
+        population,
+        fitness_values,
+        evals,
+        tracker.best_assignment,
+        float(tracker.best_fitness),
+    )
 
 
 class ParallelDPGA:
@@ -245,10 +256,15 @@ class ParallelDPGA:
                 ]
                 total_evals = 0
                 for fut in futures:
-                    island, pop, fit, evals = fut.result()
+                    island, pop, fit, evals, epoch_best, epoch_best_fit = (
+                        fut.result()
+                    )
                     populations[island] = pop
                     fitnesses[island] = fit
                     total_evals += evals
+                    if epoch_best is not None and epoch_best_fit > best_fitness:
+                        best_fitness = epoch_best_fit
+                        best_assignment = epoch_best.copy()
                 self._migrate(populations, fitnesses)
                 all_fit = np.concatenate(fitnesses)
                 history.record(

@@ -9,6 +9,7 @@ from .metrics import (
     batch_part_cuts,
     batch_part_loads,
     boundary_nodes,
+    check_population,
     cut_edges_mask,
     cut_size,
     load_imbalance,
@@ -29,6 +30,7 @@ __all__ = [
     "batch_part_cuts",
     "batch_part_loads",
     "boundary_nodes",
+    "check_population",
     "cut_edges_mask",
     "cut_size",
     "load_imbalance",

@@ -1,0 +1,402 @@
+"""Tests for the fast evaluation backend and evaluation bookkeeping.
+
+Covers the fused-bincount batch metrics (equivalence with the seed's
+scatter-add forms on random weighted graphs, chunking invariance, the
+scalar/batch bit-identity), the caching :class:`BatchEvaluator`, and
+the engine-level bookkeeping fixes: best-ever tracking under
+generational replacement with ``elite=0`` and exact evaluation
+counting across all hill-climb modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.ga import (
+    BatchEvaluator,
+    Fitness1,
+    Fitness2,
+    GAConfig,
+    GAEngine,
+    HillClimber,
+    UniformCrossover,
+)
+from repro.graphs import CSRGraph, mesh_graph
+from repro.partition import metrics
+from repro.partition.metrics import (
+    batch_cut_size,
+    batch_load_imbalance,
+    batch_part_cuts,
+    batch_part_loads,
+    part_cuts,
+    part_loads,
+)
+
+
+# ----------------------------------------------------------------------
+# Reference implementations: the seed's np.add.at scatter-add forms
+# ----------------------------------------------------------------------
+
+def ref_batch_part_loads(graph, pop, n_parts):
+    p = pop.shape[0]
+    loads = np.zeros((p, n_parts))
+    rows = np.broadcast_to(np.arange(p)[:, None], pop.shape)
+    np.add.at(loads, (rows, pop), graph.node_weights[None, :])
+    return loads
+
+
+def ref_batch_part_cuts(graph, pop, n_parts):
+    p = pop.shape[0]
+    cuts = np.zeros((p, n_parts))
+    if graph.n_edges == 0:
+        return cuts
+    pu = pop[:, graph.edges_u]
+    pv = pop[:, graph.edges_v]
+    w = np.where(pu != pv, graph.edge_weights[None, :], 0.0)
+    rows = np.broadcast_to(np.arange(p)[:, None], pu.shape)
+    np.add.at(cuts, (rows, pu), w)
+    np.add.at(cuts, (rows, pv), w)
+    return cuts
+
+
+def random_weighted_graph(seed, n=57, m=240, unit_weights=False):
+    rng = np.random.default_rng(seed)
+    eu = rng.integers(0, n, size=m)
+    ev = rng.integers(0, n, size=m)
+    keep = eu != ev
+    eu, ev = eu[keep], ev[keep]
+    if unit_weights:
+        ew, nw = None, None
+    else:
+        ew = rng.uniform(0.25, 8.0, size=eu.size)
+        nw = rng.uniform(0.5, 4.0, size=n)
+    return CSRGraph(n, eu, ev, edge_weights=ew, node_weights=nw)
+
+
+class TestMetricEquivalence:
+    @pytest.mark.parametrize("seed,k", [(0, 2), (1, 4), (2, 7), (3, 11)])
+    def test_weighted_graphs_match_reference(self, seed, k):
+        g = random_weighted_graph(seed)
+        rng = np.random.default_rng(seed + 100)
+        pop = rng.integers(0, k, size=(33, g.n_nodes))
+        np.testing.assert_allclose(
+            batch_part_loads(g, pop, k), ref_batch_part_loads(g, pop, k),
+            rtol=0, atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            batch_part_cuts(g, pop, k), ref_batch_part_cuts(g, pop, k),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_unit_weight_graphs_match_exactly(self):
+        g = mesh_graph(80, seed=5)
+        rng = np.random.default_rng(7)
+        pop = rng.integers(0, 5, size=(40, 80))
+        assert np.array_equal(
+            batch_part_loads(g, pop, 5), ref_batch_part_loads(g, pop, 5)
+        )
+        assert np.array_equal(
+            batch_part_cuts(g, pop, 5), ref_batch_part_cuts(g, pop, 5)
+        )
+
+    def test_loads_bitwise_identical_to_reference_weighted(self):
+        # the loads kernel accumulates nodes in the same order as the
+        # scatter-add form, so even float weights agree bitwise
+        g = random_weighted_graph(9)
+        rng = np.random.default_rng(8)
+        pop = rng.integers(0, 6, size=(21, g.n_nodes))
+        assert np.array_equal(
+            batch_part_loads(g, pop, 6), ref_batch_part_loads(g, pop, 6)
+        )
+
+    @pytest.mark.parametrize("unit", [True, False])
+    def test_scalar_forms_bitwise_match_batch(self, unit):
+        g = random_weighted_graph(11, unit_weights=unit)
+        rng = np.random.default_rng(12)
+        for k in (2, 5):
+            a = rng.integers(0, k, size=g.n_nodes)
+            assert np.array_equal(
+                part_loads(g, a, k), batch_part_loads(g, a[None, :], k)[0]
+            )
+            assert np.array_equal(
+                part_cuts(g, a, k), batch_part_cuts(g, a[None, :], k)[0]
+            )
+
+    def test_fractional_weights_keep_exact_zeros(self):
+        """Uncut parts must report exactly 0.0 even with large
+        fractional weights (the incident-minus-internal identity would
+        cancel two huge sums into noise; those graphs take the direct
+        path)."""
+        rng = np.random.default_rng(31)
+        n = 64
+        eu = rng.integers(0, n, 300)
+        ev = rng.integers(0, n, 300)
+        keep = eu != ev
+        g = CSRGraph(
+            n, eu[keep], ev[keep],
+            edge_weights=rng.uniform(1e6, 1e7, size=int(keep.sum())),
+        )
+        pop = np.zeros((4, n), dtype=np.int64)  # everything internal
+        assert np.all(batch_part_cuts(g, pop, 3) == 0.0)
+
+    def test_fractional_weights_bitwise_match_reference(self):
+        """The direct path accumulates endpoints in the same order as
+        the scatter-add form, so positive float weights agree bitwise."""
+        g = random_weighted_graph(33)
+        rng = np.random.default_rng(34)
+        pop = rng.integers(0, 4, size=(17, g.n_nodes))
+        assert np.array_equal(
+            batch_part_cuts(g, pop, 4), ref_batch_part_cuts(g, pop, 4)
+        )
+
+    def test_near_converged_population_dense_path(self):
+        # mostly-uncut rows exercise the dense internal-edge branch
+        g = random_weighted_graph(13)
+        pop = np.zeros((30, g.n_nodes), dtype=np.int64)
+        pop[:, :3] = 1  # a few boundary nodes only
+        np.testing.assert_allclose(
+            batch_part_cuts(g, pop, 3), ref_batch_part_cuts(g, pop, 3),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_edgeless_and_empty(self):
+        g = CSRGraph(4, [], [])
+        pop = np.zeros((3, 4), dtype=np.int64)
+        assert batch_part_cuts(g, pop, 2).tolist() == [[0, 0]] * 3
+        empty = np.zeros((0, 4), dtype=np.int64)
+        assert batch_part_cuts(g, empty, 2).shape == (0, 2)
+        assert batch_part_loads(g, empty, 2).shape == (0, 2)
+
+
+class TestChunking:
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 7, 1000])
+    def test_chunked_results_bit_identical(self, chunk_rows):
+        g = random_weighted_graph(21)
+        rng = np.random.default_rng(22)
+        pop = rng.integers(0, 4, size=(25, g.n_nodes))
+        full_loads = batch_part_loads(g, pop, 4)
+        full_cuts = batch_part_cuts(g, pop, 4)
+        full_sizes = batch_cut_size(g, pop)
+        assert np.array_equal(
+            full_loads, batch_part_loads(g, pop, 4, chunk_rows=chunk_rows)
+        )
+        assert np.array_equal(
+            full_cuts, batch_part_cuts(g, pop, 4, chunk_rows=chunk_rows)
+        )
+        # cut_size's BLAS row reduction may move the last ulp between
+        # chunk heights; the bincount metrics above are bit-invariant
+        np.testing.assert_allclose(
+            full_sizes, batch_cut_size(g, pop, chunk_rows=chunk_rows),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_auto_chunking_kicks_in_under_small_budget(self, monkeypatch):
+        g = random_weighted_graph(23)
+        rng = np.random.default_rng(24)
+        pop = rng.integers(0, 3, size=(19, g.n_nodes))
+        expected_loads = batch_part_loads(g, pop, 3)
+        expected_cuts = batch_part_cuts(g, pop, 3)
+        monkeypatch.setattr(metrics, "_CHUNK_ELEMS", 64)
+        assert np.array_equal(expected_loads, batch_part_loads(g, pop, 3))
+        assert np.array_equal(expected_cuts, batch_part_cuts(g, pop, 3))
+
+    def test_invalid_chunk_rows_rejected(self):
+        g = mesh_graph(30, seed=1)
+        pop = np.zeros((2, 30), dtype=np.int64)
+        with pytest.raises(PartitionError):
+            batch_part_loads(g, pop, 2, chunk_rows=0)
+
+    def test_validation_still_enforced_by_default(self):
+        g = mesh_graph(30, seed=1)
+        with pytest.raises(PartitionError):
+            batch_part_cuts(g, np.full((2, 30), 9, dtype=np.int64), 4)
+        f = Fitness1(g, 3)
+        with pytest.raises(PartitionError):
+            f.evaluate_batch(np.full((2, 30), 9, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# The caching evaluator
+# ----------------------------------------------------------------------
+
+class SpyFitness(Fitness1):
+    """Records every row that actually flows through evaluate_batch."""
+
+    def __init__(self, graph, n_parts, alpha=1.0):
+        super().__init__(graph, n_parts, alpha=alpha)
+        self.rows_evaluated = 0
+        self.best_seen = -np.inf
+
+    def evaluate_batch(self, population):
+        out = super().evaluate_batch(population)
+        self.rows_evaluated += out.shape[0]
+        if out.size:
+            self.best_seen = max(self.best_seen, float(out.max()))
+        return out
+
+
+class TestBatchEvaluator:
+    def setup_method(self):
+        self.graph = mesh_graph(50, seed=3)
+        self.k = 4
+        rng = np.random.default_rng(0)
+        self.pop = rng.integers(0, self.k, size=(24, 50))
+
+    def test_cached_rows_not_reevaluated(self):
+        spy = SpyFitness(self.graph, self.k)
+        full = spy.evaluate_batch(self.pop)
+        spy.rows_evaluated = 0
+        ev = BatchEvaluator(spy)
+        mask = np.zeros(24, dtype=bool)
+        mask[::2] = True  # even rows "known"
+        values, n_new = ev.evaluate(
+            self.pop, known_fitness=full, known_mask=mask
+        )
+        assert np.array_equal(values, full)
+        assert n_new == 12
+        assert spy.rows_evaluated == 12
+        assert ev.n_evaluations == 12
+
+    def test_all_known_evaluates_nothing(self):
+        fit = Fitness1(self.graph, self.k)
+        full = fit.evaluate_batch(self.pop)
+        ev = BatchEvaluator(fit)
+        values, n_new = ev.evaluate(
+            self.pop, known_fitness=full, known_mask=np.ones(24, dtype=bool)
+        )
+        assert n_new == 0
+        assert np.array_equal(values, full)
+
+    def test_best_survives_worse_batches(self):
+        fit = Fitness1(self.graph, self.k)
+        ev = BatchEvaluator(fit)
+        first, _ = ev.evaluate(self.pop)
+        best_idx = int(np.argmax(first))
+        best_row = self.pop[best_idx].copy()
+        worse = np.asarray(ev.best_assignment is not None)
+        assert worse
+        # feed a strictly worse batch: best tracker must not move
+        keep_f, keep_a = ev.best_fitness, ev.best_assignment.copy()
+        bad = np.tile(self.pop[int(np.argmin(first))], (4, 1))
+        ev.evaluate(bad)
+        assert ev.best_fitness == keep_f
+        assert np.array_equal(ev.best_assignment, keep_a)
+        assert np.array_equal(ev.best_assignment, best_row)
+        assert ev.best_fitness == float(first[best_idx])
+
+    def test_known_mask_requires_known_fitness(self):
+        from repro.errors import ConfigError
+
+        ev = BatchEvaluator(Fitness1(self.graph, self.k))
+        with pytest.raises(ConfigError):
+            ev.evaluate(self.pop, known_mask=np.ones(24, dtype=bool))
+
+    def test_reset_clears_state(self):
+        fit = Fitness1(self.graph, self.k)
+        ev = BatchEvaluator(fit)
+        ev.evaluate(self.pop)
+        ev.reset()
+        assert ev.n_evaluations == 0
+        assert ev.best_assignment is None
+        assert ev.best_fitness == -np.inf
+
+
+# ----------------------------------------------------------------------
+# Engine bookkeeping regressions
+# ----------------------------------------------------------------------
+
+class TestEngineBookkeeping:
+    def _setup(self, seed=0):
+        g = mesh_graph(40, seed=11)
+        spy = SpyFitness(g, 3)
+        return g, spy
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_best_ever_with_generational_elite0(self, seed):
+        """Regression: with elite=0 the best offspring can be dropped at
+        replacement; the result must still report it."""
+        g, spy = self._setup()
+        cfg = GAConfig(
+            population_size=12,
+            max_generations=25,
+            replacement="generational",
+            elite=0,
+            mutation_rate=0.05,
+        )
+        res = GAEngine(g, spy, UniformCrossover(), cfg, seed=seed).run()
+        assert res.best_fitness == spy.best_seen
+        assert res.best_fitness == pytest.approx(
+            spy.evaluate(res.best.assignment)
+        )
+
+    @pytest.mark.parametrize(
+        "mode", ["off", "best", "all", "final"]
+    )
+    def test_evaluations_count_every_row_exactly_once(self, mode):
+        """GAHistory.evaluations == rows actually passed through the
+        fitness function, across every hill-climb mode."""
+        g, spy = self._setup()
+        cfg = GAConfig(
+            population_size=10,
+            max_generations=6,
+            hill_climb=mode,
+            hill_climb_passes=1,
+        )
+        res = GAEngine(g, spy, UniformCrossover(), cfg, seed=5).run()
+        assert res.history.n_evaluations == spy.rows_evaluated
+
+    def test_clones_are_not_reevaluated(self):
+        """With crossover and mutation off, every offspring is a clone:
+        only the initial population is ever evaluated."""
+        g, spy = self._setup()
+        cfg = GAConfig(
+            population_size=10,
+            max_generations=5,
+            crossover_rate=0.0,
+            mutation_rate=0.0,
+        )
+        res = GAEngine(g, spy, UniformCrossover(), cfg, seed=6).run()
+        assert spy.rows_evaluated == 10
+        assert res.history.n_evaluations == 10
+
+    def test_cached_run_matches_uncached_fitness_values(self):
+        """Caching must not change the search: every recorded fitness
+        equals a fresh evaluation of the corresponding individual."""
+        g = mesh_graph(40, seed=11)
+        fit = Fitness1(g, 3)
+        cfg = GAConfig(population_size=8, max_generations=10)
+        res = GAEngine(g, fit, UniformCrossover(), cfg, seed=7).run()
+        assert res.best_fitness == fit.evaluate(res.best.assignment)
+
+    def test_hillclimb_all_uses_climber_fitness(self):
+        g = mesh_graph(40, seed=11)
+        spy = SpyFitness(g, 3)
+        cfg = GAConfig(population_size=8, max_generations=3, hill_climb="all")
+        engine = GAEngine(g, spy, UniformCrossover(), cfg, seed=8)
+        res = engine.run()
+        # rows: initial 8 + per gen (evaluated offspring + 8 climbed);
+        # exact total is checked via the spy
+        assert res.history.n_evaluations == spy.rows_evaluated
+
+    def test_engine_evaluator_exposed_and_reset_per_run(self):
+        g = mesh_graph(40, seed=11)
+        fit = Fitness1(g, 3)
+        cfg = GAConfig(population_size=8, max_generations=2)
+        engine = GAEngine(g, fit, UniformCrossover(), cfg, seed=9)
+        engine.run()
+        first_count = engine.evaluator.n_evaluations
+        engine.run()
+        assert engine.evaluator.n_evaluations <= first_count * 2
+        assert engine.evaluator.best_assignment is not None
+
+
+class TestHillClimberFitnessReuse:
+    def test_improve_batch_fitness_vector_exact(self):
+        g = mesh_graph(40, seed=11)
+        fit = Fitness2(g, 3)
+        hc = HillClimber(g, fit)
+        rng = np.random.default_rng(1)
+        pop = rng.integers(0, 3, size=(5, 40))
+        out, values = hc.improve_batch(pop, max_passes=2)
+        assert values.shape == (5,)
+        assert np.array_equal(values, fit.evaluate_batch(out))

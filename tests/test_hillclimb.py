@@ -72,10 +72,11 @@ class TestBatchAndKnobs:
             [random_balanced_assignment(60, 4, seed=rng) for _ in range(6)]
         )
         before = fit.evaluate_batch(pop)
-        out = hc.improve_batch(pop, max_passes=2)
-        after = fit.evaluate_batch(out)
+        out, after = hc.improve_batch(pop, max_passes=2)
         assert np.all(after >= before - 1e-9)
         assert out.shape == pop.shape
+        # the returned fitness is exactly the batch evaluation of the rows
+        assert np.array_equal(after, fit.evaluate_batch(out))
 
     def test_rng_shuffles_scan_order(self, mesh60):
         fit = Fitness1(mesh60, 4)
