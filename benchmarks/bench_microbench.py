@@ -20,6 +20,7 @@ from repro.ga import (
     PointMutation,
     TwoPointCrossover,
 )
+from repro.ga.batch_climb import climb_batch
 from repro.ga.knux import KNUX
 from repro.ga.population import random_population
 from repro.graphs import mesh_graph
@@ -53,6 +54,15 @@ def seed_batch_part_cuts(graph, pop, n_parts):
     np.add.at(cuts, (rows, pu), w)
     np.add.at(cuts, (rows, pv), w)
     return cuts
+
+
+def scalar_improve_batch(hc, pop, max_passes):
+    """Baseline: the per-row scalar climb loop that ``improve_batch``
+    ran before the lockstep batch kernel (PR 2 tentpole reference)."""
+    out = np.empty_like(pop)
+    for r in range(pop.shape[0]):
+        out[r] = hc._climb(pop[r], max_passes, None)
+    return out
 
 
 @pytest.fixture(scope="module")
@@ -140,6 +150,22 @@ def test_hillclimb_single_pass(benchmark, setup):
     climber = HillClimber(graph, Fitness1(graph, k))
     out, value = benchmark(climber.improve, pop[0], 1)
     assert np.isfinite(value)
+
+
+def test_batch_hillclimb_lockstep(benchmark, setup):
+    """The vectorized population-axis climb (one pass, whole batch)."""
+    graph, k, pop = setup
+    fitness = Fitness1(graph, k)
+    out = benchmark(climb_batch, graph, fitness, pop, 1)
+    assert out.shape == pop.shape
+
+
+def test_batch_hillclimb_scalar_loop(benchmark, setup):
+    """Baseline: the per-row Python loop the batch kernel replaced."""
+    graph, k, pop = setup
+    hc = HillClimber(graph, Fitness1(graph, k))
+    out = benchmark(scalar_improve_batch, hc, pop, 1)
+    assert np.array_equal(out, climb_batch(graph, hc.fitness, pop, 1))
 
 
 def test_dknux_estimate_rebuild(benchmark, setup):

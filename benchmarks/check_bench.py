@@ -1,17 +1,19 @@
 #!/usr/bin/env python
-"""Perf guard for the GA's batch-metric kernels.
+"""Perf guard for the GA's batch kernels.
 
 Times the fused-bincount batch metrics against the seed's ``np.add.at``
-scatter-add forms at paper scale (P=320 individuals, ~300-node mesh,
-k=8), verifies the two agree numerically, and writes the measurements
-to ``BENCH_metrics.json`` so later PRs can track the perf trajectory.
-Exits non-zero if a kernel falls below its speedup floor or disagrees
-with the baseline.
+scatter-add forms, and the lockstep batch hill-climber against the
+per-row scalar climb loop, at paper scale (P=320 individuals, ~300-node
+mesh, k=8).  Verifies agreement (bit-identical for the hill climber)
+and writes the measurements to ``BENCH_metrics.json`` so later PRs can
+track the perf trajectory.  Exits non-zero if a kernel falls below its
+speedup floor or disagrees with the baseline.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_bench.py \
-        [--min-speedup 3.0] [--repeats 30] [--out benchmarks/BENCH_metrics.json]
+        [--min-speedup 3.0] [--min-climb-speedup 4.0] [--repeats 30] \
+        [--out benchmarks/BENCH_metrics.json]
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.ga import Fitness1
+from repro.ga import Fitness1, HillClimber, climb_batch
 from repro.ga.population import random_population
 from repro.graphs import mesh_graph
 from repro.partition.metrics import (
@@ -33,7 +35,11 @@ from repro.partition.metrics import (
     batch_part_loads,
 )
 
-from bench_microbench import seed_batch_part_cuts, seed_batch_part_loads
+from bench_microbench import (
+    scalar_improve_batch,
+    seed_batch_part_cuts,
+    seed_batch_part_loads,
+)
 
 #: paper-scale workload (Section 4: population 320, few-hundred-node meshes)
 MESH_NODES = 300
@@ -61,7 +67,20 @@ def main(argv=None) -> int:
         default=3.0,
         help="floor for new/seed speedup of the rewritten kernels",
     )
+    parser.add_argument(
+        "--min-climb-speedup",
+        type=float,
+        default=4.0,
+        help="floor for batch/scalar speedup of the lockstep hill-climber",
+    )
     parser.add_argument("--repeats", type=int, default=30)
+    parser.add_argument(
+        "--climb-repeats",
+        type=int,
+        default=3,
+        help="repeats for the hill-climb pair (its scalar baseline runs "
+        "seconds per call, so best-of-few keeps the guard fast)",
+    )
     parser.add_argument(
         "--out",
         type=Path,
@@ -106,6 +125,32 @@ def main(argv=None) -> int:
                 f"{args.min_speedup:.2f}x"
             )
 
+    # lockstep batch hill-climber vs the per-row scalar loop: the guard
+    # requires bit-identical climbed assignments (deterministic scan
+    # order), not mere numerical agreement
+    climber = HillClimber(graph, fitness)
+    new_fn = lambda: climb_batch(graph, fitness, pop, 1)  # noqa: E731
+    base_fn = lambda: scalar_improve_batch(climber, pop, 1)  # noqa: E731
+    if not np.array_equal(new_fn(), base_fn()):
+        failures.append(
+            "batch_hillclimb: climbed assignments are not bit-identical "
+            "to the scalar climber"
+        )
+    else:
+        new_s = best_of(new_fn, args.climb_repeats)
+        seed_s = best_of(base_fn, args.climb_repeats)
+        speedup = seed_s / new_s if new_s > 0 else float("inf")
+        kernels["batch_hillclimb"] = {
+            "new_ms": round(new_s * 1e3, 4),
+            "seed_ms": round(seed_s * 1e3, 4),
+            "speedup": round(speedup, 2),
+        }
+        if speedup < args.min_climb_speedup:
+            failures.append(
+                f"batch_hillclimb: speedup {speedup:.2f}x below floor "
+                f"{args.min_climb_speedup:.2f}x"
+            )
+
     # trajectory-only kernels (no seed baseline / no floor)
     for name, fn in [
         ("batch_cut_size", lambda: batch_cut_size(graph, pop)),
@@ -121,6 +166,7 @@ def main(argv=None) -> int:
             "n_parts": N_PARTS,
         },
         "min_speedup": args.min_speedup,
+        "min_climb_speedup": args.min_climb_speedup,
         "kernels": kernels,
         "ok": not failures,
     }

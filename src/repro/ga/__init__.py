@@ -27,6 +27,7 @@ from .selection import (
     roulette_select,
     tournament_select,
 )
+from .batch_climb import climb_batch
 from .hillclimb import HillClimber
 from .population import random_population, seeded_population
 from .history import GAHistory
@@ -78,6 +79,7 @@ __all__ = [
     "roulette_select",
     "tournament_select",
     "HillClimber",
+    "climb_batch",
     "random_population",
     "seeded_population",
     "GAHistory",

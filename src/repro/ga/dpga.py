@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..graphs.csr import CSRGraph
+from ..partition.metrics import batch_cut_size, batch_max_part_cut
 from ..partition.partition import Partition
 from ..rng import SeedLike, seed_sequence
 from .config import GAConfig
@@ -31,7 +32,37 @@ from .history import GAHistory
 from .population import random_population
 from .topology import Topology, hypercube_topology
 
-__all__ = ["DPGAConfig", "DPGAResult", "DPGA"]
+__all__ = ["DPGAConfig", "DPGAResult", "DPGA", "record_global_stats"]
+
+
+def record_global_stats(
+    graph: CSRGraph,
+    n_parts: int,
+    history: GAHistory,
+    populations: list[np.ndarray],
+    fitnesses: list[np.ndarray],
+    evaluations: int,
+) -> None:
+    """Append one cross-island generation/epoch of stats to ``history``.
+
+    Locates the best *current* individual over all islands and records
+    its real cut metrics alongside the pooled fitness distribution —
+    shared by the in-process :class:`DPGA` and the process-parallel
+    :class:`repro.ga.parallel.ParallelDPGA` so their histories carry the
+    same columns.
+    """
+    all_fit = np.concatenate(fitnesses)
+    flat_idx = int(np.argmax(all_fit))
+    sizes = np.cumsum([f.shape[0] for f in fitnesses])
+    island = int(np.searchsorted(sizes, flat_idx, side="right"))
+    local = flat_idx - (0 if island == 0 else sizes[island - 1])
+    best = populations[island][local][None, :]
+    history.record(
+        all_fit,
+        best_cut=float(batch_cut_size(graph, best)[0]),
+        best_worst_cut=float(batch_max_part_cut(graph, best, n_parts)[0]),
+        evaluations=evaluations,
+    )
 
 
 @dataclass(frozen=True)
@@ -319,19 +350,7 @@ class DPGA:
         fitnesses: list[np.ndarray],
         evaluations: int,
     ) -> None:
-        from ..partition.metrics import batch_cut_size, batch_max_part_cut
-
-        all_fit = np.concatenate(fitnesses)
-        flat_idx = int(np.argmax(all_fit))
-        sizes = np.cumsum([f.shape[0] for f in fitnesses])
-        island = int(np.searchsorted(sizes, flat_idx, side="right"))
-        local = flat_idx - (0 if island == 0 else sizes[island - 1])
-        best = populations[island][local][None, :]
-        history.record(
-            all_fit,
-            best_cut=float(batch_cut_size(self.graph, best)[0]),
-            best_worst_cut=float(
-                batch_max_part_cut(self.graph, best, self.n_parts)[0]
-            ),
-            evaluations=evaluations,
+        record_global_stats(
+            self.graph, self.n_parts, history, populations, fitnesses,
+            evaluations,
         )

@@ -7,8 +7,12 @@ operator, and a :class:`GAConfig`, and runs the loop::
     mutate → [hill-climb] → evaluate offspring → replacement
 
 Everything between the per-generation bookkeeping lines is whole-array
-numpy over the ``(P, n)`` population matrix; a paper-scale generation
-(320 individuals, ~300-node mesh) costs a few milliseconds.
+numpy over the ``(P, n)`` population matrix — including, under
+``hill_climb="all"``, the boundary hill-climbing step, which runs as a
+single lockstep sweep over the whole offspring batch
+(:mod:`repro.ga.batch_climb`) rather than a per-row Python loop; a
+paper-scale generation (320 individuals, ~300-node mesh) costs a few
+milliseconds.
 
 All fitness values flow through a per-engine :class:`BatchEvaluator`,
 which skips re-evaluation of offspring that are verbatim copies of
@@ -218,9 +222,10 @@ class GAEngine:
             population, fitness_values, track_clones=not climb_all
         )
         if climb_all:
-            # every row gets climbed, and the climber neither needs nor
-            # keeps pre-climb fitness — its batched evaluation of the
-            # climbed rows is the generation's only fitness pass
+            # every row gets climbed in one vectorized lockstep sweep
+            # (see repro.ga.batch_climb), and the climber neither needs
+            # nor keeps pre-climb fitness — its batched evaluation of
+            # the climbed rows is the generation's only fitness pass
             offspring, offspring_fitness = self._climber.improve_batch(
                 offspring, max_passes=cfg.hill_climb_passes, rng=self.rng
             )

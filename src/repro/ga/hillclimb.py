@@ -16,6 +16,27 @@ part ``s`` to ``d`` changes only ``C(s)`` and ``C(d)``::
 
 which gives O(degree + k) per candidate move instead of re-evaluating
 the whole partition.
+
+Batched delta formulation
+-------------------------
+:meth:`HillClimber.improve_batch` dispatches to
+:func:`repro.ga.batch_climb.climb_batch`, which runs the same greedy
+scan in lockstep over all ``B`` rows of a population.  Per pass it
+keeps ``(B, k)`` tables of the loads ``L`` and boundary costs ``C`` and
+a shared ``(B, n)`` frontier mask; per scanned node ``i`` it forms the
+``(R, k)`` table ``W[r, q]`` — row ``r``'s weight from ``i`` into part
+``q`` — with one fused-index bincount over ``row * k + label``, and the
+move deltas become whole-array expressions over that table::
+
+    ΔI(r, d) = (L[r,s]-w_i-W̄)² + (L[r,d]+w_i-W̄)² - (L[r,s]-W̄)² - (L[r,d]-W̄)²
+    ΔC(r, s) = 2 W[r,s] - T_i,   ΔC(r, d) = T_i - 2 W[r,d]
+
+with Fitness2's worst-part term obtained from the per-row top-2 of
+``C`` excluding ``{s, d}``.  The destination choice and the move itself
+are applied through per-row masks, so one pass costs O(scanned nodes)
+vectorized steps instead of O(B × frontier) Python iterations, while
+remaining bit-identical to this module's scalar ``_climb`` in
+deterministic scan order.
 """
 
 from __future__ import annotations
@@ -27,6 +48,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..graphs.csr import CSRGraph
 from ..partition.metrics import boundary_nodes, part_cuts, part_loads
+from .batch_climb import climb_batch
 from .fitness import Fitness1, Fitness2, FitnessFunction
 
 __all__ = ["HillClimber"]
@@ -77,7 +99,15 @@ class HillClimber:
         max_passes: int,
         rng: Optional[np.random.Generator],
     ) -> np.ndarray:
-        """Greedy migration passes; returns the climbed assignment only."""
+        """Greedy migration passes; returns the climbed assignment only.
+
+        This scalar form is the reference implementation the vectorized
+        :func:`~repro.ga.batch_climb.climb_batch` must match bit-for-bit
+        in deterministic scan order (asserted by the equivalence suite
+        and the perf guard); it remains the fast path for single rows,
+        where per-node numpy-scalar arithmetic beats whole-array
+        dispatch overhead.
+        """
         graph, k = self.graph, self.n_parts
         alpha = self.fitness.alpha
         a = np.asarray(assignment, dtype=np.int64).copy()
@@ -146,7 +176,13 @@ class HillClimber:
         max_passes: int = 1,
         rng: Optional[np.random.Generator] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Hill-climb every row of a ``(B, n)`` batch.
+        """Hill-climb every row of a ``(B, n)`` batch, vectorized.
+
+        Dispatches to :func:`repro.ga.batch_climb.climb_batch`, which
+        climbs all rows in lockstep; with ``rng=None`` the result is
+        bit-identical to climbing each row with :meth:`_climb` (with an
+        ``rng`` the scan order is a shared per-pass permutation instead
+        of a per-row shuffle — see that module's docstring).
 
         Returns ``(improved, fitness)`` where ``fitness`` comes from one
         batched evaluation of the climbed rows — callers should reuse it
@@ -154,7 +190,7 @@ class HillClimber:
         used to do, doubling the per-generation evaluation cost under
         ``hill_climb="all"``).
         """
-        out = np.empty_like(population)
-        for r in range(population.shape[0]):
-            out[r] = self._climb(population[r], max_passes, rng)
+        out = climb_batch(
+            self.graph, self.fitness, population, max_passes=max_passes, rng=rng
+        )
         return out, self.fitness.evaluate_batch(out)

@@ -12,6 +12,15 @@ interact at migration points), so the search dynamics are identical to
 
 Worker processes build their engine once (per island) from a compact
 spec and keep it cached, so per-epoch IPC is just the population matrix.
+Because an engine carries state that evolves across epochs — its RNG
+stream, DKNUX's dynamic estimate, the evaluator's best-ever tracker —
+every island is **pinned** to one worker process for the whole run
+(island ``i`` always runs on pool ``i % n_workers``, each pool a
+single-process executor).  A shared pool would rebuild an island's
+engine from scratch whenever pool scheduling moved the island to a
+different process, making same-seed results depend on n_workers and on
+OS scheduling; with pinning, same-seed runs are bit-identical for any
+``n_workers``.
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ from ..rng import SeedLike, seed_sequence
 from .config import GAConfig
 from .crossover import TwoPointCrossover, UniformCrossover
 from .dknux import DKNUX
-from .dpga import DPGAConfig, DPGAResult
+from .dpga import DPGAConfig, DPGAResult, record_global_stats
 from .engine import GAEngine
 from .fitness import make_fitness
 from .history import GAHistory
@@ -128,11 +137,16 @@ def _run_epoch(
 
 
 class ParallelDPGA:
-    """DPGA over a process pool.
+    """DPGA over island-pinned worker processes.
 
     Parameters mirror :class:`repro.ga.dpga.DPGA` except the crossover
     operator is named by ``crossover_kind`` (one of
     :data:`CROSSOVER_KINDS`) so it can be rebuilt inside workers.
+
+    Same-seed runs produce identical results for any ``n_workers``:
+    island engines are pinned to worker processes (see the module
+    docstring), so an island's evolving operator/RNG state never
+    depends on pool scheduling.
     """
 
     def __init__(
@@ -238,14 +252,26 @@ class ParallelDPGA:
 
         harvest()
         epochs = max(cfg.max_generations // cfg.migration_interval, 0)
-        with ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            initializer=_init_worker,
-            initargs=(self._spec,),
-        ) as pool:
+        # One single-process executor per worker slot: island i always
+        # runs on pools[i % n_pools], so its engine (RNG stream, DKNUX
+        # estimate, best-ever tracker) lives in exactly one process for
+        # the whole run and same-seed results cannot depend on which
+        # process the pool scheduler would have picked.
+        n_pools = min(self.n_workers, n_isl)
+        pools: list[ProcessPoolExecutor] = []
+        try:
+            if epochs > 0:
+                for _ in range(n_pools):
+                    pools.append(
+                        ProcessPoolExecutor(
+                            max_workers=1,
+                            initializer=_init_worker,
+                            initargs=(self._spec,),
+                        )
+                    )
             for _ in range(epochs):
                 futures = [
-                    pool.submit(
+                    pools[island % n_pools].submit(
                         _run_epoch,
                         island,
                         populations[island],
@@ -266,18 +292,16 @@ class ParallelDPGA:
                         best_fitness = epoch_best_fit
                         best_assignment = epoch_best.copy()
                 self._migrate(populations, fitnesses)
-                all_fit = np.concatenate(fitnesses)
-                history.record(
-                    all_fit,
-                    best_cut=0.0,  # refined below via harvest()
-                    best_worst_cut=0.0,
-                    evaluations=total_evals,
+                record_global_stats(
+                    self.graph, self.n_parts, history,
+                    populations, fitnesses, total_evals,
                 )
                 harvest()
+        finally:
+            for pool in pools:
+                pool.shutdown()
 
         best = Partition(self.graph, best_assignment, self.n_parts)
-        # Backfill final cut columns from the best partition (per-epoch cut
-        # tracking is not worth the IPC; callers use best_* fields).
         return DPGAResult(
             best=best,
             best_fitness=best_fitness,

@@ -68,6 +68,10 @@ class CSRGraph:
         "indices",
         "adj_weights",
         "adj_edge_ids",
+        "_strengths",
+        "_unit_edge_weights",
+        "_unit_node_weights",
+        "_integer_edge_weights",
     )
 
     def __init__(
@@ -151,6 +155,12 @@ class CSRGraph:
         self.coords = coords
 
         self._build_adjacency()
+        # Lazily-computed derived quantities; safe to cache because every
+        # array below is frozen for the graph's lifetime.
+        self._strengths: Optional[np.ndarray] = None
+        self._unit_edge_weights: Optional[bool] = None
+        self._unit_node_weights: Optional[bool] = None
+        self._integer_edge_weights: Optional[bool] = None
         # Freeze all array state so accidental in-place mutation by callers
         # fails loudly instead of silently corrupting shared graphs.
         for name in (
@@ -242,6 +252,45 @@ class CSRGraph:
     def total_edge_weight(self) -> float:
         """Sum of all edge weights (the total potential communication)."""
         return float(self.edge_weights.sum())
+
+    def node_strengths(self) -> np.ndarray:
+        """Total incident edge weight per node: ``s[v] = sum_{e ∋ v} w_e``.
+
+        Cached after the first call (the graph is immutable); the returned
+        array is read-only and shared between callers.
+        """
+        s = self._strengths
+        if s is None:
+            n = self.n_nodes
+            s = np.bincount(self.edges_u, weights=self.edge_weights, minlength=n)
+            s += np.bincount(self.edges_v, weights=self.edge_weights, minlength=n)
+            s.setflags(write=False)
+            self._strengths = s
+        return s
+
+    def has_unit_edge_weights(self) -> bool:
+        """True iff every edge weight equals 1.0 (cached)."""
+        u = self._unit_edge_weights
+        if u is None:
+            u = bool(np.all(self.edge_weights == 1.0))
+            self._unit_edge_weights = u
+        return u
+
+    def has_unit_node_weights(self) -> bool:
+        """True iff every node weight equals 1.0 (cached)."""
+        u = self._unit_node_weights
+        if u is None:
+            u = bool(np.all(self.node_weights == 1.0))
+            self._unit_node_weights = u
+        return u
+
+    def has_integer_edge_weights(self) -> bool:
+        """True iff every edge weight is integer-valued (cached)."""
+        u = self._integer_edge_weights
+        if u is None:
+            u = bool(np.all(self.edge_weights == np.trunc(self.edge_weights)))
+            self._integer_edge_weights = u
+        return u
 
     def iter_edges(self) -> Iterator[tuple[int, int, float]]:
         """Yield ``(u, v, weight)`` per undirected edge (canonical order)."""

@@ -6,6 +6,11 @@ that pipeline: coarsen with heavy-edge matching until the graph is
 GA-sized, run the DKNUX GA on the coarsest graph (where each gene now
 represents a cluster of original vertices), then uncoarsen with
 hill-climbing refinement at every level.
+
+The default coarsest-level configuration climbs every offspring
+(``hill_climb="all"``), which the engine executes with the vectorized
+batch climber (:mod:`repro.ga.batch_climb`) — the memetic setting the
+paper recommends is no longer the pipeline's bottleneck.
 """
 
 from __future__ import annotations

@@ -200,11 +200,8 @@ def _fused_labels(chunk: np.ndarray, n_parts: int) -> np.ndarray:
 
 
 def _node_strengths(graph: CSRGraph) -> np.ndarray:
-    """Total incident edge weight per node: ``s[v] = sum_{e ∋ v} w_e``."""
-    n = graph.n_nodes
-    s = np.bincount(graph.edges_u, weights=graph.edge_weights, minlength=n)
-    s += np.bincount(graph.edges_v, weights=graph.edge_weights, minlength=n)
-    return s
+    """Total incident edge weight per node (memoized on the graph)."""
+    return graph.node_strengths()
 
 
 def batch_part_loads(
@@ -235,7 +232,7 @@ def batch_part_loads(
     w = graph.node_weights
     # unit node weights (the paper's setting) turn the weighted sum into
     # a plain occurrence count — same bits, no (c, n) weights temporary
-    unit = bool(np.all(w == 1.0))
+    unit = graph.has_unit_node_weights()
     for start in range(0, p, step):
         chunk = pop[start : start + step]
         c = chunk.shape[0]
@@ -342,8 +339,12 @@ def batch_part_cuts(
     # float64 sums of integer-valued weights are exact (below 2**53),
     # so U - 2*S_int cancels without error; fractional weights would
     # trade a part's cut weight for cancellation noise scaled by its
-    # total incident weight, so they take the direct two-endpoint path
-    exact = bool(np.all(ew == np.trunc(ew)))
+    # total incident weight, so they take the direct two-endpoint path.
+    # Unit edge weights (the paper's setting) additionally turn the
+    # internal-edge sum into a plain occurrence count, skipping the
+    # ``ew`` gather entirely — a count of 1.0s is the same bits.
+    unit = graph.has_unit_edge_weights()
+    exact = unit or graph.has_integer_edge_weights()
     strengths = _node_strengths(graph) if exact else None
     step = _chunk_step(p, pop.shape[1] + 2 * m, chunk_rows)
     for start in range(0, p, step):
@@ -363,11 +364,17 @@ def batch_part_cuts(
             flat_iu = iu.ravel()
             if n_uncut * 4 <= uncut.size:
                 sel = np.flatnonzero(uncut.ravel())
-                internal = np.bincount(
-                    flat_iu[sel], weights=ew[sel % m], minlength=c * n_parts
-                )
+                if unit:
+                    internal = np.bincount(flat_iu[sel], minlength=c * n_parts)
+                else:
+                    internal = np.bincount(
+                        flat_iu[sel], weights=ew[sel % m], minlength=c * n_parts
+                    )
             else:
-                w = np.where(uncut, ew, 0.0)
+                if unit:
+                    w = uncut.astype(np.float64)
+                else:
+                    w = np.where(uncut, ew, 0.0)
                 internal = np.bincount(
                     flat_iu, weights=w.ravel(), minlength=c * n_parts
                 )

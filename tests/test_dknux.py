@@ -86,7 +86,14 @@ class TestSearchQuality:
 
     def test_quadrant_optimum_found_on_grid(self):
         """On an 8x8 grid with k=4 the quadrant partition (cut 16) is
-        optimal; memetic DKNUX should find it."""
+        optimal; memetic DKNUX should find it.
+
+        Seed-sensitive: ~7/10 seeds reach <= 18 (measured for both the
+        per-row and the lockstep batch climber — the distributions
+        match).  The seed was re-picked when the batch climber changed
+        the hill-climb RNG stream (shared per-pass scan permutations
+        instead of per-row shuffles).
+        """
         g = grid2d(8, 8)
         fit = Fitness1(g, 4)
         cfg = GAConfig(
@@ -96,6 +103,6 @@ class TestSearchQuality:
             hill_climb_passes=2,
             patience=10,
         )
-        res = GAEngine(g, fit, DKNUX(g, 4), cfg, seed=2).run()
+        res = GAEngine(g, fit, DKNUX(g, 4), cfg, seed=0).run()
         assert res.best.cut_size <= 18.0  # quadrants=16; allow near-optimal
         assert res.best.part_sizes.tolist() == [16, 16, 16, 16]

@@ -154,3 +154,61 @@ class TestBatchMetrics:
         batch = batch_cut_size(grid4x4, a[None, :])
         assert batch.shape == (1,)
         assert np.isclose(batch[0], cut_size(grid4x4, a))
+
+
+class TestGraphCachesAndFastPaths:
+    """PR 2: memoized per-graph quantities and the unit-weight cut path."""
+
+    def test_node_strengths_memoized_and_correct(self, mesh60):
+        s1 = mesh60.node_strengths()
+        s2 = mesh60.node_strengths()
+        assert s1 is s2  # cached object, not recomputed
+        assert not s1.flags.writeable
+        ref = np.bincount(
+            mesh60.edges_u, weights=mesh60.edge_weights, minlength=60
+        ) + np.bincount(
+            mesh60.edges_v, weights=mesh60.edge_weights, minlength=60
+        )
+        assert np.array_equal(s1, ref)
+
+    def test_unit_weight_flags_cached(self, mesh60, weighted_triangle):
+        assert mesh60.has_unit_edge_weights()
+        assert mesh60.has_unit_node_weights()
+        assert not weighted_triangle.has_unit_edge_weights()
+        assert not weighted_triangle.has_unit_node_weights()
+        g = CSRGraph(3, [0, 1], [1, 2], edge_weights=[2.0, 1.0])
+        assert not g.has_unit_edge_weights()
+
+    @pytest.mark.parametrize("near_converged", [False, True])
+    def test_unit_edge_fast_path_matches_scatter_add(
+        self, mesh60, rng, near_converged
+    ):
+        """The unit-weight path (both the gathered and the dense branch)
+        must agree exactly with the classical np.add.at form."""
+        k = 4 if near_converged else 8
+        if near_converged:
+            # mostly one part -> most edges internal (uncut) -> dense branch
+            pop = np.zeros((8, 60), dtype=np.int64)
+            pop[:, :4] = rng.integers(0, 4, size=(8, 4))
+        else:
+            # 8 random parts -> ~1/8 uncut -> gathered-index branch
+            pop = rng.integers(0, 8, size=(8, 60))
+        got = batch_part_cuts(mesh60, pop, k)
+        ref = np.zeros((8, k))
+        pu, pv = pop[:, mesh60.edges_u], pop[:, mesh60.edges_v]
+        cut = pu != pv
+        w = np.where(cut, mesh60.edge_weights, 0.0)
+        rows = np.broadcast_to(np.arange(8)[:, None], pu.shape)
+        np.add.at(ref, (rows, pu), w)
+        np.add.at(ref, (rows, pv), w)
+        assert np.array_equal(got, ref)
+
+    def test_strength_cache_not_shared_across_derived_graphs(self, mesh60):
+        mesh60.node_strengths()
+        heavier = mesh60.with_weights(
+            edge_weights=np.full(mesh60.n_edges, 3.0)
+        )
+        assert not heavier.has_unit_edge_weights()
+        assert np.array_equal(
+            heavier.node_strengths(), 3.0 * mesh60.node_strengths()
+        )
