@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Smoke + load test of the partition service (``repro.service``).
+
+Three phases, all deterministic:
+
+1. **Warm vs cold** — the acceptance measurement of the serving layer.
+   Repeated one-shot traffic and incremental-session traffic are served
+   by a live :class:`PartitionService` (content cache, warm
+   partitioners) and timed against *cold per-request runs*: the same
+   work performed the way the one-shot CLI does it, a fresh
+   ``partition_graph`` per request with the identical effective
+   GAConfig.  The guard requires the warm aggregate throughput to beat
+   cold by ``--min-warm-speedup`` (default 5x) **and** repeated-request
+   answers to be bit-identical to the cold run at the same seed.
+2. **HTTP replay** — a ~20-request mixed trace from
+   :func:`repro.experiments.service_trace` (one-shot + repeated +
+   incremental sessions) replayed over a real ``ThreadingHTTPServer``
+   through :class:`HTTPServiceClient`; p50 latency and cache-hit
+   counters come from the service's own stats endpoint.
+3. **Report** — everything lands in ``SERVICE_metrics.json`` next to
+   ``BENCH_metrics.json`` so CI archives the serving trajectory
+   alongside the kernel trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        [--requests 20] [--repeats 10] [--updates 3] \
+        [--min-warm-speedup 5.0] [--out benchmarks/SERVICE_metrics.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import partition_graph
+from repro.experiments import TRACE_GA_DEFAULTS, replay_trace, service_trace
+from repro.experiments.workloads import incremental_case
+from repro.ga.config import GAConfig
+from repro.graphs import paper_mesh
+from repro.incremental.updates import insert_local_nodes
+from repro.service import (
+    DEFAULT_GA_OVERRIDES,
+    HTTPServiceClient,
+    PartitionRequest,
+    PartitionService,
+    serve,
+)
+
+#: the canonical incremental case the session phase replays
+SESSION_BASE = 78
+SESSION_STEP_NODES = 10
+N_PARTS = 4
+
+
+def effective_config(ga: dict) -> GAConfig:
+    """The GAConfig the service resolves for a dknux request with
+    overrides ``ga`` — cold runs must use exactly this to be a fair
+    (and bit-identical) baseline."""
+    return GAConfig(**{**DEFAULT_GA_OVERRIDES, **ga})
+
+
+def phase_warm_vs_cold(repeats: int, updates: int) -> dict:
+    """Serve repeated + session traffic warm; time the cold equivalent."""
+    ga = dict(TRACE_GA_DEFAULTS)
+    config = effective_config(ga)
+    base = paper_mesh(SESSION_BASE)
+
+    with PartitionService(n_workers=2) as service:
+        # -- repeated one-shot traffic --------------------------------
+        request = PartitionRequest(base, N_PARTS, seed=0, ga=ga)
+        first = service.submit(request)  # populates the cache
+        t0 = time.perf_counter()
+        warm_results = [
+            service.submit(PartitionRequest(base, N_PARTS, seed=0, ga=ga))
+            for _ in range(repeats)
+        ]
+        warm_repeat_s = time.perf_counter() - t0
+        hits = sum(r.cache_hit for r in warm_results)
+
+        # cold equivalent: fresh engine + graph state per request, the
+        # way `repro-partition partition` pays for it. The cold path is
+        # deterministic, so per-run variance is scheduler noise — use
+        # the median of 3 timed runs, scaled to the request count.
+        n_cold = min(3, repeats)
+        cold_parts = []
+        cold_times = []
+        for _ in range(n_cold):
+            t0 = time.perf_counter()
+            cold_parts.append(
+                partition_graph(
+                    paper_mesh(SESSION_BASE), N_PARTS, config=config, seed=0
+                )
+            )
+            cold_times.append(time.perf_counter() - t0)
+        cold_repeat_s = float(np.median(cold_times)) * repeats
+
+        identical = all(
+            np.array_equal(r.assignment, cold_parts[0].assignment)
+            for r in warm_results
+        ) and np.array_equal(first.assignment, cold_parts[0].assignment)
+
+        # -- incremental session traffic ------------------------------
+        opened = service.open_session(base, N_PARTS, seed=0, ga=ga)
+        graphs = []
+        graph = base
+        for step in range(updates):
+            graph = insert_local_nodes(
+                graph, SESSION_STEP_NODES, seed=1000 + step
+            ).graph
+            graphs.append(graph)
+        t0 = time.perf_counter()
+        session_cuts = []
+        from repro.service.models import UpdateRequest
+
+        for graph in graphs:
+            result = service.update_session(
+                UpdateRequest(opened.session_id, graph)
+            )
+            session_cuts.append(result.cut_size)
+        warm_session_s = time.perf_counter() - t0
+        service.close_session(opened.session_id)
+
+        # cold equivalent: partition each updated graph from scratch
+        t0 = time.perf_counter()
+        cold_session_cuts = [
+            partition_graph(graph, N_PARTS, config=config, seed=0).cut_size
+            for graph in graphs
+        ]
+        cold_session_s = time.perf_counter() - t0
+
+        stats = service.stats()
+
+    warm_total = warm_repeat_s + warm_session_s
+    cold_total = cold_repeat_s + cold_session_s
+    return {
+        "repeats": repeats,
+        "updates": updates,
+        "cache_hits": int(hits),
+        "repeat_identical_to_cold": bool(identical),
+        "warm_repeat_s": round(warm_repeat_s, 4),
+        "cold_repeat_s": round(cold_repeat_s, 4),
+        "repeat_speedup": round(cold_repeat_s / max(warm_repeat_s, 1e-9), 1),
+        "warm_session_s": round(warm_session_s, 4),
+        "cold_session_s": round(cold_session_s, 4),
+        "session_speedup": round(cold_session_s / max(warm_session_s, 1e-9), 2),
+        "session_cuts": session_cuts,
+        "cold_session_cuts": cold_session_cuts,
+        "warm_total_s": round(warm_total, 4),
+        "cold_total_s": round(cold_total, 4),
+        "aggregate_speedup": round(cold_total / max(warm_total, 1e-9), 2),
+        "service_stats": stats,
+    }
+
+
+def phase_http_replay(n_requests: int) -> dict:
+    """Replay a mixed trace over a real HTTP server; report p50 + hits."""
+    server = serve(port=0, background=True, n_workers=2)
+    host, port = server.server_address
+    client = HTTPServiceClient(f"http://{host}:{port}", timeout=300.0)
+    try:
+        assert client.healthy(), "service /v1/healthz failed"
+        trace = service_trace(n_requests=n_requests, seed=0, n_parts=N_PARTS)
+        t0 = time.perf_counter()
+        results = replay_trace(client, trace)
+        wall_s = time.perf_counter() - t0
+        stats = client.stats()
+    finally:
+        server.service.close()
+        server.shutdown()
+        server.server_close()
+    op_counts: dict[str, int] = {}
+    for op, _ in results:
+        op_counts[op["op"]] = op_counts.get(op["op"], 0) + 1
+    return {
+        "requests": len(trace),
+        "op_counts": op_counts,
+        "wall_s": round(wall_s, 4),
+        "p50_ms": stats["latency"].get("p50_ms"),
+        "p95_ms": stats["latency"].get("p95_ms"),
+        "session_p50_ms": stats["session_latency"].get("p50_ms"),
+        "cache_hits": stats["cache"]["results"]["hits"],
+        "cache_misses": stats["cache"]["results"]["misses"],
+        "graphs_interned": stats["cache"]["graphs"]["interned"],
+        "sessions": stats["sessions"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=20,
+                        help="mixed requests in the HTTP replay phase")
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="repeated identical requests in the warm phase")
+    parser.add_argument("--updates", type=int, default=3,
+                        help="incremental session updates in the warm phase")
+    parser.add_argument("--min-warm-speedup", type=float, default=5.0,
+                        help="floor for warm/cold aggregate throughput")
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).parent / "SERVICE_metrics.json",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    warm = phase_warm_vs_cold(args.repeats, args.updates)
+    if not warm["repeat_identical_to_cold"]:
+        failures.append(
+            "repeated service answers are not bit-identical to cold runs"
+        )
+    if warm["cache_hits"] < args.repeats:
+        failures.append(
+            f"expected {args.repeats} cache hits, saw {warm['cache_hits']}"
+        )
+    if warm["aggregate_speedup"] < args.min_warm_speedup:
+        failures.append(
+            f"warm/cold aggregate speedup {warm['aggregate_speedup']}x "
+            f"below floor {args.min_warm_speedup}x"
+        )
+
+    http = phase_http_replay(args.requests)
+    if http["p50_ms"] is None:
+        failures.append("HTTP replay recorded no latency samples")
+    if http["cache_hits"] < 1:
+        failures.append("HTTP replay produced no cache hits")
+    if http["sessions"]["updates"] < 1:
+        failures.append("HTTP replay exercised no incremental updates")
+
+    report = {
+        "scale": {
+            "session_base": SESSION_BASE,
+            "session_step_nodes": SESSION_STEP_NODES,
+            "n_parts": N_PARTS,
+            "trace_ga": TRACE_GA_DEFAULTS,
+        },
+        "min_warm_speedup": args.min_warm_speedup,
+        "warm_vs_cold": warm,
+        "http_replay": http,
+        "ok": not failures,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

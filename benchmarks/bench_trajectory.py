@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Cross-commit perf trajectory: diff ``BENCH_metrics.json`` snapshots.
+
+Every CI run (and every local ``check_bench.py`` run) writes a
+``BENCH_metrics.json`` with per-kernel timings.  This script lines up
+any number of such snapshots — files on disk, downloaded CI artifacts,
+or versions read straight out of git history — into one markdown
+trajectory table, so "did PR N make the kernels faster?" is a table
+lookup instead of an artifact archaeology session.
+
+Usage::
+
+    # explicit snapshot files (labelled by file name)
+    python benchmarks/bench_trajectory.py a/BENCH_metrics.json b/BENCH_metrics.json
+
+    # label:file pairs
+    python benchmarks/bench_trajectory.py pr2:old.json pr3:new.json
+
+    # straight from git history (any revision that committed the file)
+    python benchmarks/bench_trajectory.py --git HEAD~1 --git HEAD
+
+    # CI: committed snapshot vs freshly measured one
+    python benchmarks/bench_trajectory.py --git HEAD fresh:benchmarks/BENCH_metrics.json \
+        --out benchmarks/BENCH_trajectory.md
+
+Exits 0 on success (the table is informational; perf *floors* are
+``check_bench.py``'s job), 2 on unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+#: metric shown in the trajectory cells, with fallback order
+PRIMARY_METRIC = "new_ms"
+
+REPO_METRICS_PATH = "benchmarks/BENCH_metrics.json"
+
+
+def load_snapshot(spec: str) -> tuple[str, dict]:
+    """``[label:]path`` → ``(label, parsed snapshot)``."""
+    label, sep, path = spec.partition(":")
+    if not sep or ("/" in label or "\\" in label or label == "."):
+        label, path = "", spec
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read snapshot {path!r}: {exc}")
+    return label or Path(path).parent.name or Path(path).stem, data
+
+
+def load_git_snapshot(rev: str) -> tuple[str, dict]:
+    """Snapshot committed at ``rev`` (short sha as label)."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{rev}:{REPO_METRICS_PATH}"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        label = subprocess.run(
+            ["git", "rev-parse", "--short", rev],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise SystemExit(
+            f"error: cannot read {REPO_METRICS_PATH} at {rev!r}: {detail.strip()}"
+        )
+    try:
+        return label, json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: snapshot at {rev!r} is not JSON: {exc}")
+
+
+def build_trajectory(snapshots: list[tuple[str, dict]]) -> str:
+    """Markdown trajectory table over any number of snapshots.
+
+    One row per (kernel, metric); the final column is the relative
+    change of the last snapshot vs the first (negative = faster).
+    """
+    if not snapshots:
+        return "(no snapshots)\n"
+    labels = [label for label, _ in snapshots]
+    kernels: list[str] = []
+    for _, snap in snapshots:
+        for name in snap.get("kernels", {}):
+            if name not in kernels:
+                kernels.append(name)
+
+    lines = [
+        "# Kernel perf trajectory",
+        "",
+        f"Columns: {', '.join(labels)} — cell = {PRIMARY_METRIC} "
+        "(speedup vs seed kernel where measured).",
+        "",
+        "| kernel | " + " | ".join(labels) + " | Δ last vs first |",
+        "|---" * (len(labels) + 2) + "|",
+    ]
+    for kernel in kernels:
+        cells = []
+        series = []
+        for _, snap in snapshots:
+            entry = snap.get("kernels", {}).get(kernel)
+            if not entry or PRIMARY_METRIC not in entry:
+                cells.append("—")
+                series.append(None)
+                continue
+            ms = entry[PRIMARY_METRIC]
+            series.append(ms)
+            cell = f"{ms:g} ms"
+            if "speedup" in entry:
+                cell += f" ({entry['speedup']:g}x)"
+            cells.append(cell)
+        known = [s for s in series if s is not None]
+        if len(known) >= 2 and known[0] > 0:
+            delta = (known[-1] - known[0]) / known[0] * 100.0
+            arrow = "🟢" if delta <= 0 else "🔴"
+            delta_cell = f"{arrow} {delta:+.1f}%"
+        else:
+            delta_cell = "—"
+        lines.append(f"| {kernel} | " + " | ".join(cells) + f" | {delta_cell} |")
+
+    scales = {
+        json.dumps(snap.get("scale", {}), sort_keys=True) for _, snap in snapshots
+    }
+    if len(scales) > 1:
+        lines += ["", "> ⚠ snapshots were measured at different scales; "
+                  "timings are not directly comparable."]
+    ok_flags = [
+        f"{label}: {'ok' if snap.get('ok', True) else 'FAIL'}"
+        for label, snap in snapshots
+    ]
+    lines += ["", "Guard status — " + ", ".join(ok_flags), ""]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "snapshots", nargs="*",
+        help="snapshot files, optionally labelled as label:path",
+    )
+    parser.add_argument(
+        "--git", action="append", default=[], metavar="REV",
+        help="also read the snapshot committed at REV (repeatable)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the markdown table here as well as stdout",
+    )
+    args = parser.parse_args(argv)
+
+    loaded = [load_git_snapshot(rev) for rev in args.git]
+    loaded += [load_snapshot(spec) for spec in args.snapshots]
+    if not loaded:
+        parser.error("no snapshots given (pass files and/or --git revisions)")
+
+    table = build_trajectory(loaded)
+    print(table)
+    if args.out is not None:
+        args.out.write_text(table + ("" if table.endswith("\n") else "\n"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@
     repro-partition experiment table1 [--mode quick|full] [--seed N]
     repro-partition workloads
     repro-partition info GRAPH.metis
+    repro-partition serve [--host H] [--port P] [--workers N]
+    repro-partition submit GRAPH.metis -k 8 [--url http://127.0.0.1:8157]
 
 ``python -m repro`` is an alias for the same entry point.
 """
@@ -21,6 +23,11 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 METHODS = ("dknux", "rsb", "ibp", "rcb", "rgb", "kl", "greedy", "random", "mlga")
+
+#: methods the service endpoint accepts (see repro.service.models)
+SERVICE_CLI_METHODS = (
+    "dknux", "greedy", "rgb", "kl", "random", "rsb", "portfolio",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +71,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="print statistics of a graph file")
     p_info.add_argument("graph", help="path to a METIS .graph file")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the partition service HTTP endpoint"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8157)
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="pinned worker threads executing jobs",
+    )
+    p_serve.add_argument(
+        "--cache-mb", type=int, default=64,
+        help="byte budget of the content-addressed caches",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a graph to a running partition service"
+    )
+    p_sub.add_argument("graph", help="path to a METIS .graph or .json file")
+    p_sub.add_argument("-k", "--parts", type=int, required=True)
+    p_sub.add_argument(
+        "--method", choices=SERVICE_CLI_METHODS, default="dknux"
+    )
+    p_sub.add_argument(
+        "--fitness", choices=("fitness1", "fitness2"), default="fitness1"
+    )
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument(
+        "--url", default="http://127.0.0.1:8157",
+        help="base URL of a running `repro-partition serve`",
+    )
+    p_sub.add_argument(
+        "--time-budget", type=float, default=None,
+        help="seconds for --method portfolio",
+    )
+    p_sub.add_argument(
+        "--output", help="write the assignment (one label per line) here"
+    )
 
     return parser
 
@@ -192,6 +237,66 @@ def _run_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
+    from .service import serve
+
+    print(
+        f"repro partition service on http://{args.host}:{args.port} "
+        f"({args.workers} workers, {args.cache_mb} MiB cache) — Ctrl-C stops"
+    )
+    serve(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        cache_bytes=args.cache_mb << 20,
+    )
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service import HTTPServiceClient
+
+    graph = _load_graph(args.graph)
+    client = HTTPServiceClient(args.url)
+    try:
+        result = client.partition(
+            graph,
+            args.parts,
+            method=args.method,
+            fitness_kind=args.fitness,
+            seed=args.seed,
+            time_budget=args.time_budget,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    flags = "".join(
+        f" {name}" for name, on in (
+            ("cache-hit", result.cache_hit), ("coalesced", result.coalesced)
+        ) if on
+    )
+    print(
+        f"method={result.method} k={result.n_parts} cut={result.cut_size:g} "
+        f"worst_cut={result.max_part_cut:g} "
+        f"balance={result.balance_ratio:.3f} "
+        f"latency={result.latency_s * 1e3:.1f}ms{flags}"
+    )
+    if result.portfolio:
+        for leg in result.portfolio:
+            if "skipped" in leg:
+                print(f"  {leg['method']:>8}: skipped ({leg['skipped']})")
+            else:
+                print(
+                    f"  {leg['method']:>8}: cut={leg['cut_size']:g} "
+                    f"t={leg['seconds'] * 1e3:.1f}ms"
+                )
+    if args.output:
+        np.savetxt(args.output, result.assignment, fmt="%d")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "partition":
@@ -204,6 +309,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_workloads()
     if args.command == "info":
         return _run_info(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -15,6 +15,7 @@ __all__ = [
     "ConfigError",
     "ConvergenceError",
     "ExperimentError",
+    "ServiceError",
 ]
 
 
@@ -44,3 +45,7 @@ class ConvergenceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification or run is invalid."""
+
+
+class ServiceError(ReproError):
+    """Invalid request to, or failed operation of, the partition service."""

@@ -4,7 +4,10 @@ from .workloads import (
     BASE_SIZES,
     DERIVED_SIZES,
     INCREMENTAL_PAIRS,
+    TRACE_GA_DEFAULTS,
     incremental_case,
+    replay_trace,
+    service_trace,
     workload,
     workload_names,
 )
@@ -32,6 +35,9 @@ __all__ = [
     "incremental_case",
     "workload",
     "workload_names",
+    "TRACE_GA_DEFAULTS",
+    "service_trace",
+    "replay_trace",
     "PAPER_TABLES",
     "TABLE_SPECS",
     "TableSpec",

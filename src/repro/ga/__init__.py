@@ -7,7 +7,7 @@ from .config import (
     PAPER_POPULATION,
 )
 from .fitness import Fitness1, Fitness2, FitnessFunction, make_fitness
-from .evaluation import BatchEvaluator
+from .evaluation import BatchEvaluator, hash_rows
 from .crossover import (
     CrossoverOperator,
     KPointCrossover,
@@ -47,7 +47,7 @@ from .topology import (
     ring_topology,
 )
 from .dpga import DPGA, DPGAConfig, DPGAResult
-from .parallel import CROSSOVER_KINDS, ParallelDPGA
+from .parallel import CROSSOVER_KINDS, ParallelDPGA, PinnedExecutors
 
 __all__ = [
     "GAConfig",
@@ -55,6 +55,7 @@ __all__ = [
     "PAPER_MUTATION_RATE",
     "PAPER_POPULATION",
     "BatchEvaluator",
+    "hash_rows",
     "Fitness1",
     "Fitness2",
     "FitnessFunction",
@@ -100,4 +101,5 @@ __all__ = [
     "DPGAResult",
     "CROSSOVER_KINDS",
     "ParallelDPGA",
+    "PinnedExecutors",
 ]

@@ -60,6 +60,14 @@ class GAConfig:
         Sweep budget per hill-climbing invocation.
     mutation:
         ``"point"`` (paper) or ``"boundary"`` (locality-aware variant).
+    eval_memo:
+        Capacity of the engine evaluator's cross-generation row-hash
+        memo (see :class:`repro.ga.evaluation.BatchEvaluator`); rows
+        identical to previously evaluated ones — late-run convergent
+        populations, DPGA migrants — reuse their exact fitness instead
+        of being re-evaluated.  ``0`` disables the memo.  Fitness values
+        and search trajectories are bit-identical either way; only the
+        evaluation *count* drops.
     """
 
     population_size: int = PAPER_POPULATION
@@ -75,6 +83,7 @@ class GAConfig:
     hill_climb: str = "off"
     hill_climb_passes: int = 2
     mutation: str = "point"
+    eval_memo: int = 4096
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -115,6 +124,10 @@ class GAConfig:
             )
         if self.mutation not in ("point", "boundary"):
             raise ConfigError(f"unknown mutation kind {self.mutation!r}")
+        if self.eval_memo < 0:
+            raise ConfigError(
+                f"eval_memo must be >= 0, got {self.eval_memo}"
+            )
 
     def with_updates(self, **kwargs) -> "GAConfig":
         """Functional update (the dataclass is frozen)."""

@@ -202,18 +202,24 @@ class DPGA:
     # ------------------------------------------------------------------
     def _migrate(
         self, populations: list[np.ndarray], fitnesses: list[np.ndarray]
-    ) -> None:
+    ) -> list[Optional[tuple[np.ndarray, np.ndarray]]]:
         """Copy each island's best individuals to its neighbors.
 
         All outgoing migrants are snapshotted before any island is
         modified, so migration is order-independent (synchronous
         exchange, like a bulk message round on the parallel machine).
+        Returns the ``(rows, fitness)`` pair each island received (or
+        ``None``), so the caller can memoize migrants into the
+        destination island's evaluator — the migrant was evaluated on
+        its source island, and re-deriving its fitness there would be
+        pure waste.
         """
         k = self.dpga_config.migration_size
         migrants = []
         for pop, fit in zip(populations, fitnesses):
             idx = np.argsort(-fit, kind="stable")[:k]
             migrants.append((pop[idx].copy(), fit[idx].copy()))
+        received: list[Optional[tuple[np.ndarray, np.ndarray]]] = []
         for island in range(self.topology.n_islands):
             incoming_pop = []
             incoming_fit = []
@@ -221,6 +227,7 @@ class DPGA:
                 incoming_pop.append(migrants[nbr][0])
                 incoming_fit.append(migrants[nbr][1])
             if not incoming_pop:
+                received.append(None)
                 continue
             inc_pop = np.vstack(incoming_pop)
             inc_fit = np.concatenate(incoming_fit)
@@ -229,6 +236,8 @@ class DPGA:
             worst = order[: inc_pop.shape[0]]
             populations[island][worst] = inc_pop
             fitnesses[island][worst] = inc_fit
+            received.append((inc_pop, inc_fit))
+        return received
 
     def run(
         self, initial_population: Optional[np.ndarray] = None
@@ -325,7 +334,10 @@ class DPGA:
                     fitnesses[island], evals,
                 )
             if gen % cfg.migration_interval == 0:
-                self._migrate(populations, fitnesses)
+                received = self._migrate(populations, fitnesses)
+                for island, arrived in enumerate(received):
+                    if arrived is not None:
+                        self.engines[island].evaluator.memoize(*arrived)
             self._record_global(history, populations, fitnesses, gen_evals)
             improved = _harvest()
             stale = 0 if improved else stale + 1

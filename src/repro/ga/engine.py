@@ -29,6 +29,7 @@ individual without the engine knowing anything operator-specific.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -60,7 +61,7 @@ class GAResult:
     best_fitness: float
     history: GAHistory
     generations: int
-    stopped_by: str  # "max_generations" | "patience" | "target_fitness"
+    stopped_by: str  # "max_generations" | "patience" | "target_fitness" | "deadline"
 
     @property
     def best_cut(self) -> float:
@@ -110,7 +111,9 @@ class GAEngine:
         if self.config.hill_climb != "off":
             self._climber = HillClimber(graph, fitness)
         #: caching evaluation backend; owns eval counts and best-ever state
-        self.evaluator = BatchEvaluator(fitness)
+        self.evaluator = BatchEvaluator(
+            fitness, memo_capacity=self.config.eval_memo
+        )
 
     # ------------------------------------------------------------------
     def _initial_population(
@@ -254,7 +257,11 @@ class GAEngine:
         return new_pop, new_fit, evaluations
 
     # ------------------------------------------------------------------
-    def run(self, initial_population: Optional[np.ndarray] = None) -> GAResult:
+    def run(
+        self,
+        initial_population: Optional[np.ndarray] = None,
+        deadline: Optional[float] = None,
+    ) -> GAResult:
         """Run to completion and return the best partition found.
 
         The result's ``best`` is the best individual *ever evaluated*
@@ -262,6 +269,12 @@ class GAEngine:
         The evaluator tracks it at evaluation time, so offspring that
         are dropped at replacement (generational mode with a small
         elite) still count.
+
+        ``deadline`` (a ``time.perf_counter()`` timestamp) stops the
+        loop between generations once the clock passes it
+        (``stopped_by="deadline"``) — used by time-budgeted serving
+        (the portfolio racer); completed generations are unaffected, so
+        a non-binding deadline changes nothing.
         """
         cfg = self.config
         history = GAHistory()
@@ -275,6 +288,9 @@ class GAEngine:
         stale = 0
         best_fitness = evaluator.best_fitness
         for _ in range(cfg.max_generations):
+            if deadline is not None and time.perf_counter() >= deadline:
+                stopped_by = "deadline"
+                break
             population, fitness_values, evals = self.step(
                 population, fitness_values
             )

@@ -12,10 +12,19 @@ involved in reusing it.
 
 :class:`BatchEvaluator` exploits this: callers pass the fitness each
 row inherited from its source individual plus a mask saying which rows
-are verbatim copies, and only the changed rows are evaluated.  The
-evaluator is also the single point through which every fitness value
-flows, which makes it the natural owner of two pieces of bookkeeping
-the engine previously got wrong:
+are verbatim copies, and only the changed rows are evaluated.  On top
+of that mask-based (caller-declared) skipping, the evaluator can keep a
+bounded **cross-generation memo** keyed by row content hash
+(:func:`hash_rows`): a row that recurs generations later — a convergent
+population re-discovering an earlier individual, or a DPGA migrant
+whose fitness was computed on its source island — is answered from the
+memo instead of re-evaluated.  The same hash function addresses the
+partition service's content-addressed result cache, so a row and a
+cached service result agree on identity by construction.
+
+The evaluator is also the single point through which every fitness
+value flows, which makes it the natural owner of two pieces of
+bookkeeping the engine previously got wrong:
 
 * the count of rows actually evaluated (``GAHistory.evaluations``
   under-reported hill-climb re-evaluations and over-reported cached
@@ -27,6 +36,8 @@ the engine previously got wrong:
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -34,33 +45,104 @@ import numpy as np
 from ..errors import ConfigError
 from .fitness import FitnessFunction
 
-__all__ = ["BatchEvaluator"]
+__all__ = ["BatchEvaluator", "hash_rows"]
+
+#: digest width for row/content hashes; 16 bytes makes accidental
+#: collisions (which would silently reuse the wrong fitness) a
+#: ~2^-64-per-pair event — negligible against any realistic run length
+_DIGEST_SIZE = 16
+
+
+def hash_rows(population: np.ndarray) -> list[bytes]:
+    """Content digest of every row of a ``(P, n)`` label matrix.
+
+    Rows are canonicalized to contiguous ``int64`` before hashing, so
+    the digest identifies the *assignment*, not its memory layout.
+    Shared by the evaluator memo and the service's content-addressed
+    caches (one identity function across the stack).
+    """
+    pop = np.ascontiguousarray(population, dtype=np.int64)
+    if pop.ndim == 1:
+        pop = pop[None, :]
+    return [
+        hashlib.blake2b(row.tobytes(), digest_size=_DIGEST_SIZE).digest()
+        for row in pop
+    ]
 
 
 class BatchEvaluator:
     """Caching, counting, best-tracking wrapper around a fitness function.
+
+    Parameters
+    ----------
+    fitness:
+        The wrapped fitness function.
+    memo_capacity:
+        Maximum entries of the cross-generation row-hash memo; ``0``
+        disables it (mask-based clone skipping still applies).  Reuse
+        is exact — fitness is a deterministic function of the row — so
+        enabling the memo changes evaluation *counts*, never values.
 
     Attributes
     ----------
     n_evaluations:
         Rows actually passed through the fitness function since the last
         :meth:`reset` — each evaluated row counts exactly once.
+    memo_hits:
+        Rows answered from the cross-generation memo (or deduplicated
+        against an identical row in the same batch) since construction.
     best_fitness, best_assignment:
         The best individual ever evaluated (or observed), regardless of
         whether it survived replacement.
     """
 
-    def __init__(self, fitness: FitnessFunction) -> None:
+    def __init__(self, fitness: FitnessFunction, memo_capacity: int = 0) -> None:
+        if memo_capacity < 0:
+            raise ConfigError(
+                f"memo_capacity must be >= 0, got {memo_capacity}"
+            )
         self.fitness = fitness
+        self.memo_capacity = int(memo_capacity)
         self.n_evaluations: int = 0
+        self.memo_hits: int = 0
         self.best_fitness: float = -np.inf
         self.best_assignment: Optional[np.ndarray] = None
+        self._memo: "OrderedDict[bytes, float]" = OrderedDict()
 
     def reset(self) -> None:
-        """Clear the best-so-far tracker and the evaluation counter."""
+        """Clear the best-so-far tracker and the evaluation counter.
+
+        The cross-generation memo survives — cached fitness values stay
+        exact across runs on the same graph, and a warm memo is the
+        point of keeping engines alive between service requests.
+        """
         self.n_evaluations = 0
         self.best_fitness = -np.inf
         self.best_assignment = None
+
+    # ------------------------------------------------------------------
+    def _memo_put(self, digest: bytes, value: float) -> None:
+        memo = self._memo
+        if digest in memo:
+            memo.move_to_end(digest)
+            return
+        memo[digest] = value
+        while len(memo) > self.memo_capacity:
+            memo.popitem(last=False)
+
+    def memoize(self, population: np.ndarray, fitness_values: np.ndarray) -> None:
+        """Insert externally-known ``(row, fitness)`` pairs into the memo.
+
+        Used for DPGA migrants: an individual evaluated on its source
+        island arrives at the destination with its fitness attached, and
+        memoizing it means the destination island never pays for rows it
+        received for free.  No-op when the memo is disabled.
+        """
+        if self.memo_capacity == 0:
+            return
+        values = np.asarray(fitness_values, dtype=np.float64)
+        for digest, value in zip(hash_rows(population), values):
+            self._memo_put(digest, float(value))
 
     def evaluate(
         self,
@@ -72,30 +154,71 @@ class BatchEvaluator:
 
         ``known_mask[i]`` marks rows that are verbatim copies of an
         individual whose fitness is ``known_fitness[i]``; those rows are
-        not re-evaluated.  Returns ``(fitness_values, n_evaluated)``
-        where ``n_evaluated`` is the number of rows actually evaluated.
+        not re-evaluated.  Remaining rows consult the cross-generation
+        memo (when enabled) and identical rows within the batch are
+        evaluated once.  Returns ``(fitness_values, n_evaluated)`` where
+        ``n_evaluated`` is the number of rows actually evaluated.
         """
         pop = np.asarray(population)
         p = pop.shape[0]
-        if known_mask is None:
+        if known_mask is None and self.memo_capacity == 0:
+            # fast path: no mask, no memo — hand the matrix straight to
+            # the kernel (fancy-indexing with arange would copy it)
             values = self.fitness.evaluate_batch(pop)
-            evaluated = p
+            self.observe(pop, values, evaluated=p)
+            return values, p
+        if known_mask is None:
+            todo = np.arange(p)
+            values = np.empty(p, dtype=np.float64)
         else:
             if known_fitness is None:
                 raise ConfigError(
                     "known_mask requires known_fitness for the masked rows"
                 )
             mask = np.asarray(known_mask, dtype=bool)
-            todo = ~mask
-            evaluated = int(np.count_nonzero(todo))
-            if evaluated == p:
-                values = self.fitness.evaluate_batch(pop)
-            else:
-                values = np.array(known_fitness, dtype=np.float64, copy=True)
-                if evaluated:
+            values = np.array(known_fitness, dtype=np.float64, copy=True)
+            todo = np.flatnonzero(~mask)
+        evaluated = 0
+        if todo.size:
+            if self.memo_capacity == 0:
+                if todo.size == p:  # all rows changed: skip the copy
+                    values = self.fitness.evaluate_batch(pop)
+                else:
                     values[todo] = self.fitness.evaluate_batch(pop[todo])
+                evaluated = int(todo.size)
+            else:
+                evaluated = self._evaluate_memoized(pop, values, todo)
         self.observe(pop, values, evaluated=evaluated)
         return values, evaluated
+
+    def _evaluate_memoized(
+        self, pop: np.ndarray, values: np.ndarray, todo: np.ndarray
+    ) -> int:
+        """Fill ``values[todo]`` through the memo; returns rows evaluated."""
+        digests = hash_rows(pop[todo])
+        memo = self._memo
+        fresh: list[int] = []  # positions within `todo` needing evaluation
+        first_seen: dict[bytes, int] = {}  # digest -> row index of its leader
+        dups: list[tuple[int, int]] = []  # (row index, leader row index)
+        for i, digest in zip(todo, digests):
+            cached = memo.get(digest)
+            if cached is not None:
+                memo.move_to_end(digest)
+                values[i] = cached
+                self.memo_hits += 1
+            elif digest in first_seen:
+                dups.append((int(i), first_seen[digest]))
+                self.memo_hits += 1
+            else:
+                first_seen[digest] = int(i)
+                fresh.append(int(i))
+        if fresh:
+            values[fresh] = self.fitness.evaluate_batch(pop[fresh])
+            for digest, leader in first_seen.items():
+                self._memo_put(digest, float(values[leader]))
+        for i, leader in dups:
+            values[i] = values[leader]
+        return len(fresh)
 
     def observe(
         self,

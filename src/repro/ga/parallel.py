@@ -25,9 +25,10 @@ OS scheduling; with pinning, same-seed runs are bit-identical for any
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import hashlib
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -46,10 +47,88 @@ from .knux import KNUX
 from .population import random_population
 from .topology import Topology, hypercube_topology, ring_topology
 
-__all__ = ["ParallelDPGA", "CROSSOVER_KINDS"]
+__all__ = ["ParallelDPGA", "PinnedExecutors", "CROSSOVER_KINDS"]
 
 #: crossover kinds the parallel runner can reconstruct in workers
 CROSSOVER_KINDS = ("2-point", "uniform", "knux", "dknux")
+
+
+class PinnedExecutors:
+    """A bank of single-worker executors with stable key→slot pinning.
+
+    Stateful computations (an island engine's RNG stream and DKNUX
+    estimate, a service session's warm partitioner, a worker's per-graph
+    engine cache) must keep living in *one* worker across submissions —
+    a shared pool that migrates work between workers silently rebuilds
+    that state and makes results depend on scheduling.  This class owns
+    ``n_slots`` executors of one worker each and routes every submission
+    for the same key to the same slot: integer keys map by modulo (the
+    island pinning of :class:`ParallelDPGA`), other hashables map
+    through a stable content digest (the partition service pins jobs by
+    graph digest and sessions by id).
+
+    ``kind="process"`` gives process isolation with an optional
+    ``initializer`` (engine caches built once per worker);
+    ``kind="thread"`` gives cheap in-process pinning for workloads that
+    release the GIL (numpy kernels) or need to share objects with the
+    coordinator.
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        kind: str = "process",
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+    ) -> None:
+        if n_slots < 1:
+            raise ConfigError(f"n_slots must be >= 1, got {n_slots}")
+        if kind not in ("process", "thread"):
+            raise ConfigError(
+                f"kind must be 'process' or 'thread', got {kind!r}"
+            )
+        self.n_slots = int(n_slots)
+        self.kind = kind
+        self._executors: list[Union[ProcessPoolExecutor, ThreadPoolExecutor]] = []
+        for _ in range(self.n_slots):
+            if kind == "process":
+                self._executors.append(
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        initializer=initializer,
+                        initargs=initargs,
+                    )
+                )
+            else:
+                executor = ThreadPoolExecutor(max_workers=1)
+                if initializer is not None:
+                    executor.submit(initializer, *initargs).result()
+                self._executors.append(executor)
+
+    def slot(self, key) -> int:
+        """Stable slot index for ``key`` (same key → same slot, always)."""
+        if isinstance(key, (int, np.integer)):
+            return int(key) % self.n_slots
+        if isinstance(key, bytes):
+            raw = key
+        else:
+            raw = str(key).encode()
+        digest = hashlib.blake2b(raw, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.n_slots
+
+    def submit(self, key, fn, /, *args, **kwargs) -> Future:
+        """Submit ``fn(*args, **kwargs)`` to the slot pinned to ``key``."""
+        return self._executors[self.slot(key)].submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        for executor in self._executors:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "PinnedExecutors":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
 
 @dataclass(frozen=True)
@@ -115,12 +194,21 @@ def _get_engine(island: int) -> GAEngine:
 
 
 def _run_epoch(
-    island: int, population: np.ndarray, fitness_values: np.ndarray, n_gens: int
+    island: int,
+    population: np.ndarray,
+    fitness_values: np.ndarray,
+    n_gens: int,
+    migrants: Optional[tuple[np.ndarray, np.ndarray]] = None,
 ) -> tuple[int, np.ndarray, np.ndarray, int, Optional[np.ndarray], float]:
     """Step one island for an epoch; also ship the engine evaluator's
     best-ever individual so offspring dropped at replacement still reach
-    the coordinator's harvest."""
+    the coordinator's harvest.  ``migrants`` is the ``(rows, fitness)``
+    the coordinator migrated into this island since the last epoch —
+    memoized into the island evaluator so rows evaluated on their source
+    island are never re-evaluated here."""
     engine = _get_engine(island)
+    if migrants is not None:
+        engine.evaluator.memoize(*migrants)
     evals = 0
     for _ in range(n_gens):
         population, fitness_values, e = engine.step(population, fitness_values)
@@ -252,31 +340,34 @@ class ParallelDPGA:
 
         harvest()
         epochs = max(cfg.max_generations // cfg.migration_interval, 0)
-        # One single-process executor per worker slot: island i always
-        # runs on pools[i % n_pools], so its engine (RNG stream, DKNUX
-        # estimate, best-ever tracker) lives in exactly one process for
-        # the whole run and same-seed results cannot depend on which
-        # process the pool scheduler would have picked.
+        # One single-worker executor per slot (PinnedExecutors): island i
+        # always runs on slot i % n_pools, so its engine (RNG stream,
+        # DKNUX estimate, best-ever tracker) lives in exactly one process
+        # for the whole run and same-seed results cannot depend on which
+        # process a shared pool's scheduler would have picked.
         n_pools = min(self.n_workers, n_isl)
-        pools: list[ProcessPoolExecutor] = []
+        pools: Optional[PinnedExecutors] = None
+        received: list[Optional[tuple[np.ndarray, np.ndarray]]] = [
+            None
+        ] * n_isl
         try:
             if epochs > 0:
-                for _ in range(n_pools):
-                    pools.append(
-                        ProcessPoolExecutor(
-                            max_workers=1,
-                            initializer=_init_worker,
-                            initargs=(self._spec,),
-                        )
-                    )
+                pools = PinnedExecutors(
+                    n_pools,
+                    kind="process",
+                    initializer=_init_worker,
+                    initargs=(self._spec,),
+                )
             for _ in range(epochs):
                 futures = [
-                    pools[island % n_pools].submit(
+                    pools.submit(
+                        island,
                         _run_epoch,
                         island,
                         populations[island],
                         fitnesses[island],
                         cfg.migration_interval,
+                        received[island],
                     )
                     for island in range(n_isl)
                 ]
@@ -291,15 +382,15 @@ class ParallelDPGA:
                     if epoch_best is not None and epoch_best_fit > best_fitness:
                         best_fitness = epoch_best_fit
                         best_assignment = epoch_best.copy()
-                self._migrate(populations, fitnesses)
+                received = self._migrate(populations, fitnesses)
                 record_global_stats(
                     self.graph, self.n_parts, history,
                     populations, fitnesses, total_evals,
                 )
                 harvest()
         finally:
-            for pool in pools:
-                pool.shutdown()
+            if pools is not None:
+                pools.shutdown()
 
         best = Partition(self.graph, best_assignment, self.n_parts)
         return DPGAResult(
@@ -313,19 +404,26 @@ class ParallelDPGA:
 
     def _migrate(
         self, populations: list[np.ndarray], fitnesses: list[np.ndarray]
-    ) -> None:
+    ) -> list[Optional[tuple[np.ndarray, np.ndarray]]]:
+        """Synchronous migration round; returns what each island received
+        so the next epoch can memoize migrants into the island's
+        (worker-resident) evaluator instead of re-evaluating them."""
         k = self.dpga_config.migration_size
         migrants = []
         for pop, fit in zip(populations, fitnesses):
             idx = np.argsort(-fit, kind="stable")[:k]
             migrants.append((pop[idx].copy(), fit[idx].copy()))
+        received: list[Optional[tuple[np.ndarray, np.ndarray]]] = []
         for island in range(self.topology.n_islands):
             inc_pop = [migrants[n][0] for n in self.topology.neighbors(island)]
             inc_fit = [migrants[n][1] for n in self.topology.neighbors(island)]
             if not inc_pop:
+                received.append(None)
                 continue
             inc_pop_arr = np.vstack(inc_pop)
             inc_fit_arr = np.concatenate(inc_fit)
             worst = np.argsort(fitnesses[island], kind="stable")[: inc_pop_arr.shape[0]]
             populations[island][worst] = inc_pop_arr
             fitnesses[island][worst] = inc_fit_arr
+            received.append((inc_pop_arr, inc_fit_arr))
+        return received

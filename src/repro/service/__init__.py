@@ -1,0 +1,60 @@
+"""repro.service — partition-as-a-service over the GA kernels.
+
+The serving subsystem the ROADMAP's production north star builds on:
+typed requests with a JSON wire format (:mod:`.models`),
+content-addressed caching of graphs/results/warm seeds (:mod:`.cache`),
+a coalescing scheduler over pinned workers (:mod:`.scheduler`),
+streaming incremental sessions (:mod:`.sessions`), a method portfolio
+racer (:mod:`.portfolio`), and two frontends — a stdlib HTTP endpoint
+(:mod:`.http`, ``repro-partition serve``) and programmatic clients
+(:mod:`.client`).
+"""
+
+from .models import (
+    FITNESS_KINDS,
+    SERVICE_METHODS,
+    JobResult,
+    PartitionRequest,
+    RefineRequest,
+    UpdateRequest,
+    graph_from_wire,
+    graph_to_wire,
+    result_from_partition,
+)
+from .cache import ContentStore, GraphStore, LRUBytesCache, graph_digest, request_key
+from .scheduler import CoalescingScheduler
+from .sessions import SESSION_GA_DEFAULTS, Session, SessionManager
+from .portfolio import PORTFOLIO_GA_DEFAULTS, run_portfolio
+from .core import DEFAULT_GA_OVERRIDES, PartitionService
+from .client import HTTPServiceClient, ServiceClient
+from .http import PartitionHTTPServer, make_server, serve
+
+__all__ = [
+    "FITNESS_KINDS",
+    "SERVICE_METHODS",
+    "JobResult",
+    "PartitionRequest",
+    "RefineRequest",
+    "UpdateRequest",
+    "graph_from_wire",
+    "graph_to_wire",
+    "result_from_partition",
+    "ContentStore",
+    "GraphStore",
+    "LRUBytesCache",
+    "graph_digest",
+    "request_key",
+    "CoalescingScheduler",
+    "SESSION_GA_DEFAULTS",
+    "Session",
+    "SessionManager",
+    "PORTFOLIO_GA_DEFAULTS",
+    "run_portfolio",
+    "DEFAULT_GA_OVERRIDES",
+    "PartitionService",
+    "HTTPServiceClient",
+    "ServiceClient",
+    "PartitionHTTPServer",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,153 @@
+"""Clients for the partition service.
+
+Two interchangeable clients expose the same verbs (``partition``,
+``refine``, ``open_session``, ``update_session``, ``close_session``,
+``stats``) returning the same :class:`JobResult` objects:
+
+* :class:`ServiceClient` drives an in-process
+  :class:`~repro.service.core.PartitionService` directly — zero
+  serialization, the right tool for embedding the service in a Python
+  application or benchmark;
+* :class:`HTTPServiceClient` speaks the JSON endpoint of
+  :mod:`repro.service.http` over urllib — the right tool from another
+  process or machine.
+
+Because both run the identical service core, a test or traffic replay
+written against one client holds for the other.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..graphs.csr import CSRGraph
+from .core import PartitionService
+from .models import (
+    JobResult,
+    PartitionRequest,
+    RefineRequest,
+    UpdateRequest,
+    graph_to_wire,
+)
+
+__all__ = ["ServiceClient", "HTTPServiceClient"]
+
+
+class ServiceClient:
+    """Programmatic, in-process client (owns its service by default)."""
+
+    def __init__(self, service: Optional[PartitionService] = None, **kwargs) -> None:
+        self._owns = service is None
+        self.service = service if service is not None else PartitionService(**kwargs)
+
+    # -- verbs ---------------------------------------------------------
+    def partition(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
+        return self.service.submit(PartitionRequest(graph, n_parts, **kwargs))
+
+    def refine(
+        self, graph: CSRGraph, n_parts: int, assignment: np.ndarray, **kwargs
+    ) -> JobResult:
+        return self.service.submit(
+            RefineRequest(graph, n_parts, assignment, **kwargs)
+        )
+
+    def submit_many(self, requests: Sequence) -> list[JobResult]:
+        return self.service.submit_many(requests)
+
+    def open_session(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
+        return self.service.open_session(graph, n_parts, **kwargs)
+
+    def update_session(self, session_id: str, graph: CSRGraph) -> JobResult:
+        return self.service.update_session(UpdateRequest(session_id, graph))
+
+    def close_session(self, session_id: str) -> dict:
+        return self.service.close_session(session_id)
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._owns:
+            self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HTTPServiceClient:
+    """JSON-over-HTTP client for a running ``repro-partition serve``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport -----------------------------------------------------
+    def _call(self, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        if payload is None:
+            request = urllib.request.Request(url, method="GET")
+        else:
+            request = urllib.request.Request(
+                url,
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServiceError(
+                f"{path} failed with HTTP {exc.code}: {message}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach service at {url}: {exc}") from exc
+
+    # -- verbs ---------------------------------------------------------
+    def partition(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
+        payload = PartitionRequest(graph, n_parts, **kwargs).to_payload()
+        return JobResult.from_payload(self._call("/v1/partition", payload))
+
+    def refine(
+        self, graph: CSRGraph, n_parts: int, assignment: np.ndarray, **kwargs
+    ) -> JobResult:
+        payload = RefineRequest(graph, n_parts, assignment, **kwargs).to_payload()
+        return JobResult.from_payload(self._call("/v1/refine", payload))
+
+    def open_session(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
+        payload = {
+            "graph": graph_to_wire(graph),
+            "n_parts": int(n_parts),
+            **kwargs,
+        }
+        return JobResult.from_payload(self._call("/v1/session/open", payload))
+
+    def update_session(self, session_id: str, graph: CSRGraph) -> JobResult:
+        payload = UpdateRequest(session_id, graph).to_payload()
+        return JobResult.from_payload(self._call("/v1/session/update", payload))
+
+    def close_session(self, session_id: str) -> dict:
+        return self._call("/v1/session/close", {"session_id": session_id})
+
+    def stats(self) -> dict:
+        return self._call("/v1/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._call("/v1/healthz").get("ok"))
+        except ServiceError:
+            return False

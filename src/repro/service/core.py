@@ -1,0 +1,457 @@
+"""`repro.service` core — partition-as-a-service over the GA kernels.
+
+:class:`PartitionService` is the long-lived object the CLI ``serve``
+command, the HTTP frontend, and the programmatic
+:class:`~repro.service.client.ServiceClient` all drive.  One request
+flows::
+
+    request → content-addressed result cache ──hit──→ answer
+            └─miss→ in-flight join (identical request already running?)
+            └─lead→ pinned worker slot (by graph digest / session id)
+                     → GA / baseline / portfolio / batched refine
+                     → result stored + warm seed updated → answer
+
+Everything the PR-1/2 kernels made fast stays hot across requests: the
+graph store interns CSR builds (strength tables, unit-weight flags),
+refinement groups share one lockstep :func:`climb_batch` sweep, session
+partitioners keep their population near the previous optimum, and the
+engine evaluator's row-hash memo (PR 3) never re-evaluates a row the
+service has already paid for.
+
+Determinism contract: cached, joined, and group-coalesced answers are
+bit-identical to what a cold serial run of the same request (same seed)
+would return.  The only opt-out is ``warm_start=True``, which
+explicitly trades that property for convergence speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigError, ServiceError
+from ..ga.batch_climb import climb_batch
+from ..ga.config import GAConfig
+from ..ga.fitness import make_fitness
+from ..graphs.csr import CSRGraph
+from ..partition.partition import Partition
+from .cache import ContentStore, request_key
+from .models import (
+    JobResult,
+    PartitionRequest,
+    RefineRequest,
+    UpdateRequest,
+    result_from_partition,
+)
+from .portfolio import run_portfolio
+from .scheduler import CoalescingScheduler
+from .sessions import SessionManager
+
+__all__ = ["PartitionService", "DEFAULT_GA_OVERRIDES"]
+
+Request = Union[PartitionRequest, RefineRequest]
+
+#: serving default for one-shot dknux requests — the library front
+#: door's compact budget (requests override any field via ``ga``)
+DEFAULT_GA_OVERRIDES = dict(
+    population_size=64,
+    max_generations=100,
+    patience=20,
+    hill_climb="all",
+    hill_climb_passes=2,
+    mutation="boundary",
+    mutation_rate=0.02,
+)
+
+
+class _LatencyWindow:
+    """Bounded recent-latency sample with percentile readout."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+        self._maxlen = maxlen
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self._samples.append(seconds)
+            if len(self._samples) > self._maxlen:
+                del self._samples[: self._maxlen // 2]
+
+    def percentiles(self) -> dict:
+        with self._lock:
+            if not self._samples:
+                return {"count": self.count}
+            arr = np.asarray(self._samples)
+        return {
+            "count": self.count,
+            "p50_ms": round(float(np.percentile(arr, 50)) * 1e3, 3),
+            "p95_ms": round(float(np.percentile(arr, 95)) * 1e3, 3),
+            "max_ms": round(float(arr.max()) * 1e3, 3),
+        }
+
+
+class PartitionService:
+    """The partition-as-a-service engine room (see module docstring)."""
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        cache_bytes: int = 64 << 20,
+        max_sessions: int = 1024,
+    ) -> None:
+        self.store = ContentStore(cache_bytes)
+        self.scheduler = CoalescingScheduler(n_workers)
+        self.sessions = SessionManager(max_sessions)
+        self.latency = _LatencyWindow()
+        self.session_latency = _LatencyWindow()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # one-shot + refine
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> JobResult:
+        """Answer one request (cache → join → execute)."""
+        self._check_open()
+        t0 = time.perf_counter()
+        digest, graph = self.store.graphs.intern(request.graph)
+        request = _with_graph(request, graph)
+        key = request_key(request, digest=digest)
+        result = self.store.lookup_result(key)
+        if result is None:
+            # the leader's job publishes (cache + warm seed) *before*
+            # the scheduler drops its in-flight entry, so a same-key
+            # request arriving at any moment finds either the flight or
+            # the cache — identical work truly runs at most once
+            result = self.scheduler.run(
+                key,
+                digest,
+                lambda: self._execute_and_publish(request, digest, key),
+            )
+        latency = time.perf_counter() - t0
+        self.latency.add(latency)
+        result.latency_s = latency
+        result.request_key = key
+        return result
+
+    def submit_many(self, requests: Sequence[Request]) -> list[JobResult]:
+        """Answer a batch, coalescing what can be coalesced.
+
+        Cache hits are answered immediately; remaining
+        :class:`RefineRequest`\\ s sharing (graph, k, fitness, passes)
+        run as *one* lockstep ``climb_batch`` sweep per group (their
+        rows stacked), and everything else goes through :meth:`submit`.
+        Per-request results are returned in submission order and are
+        bit-identical to submitting each request serially.
+        """
+        self._check_open()
+        results: list[Optional[JobResult]] = [None] * len(requests)
+        groups: dict[tuple, list[int]] = {}
+        prepared: list[Optional[tuple[Request, str, str]]] = [None] * len(requests)
+        for i, request in enumerate(requests):
+            item_t0 = time.perf_counter()
+            digest, graph = self.store.graphs.intern(request.graph)
+            request = _with_graph(request, graph)
+            key = request_key(request, digest=digest)
+            cached = self.store.lookup_result(key)
+            if cached is not None:
+                cached.latency_s = time.perf_counter() - item_t0
+                cached.request_key = key
+                self.latency.add(cached.latency_s)
+                results[i] = cached
+                continue
+            prepared[i] = (request, digest, key)
+            if isinstance(request, RefineRequest):
+                group_id = (
+                    digest,
+                    request.n_parts,
+                    request.fitness_kind,
+                    request.passes,
+                )
+                groups.setdefault(group_id, []).append(i)
+
+        grouped = {i for members in groups.values() for i in members}
+        for group_id, members in groups.items():
+            digest = group_id[0]
+            keys = [prepared[i][2] for i in members]
+            batch = [prepared[i][0] for i in members]
+            group_t0 = time.perf_counter()
+
+            def run_and_publish(b=batch, ks=keys, d=digest):
+                group = self._execute_refine_group(b)
+                for req, k, res in zip(b, ks, group):
+                    self.store.store_result(k, res)
+                    self._store_warm_seed(req, d, res)
+                return group
+
+            group_results = self.scheduler.run_group(
+                keys, digest, run_and_publish
+            )
+            # every member's latency is its group's service time — the
+            # same per-request semantics submit() reports, so the p50/
+            # p95 stats mix batch and single traffic consistently
+            group_s = time.perf_counter() - group_t0
+            for i, key, result in zip(members, keys, group_results):
+                result.latency_s = group_s
+                result.request_key = key
+                self.latency.add(result.latency_s)
+                results[i] = result
+
+        # remaining misses are independent jobs; fan them out so the
+        # pinned worker pool overlaps their execution instead of the
+        # batch degenerating into a serial loop
+        leftovers = [
+            i
+            for i in range(len(requests))
+            if results[i] is None and i not in grouped
+        ]
+        if len(leftovers) == 1:
+            i = leftovers[0]
+            results[i] = self.submit(prepared[i][0])
+        elif leftovers:
+            from concurrent.futures import ThreadPoolExecutor
+
+            fan_out = min(len(leftovers), self.scheduler.pool.n_slots)
+            with ThreadPoolExecutor(max_workers=fan_out) as fan:
+                futures = {
+                    i: fan.submit(self.submit, prepared[i][0])
+                    for i in leftovers
+                }
+                for i, future in futures.items():
+                    results[i] = future.result()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        graph: CSRGraph,
+        n_parts: int,
+        fitness_kind: str = "fitness1",
+        seed: int = 0,
+        ga: Optional[dict] = None,
+    ) -> JobResult:
+        """Open a streaming session; the result carries ``session_id``."""
+        self._check_open()
+        t0 = time.perf_counter()
+        _, graph = self.store.graphs.intern(graph)
+        session = self.sessions.open(
+            graph, n_parts, fitness_kind=fitness_kind, seed=seed, ga=ga
+        )
+        # the initial GA runs on the session's pinned worker slot, like
+        # every later update — never on the calling (HTTP) thread, so
+        # `n_workers` bounds service CPU even under open bursts
+        try:
+            future = self.scheduler.pool.submit(
+                session.id, session.partition_initial
+            )
+            partition = future.result()
+        except BaseException:
+            self.sessions.close(session.id)  # do not leak a broken session
+            raise
+        latency = time.perf_counter() - t0
+        self.session_latency.add(latency)
+        return result_from_partition(
+            partition,
+            "dknux-incremental",
+            fitness=_fitness_of(partition, fitness_kind),
+            session_id=session.id,
+            latency_s=latency,
+        )
+
+    def update_session(self, request: UpdateRequest) -> JobResult:
+        """One incremental step, pinned to the session's worker slot."""
+        self._check_open()
+        t0 = time.perf_counter()
+
+        def step() -> JobResult:
+            session, partition = self.sessions.update(
+                request.session_id, request.graph
+            )
+            return result_from_partition(
+                partition,
+                "dknux-incremental",
+                fitness=_fitness_of(
+                    partition, session.partitioner.fitness_kind
+                ),
+                session_id=session.id,
+            )
+
+        future = self.scheduler.pool.submit(request.session_id, step)
+        result = future.result()
+        latency = time.perf_counter() - t0
+        self.session_latency.add(latency)
+        result.latency_s = latency
+        return result
+
+    def close_session(self, session_id: str) -> dict:
+        self._check_open()
+        return self.sessions.close(session_id)
+
+    # ------------------------------------------------------------------
+    # stats / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "cache": self.store.stats(),
+            "scheduler": self.scheduler.stats(),
+            "sessions": self.sessions.stats(),
+            "latency": self.latency.percentiles(),
+            "session_latency": self.session_latency.percentiles(),
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.scheduler.shutdown()
+
+    def __enter__(self) -> "PartitionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    # ------------------------------------------------------------------
+    # execution (runs on scheduler workers)
+    # ------------------------------------------------------------------
+    def _execute_and_publish(
+        self, request: Request, digest: str, key: str
+    ) -> JobResult:
+        result = self._execute(request, digest)
+        self.store.store_result(key, result)
+        self._store_warm_seed(request, digest, result)
+        return result
+
+    def _execute(self, request: Request, digest: str) -> JobResult:
+        if isinstance(request, RefineRequest):
+            return self._execute_refine_group([request])[0]
+        return self._execute_partition(request, digest)
+
+    def _execute_partition(
+        self, request: PartitionRequest, digest: str
+    ) -> JobResult:
+        from .. import partition_graph
+        from ..baselines import (
+            greedy_partition,
+            random_partition,
+            recursive_kl_partition,
+            rgb_partition,
+            rsb_partition,
+        )
+
+        graph, k = request.graph, request.n_parts
+        if request.method == "portfolio":
+            partition, method, fitness, table = run_portfolio(
+                graph,
+                k,
+                fitness_kind=request.fitness_kind,
+                seed=request.seed,
+                time_budget=request.time_budget,
+                ga=request.ga,
+            )
+            return result_from_partition(
+                partition, f"portfolio:{method}", fitness=fitness,
+                portfolio=table,
+            )
+        if request.method == "dknux":
+            overrides = dict(DEFAULT_GA_OVERRIDES)
+            if request.ga:
+                overrides.update(request.ga)
+            try:
+                config = GAConfig(**overrides)
+            except (ConfigError, TypeError) as exc:
+                raise ServiceError(f"bad ga overrides: {exc}") from exc
+            seed_assignment = None
+            if request.warm_start:
+                seed_assignment = self.store.graphs.warm_seed(
+                    digest, k, request.fitness_kind
+                )
+            partition = partition_graph(
+                graph,
+                k,
+                fitness_kind=request.fitness_kind,
+                config=config,
+                seed=request.seed,
+                seed_assignment=seed_assignment,
+            )
+        elif request.method == "greedy":
+            partition = greedy_partition(graph, k, seed=request.seed)
+        elif request.method == "rgb":
+            partition = rgb_partition(graph, k)
+        elif request.method == "kl":
+            partition = recursive_kl_partition(graph, k, seed=request.seed)
+        elif request.method == "rsb":
+            partition = rsb_partition(graph, k)
+        else:  # "random" — SERVICE_METHODS is validated at request build
+            partition = random_partition(graph, k, seed=request.seed)
+        return result_from_partition(
+            partition,
+            request.method,
+            fitness=_fitness_of(partition, request.fitness_kind),
+        )
+
+    def _execute_refine_group(
+        self, batch: list[RefineRequest]
+    ) -> list[JobResult]:
+        """One lockstep climb over every queued refinement of the same
+        (graph, k, fitness, passes).
+
+        ``climb_batch`` treats rows independently (per-row move masks
+        over a shared scan), so the stacked sweep is bit-identical to
+        climbing each request alone — coalescing changes cost, not
+        answers."""
+        head = batch[0]
+        graph, k = head.graph, head.n_parts
+        fitness = make_fitness(head.fitness_kind, graph, k)
+        rows = np.vstack([r.assignment for r in batch])
+        climbed = climb_batch(graph, fitness, rows, max_passes=head.passes)
+        values = fitness.evaluate_batch(climbed)
+        out = []
+        for i in range(len(batch)):
+            partition = Partition(graph, climbed[i], k)
+            out.append(
+                result_from_partition(
+                    partition, "refine", fitness=float(values[i])
+                )
+            )
+        return out
+
+    def _store_warm_seed(
+        self, request: Request, digest: str, result: JobResult
+    ) -> None:
+        """Remember the best assignment per (graph, k, fitness) for
+        ``warm_start`` traffic (one atomic compare-and-store — no
+        re-evaluation, no lost-update race between workers)."""
+        if not isinstance(request, (PartitionRequest, RefineRequest)):
+            return
+        self.store.graphs.store_seed_if_better(
+            digest,
+            request.n_parts,
+            request.fitness_kind,
+            result.assignment,
+            result.fitness,
+        )
+
+
+def _with_graph(request: Request, graph: CSRGraph) -> Request:
+    """Copy of the request carrying the interned graph instance (same
+    content by digest); the caller's request object is left untouched."""
+    if request.graph is graph:
+        return request
+    return dataclasses.replace(request, graph=graph)
+
+
+def _fitness_of(partition: Partition, fitness_kind: str) -> float:
+    fitness = make_fitness(fitness_kind, partition.graph, partition.n_parts)
+    return float(fitness.evaluate(partition.assignment))

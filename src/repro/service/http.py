@@ -1,0 +1,205 @@
+"""Stdlib HTTP frontend for the partition service.
+
+A thin JSON layer over :class:`~repro.service.core.PartitionService`
+on ``http.server.ThreadingHTTPServer`` — one thread per connection, no
+third-party dependencies, good enough to serve the paper-scale graphs
+this repo reproduces and to load-test the serving architecture.  The
+endpoint schema:
+
+====================  ======  =========================================
+path                  method  body / response
+====================  ======  =========================================
+``/v1/partition``     POST    :class:`PartitionRequest` payload → result
+``/v1/refine``        POST    :class:`RefineRequest` payload → result
+``/v1/session/open``  POST    ``{graph, n_parts, fitness_kind, seed,
+                              ga}`` → result with ``session_id``
+``/v1/session/update``  POST  :class:`UpdateRequest` payload → result
+``/v1/session/close`` POST    ``{session_id}`` → session summary
+``/v1/stats``         GET     service counters (cache, scheduler,
+                              sessions, latency percentiles)
+``/v1/healthz``       GET     ``{"ok": true}``
+====================  ======  =========================================
+
+Malformed payloads (bad JSON, bad graph bytes, invalid parameters)
+answer ``400`` with ``{"error": ...}``; unknown paths ``404``; unknown
+sessions ``404``; oversized bodies ``413``.  Library errors never leak
+tracebacks to the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..errors import ReproError, ServiceError
+from .core import PartitionService
+from .models import (
+    PartitionRequest,
+    RefineRequest,
+    UpdateRequest,
+    graph_from_wire,
+)
+
+__all__ = ["PartitionHTTPServer", "make_server", "serve"]
+
+#: request-body ceiling — paper-scale graphs are ~KBs; 64 MiB leaves
+#: ample slack for large meshes while bounding a hostile payload
+MAX_BODY_BYTES = 64 << 20
+
+
+class PartitionHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a :class:`PartitionService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: PartitionService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PartitionHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the service counters' job, not stderr's
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        raw_length = self.headers.get("Content-Length", 0) or 0
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            raise _HTTPError(
+                400, f"bad Content-Length header: {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _HTTPError(400, f"bad Content-Length header: {length}")
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(413, f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, f"bad JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/v1/healthz":
+                self._send_json(200, {"ok": True})
+            elif self.path == "/v1/stats":
+                self._send_json(200, self.server.service.stats())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+        except BrokenPipeError:  # client went away mid-answer
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        try:
+            payload = self._read_body()
+            if self.path == "/v1/partition":
+                result = service.submit(PartitionRequest.from_payload(payload))
+                self._send_json(200, result.to_payload())
+            elif self.path == "/v1/refine":
+                result = service.submit(RefineRequest.from_payload(payload))
+                self._send_json(200, result.to_payload())
+            elif self.path == "/v1/session/open":
+                # parameter validation (types, ranges, ga overrides)
+                # lives in SessionManager.open and answers 400
+                result = service.open_session(
+                    graph_from_wire(_field(payload, "graph")),
+                    n_parts=_field(payload, "n_parts"),
+                    fitness_kind=payload.get("fitness_kind", "fitness1"),
+                    seed=payload.get("seed", 0),
+                    ga=payload.get("ga"),
+                )
+                self._send_json(200, result.to_payload())
+            elif self.path == "/v1/session/update":
+                result = service.update_session(
+                    UpdateRequest.from_payload(payload)
+                )
+                self._send_json(200, result.to_payload())
+            elif self.path == "/v1/session/close":
+                summary = service.close_session(_field(payload, "session_id"))
+                self._send_json(200, summary)
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+        except _HTTPError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except ServiceError as exc:
+            status = 404 if "unknown session" in str(exc) else 400
+            self._send_json(status, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _field(payload: dict, key: str):
+    try:
+        return payload[key]
+    except KeyError:
+        raise _HTTPError(400, f"request payload missing field {key!r}") from None
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8157,
+    service: Optional[PartitionService] = None,
+    **service_kwargs,
+) -> PartitionHTTPServer:
+    """Build (but do not start) a server; ``port=0`` picks a free port."""
+    if service is None:
+        service = PartitionService(**service_kwargs)
+    return PartitionHTTPServer((host, port), service)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8157,
+    service: Optional[PartitionService] = None,
+    background: bool = False,
+    **service_kwargs,
+) -> PartitionHTTPServer:
+    """Start serving; ``background=True`` serves from a daemon thread
+    and returns immediately (used by tests and the smoke benchmark)."""
+    server = make_server(host, port, service, **service_kwargs)
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-service", daemon=True
+        )
+        thread.start()
+    else:  # pragma: no cover - exercised by the CLI, not the test suite
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.service.close()
+            server.server_close()
+    return server

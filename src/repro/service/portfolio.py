@@ -1,0 +1,177 @@
+"""Method-portfolio mode: race DKNUX against the cheap baselines.
+
+The paper compares DKNUX against a suite of classical partitioners
+(Section 4); production traffic turns that comparison into a serving
+strategy.  Under a time budget the portfolio runs the cheap
+deterministic baselines first (greedy growth, recursive graph
+bisection, recursive KL, plus the coordinate methods when the graph
+carries coordinates, and RSB), then spends whatever budget remains on
+the DKNUX GA, and answers with the best partition seen — so a tight
+budget degrades gracefully to the best classical answer instead of
+timing out, and a loose one recovers full GA quality.
+
+Every method is scored by the *request's* fitness function (the same
+objective the GA optimizes), so "best" means best under the paper's
+cost model, not merely smallest edge cut.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..ga.config import GAConfig
+from ..ga.fitness import make_fitness
+from ..graphs.csr import CSRGraph
+from ..partition.partition import Partition
+
+__all__ = ["run_portfolio", "PORTFOLIO_GA_DEFAULTS"]
+
+#: compact GA budget for the portfolio leg (callers override via ``ga``)
+PORTFOLIO_GA_DEFAULTS = dict(
+    population_size=48,
+    max_generations=80,
+    hill_climb="all",
+    hill_climb_passes=2,
+    patience=15,
+)
+
+
+def _run_budgeted_dknux(
+    graph: CSRGraph,
+    n_parts: int,
+    fitness_kind: str,
+    config: GAConfig,
+    seed: int,
+    remaining,
+) -> tuple[Partition, int]:
+    """The full DKNUX engine run, clock-bounded via ``run(deadline=)``.
+
+    Identical to :func:`repro.partition_graph` with the same config and
+    seed (same engine, RNG stream, hill-climb modes, stopping rules) —
+    a binding budget only stops it between generations earlier."""
+    from ..ga.dknux import DKNUX
+    from ..ga.engine import GAEngine
+
+    fitness = make_fitness(fitness_kind, graph, n_parts)
+    engine = GAEngine(
+        graph, fitness, DKNUX(graph, n_parts), config=config, seed=seed
+    )
+    budget = remaining()
+    deadline = None if budget == float("inf") else time.perf_counter() + budget
+    result = engine.run(deadline=deadline)
+    return result.best, result.generations
+
+
+def _baseline_legs(
+    graph: CSRGraph, n_parts: int, seed: int
+) -> list[tuple[str, Callable[[], Partition]]]:
+    from ..baselines import (
+        greedy_partition,
+        ibp_partition,
+        rcb_partition,
+        recursive_kl_partition,
+        rgb_partition,
+        rsb_partition,
+    )
+
+    legs: list[tuple[str, Callable[[], Partition]]] = [
+        ("greedy", lambda: greedy_partition(graph, n_parts, seed=seed)),
+        ("rgb", lambda: rgb_partition(graph, n_parts)),
+        ("kl", lambda: recursive_kl_partition(graph, n_parts, seed=seed)),
+    ]
+    if graph.coords is not None:
+        legs.append(("rcb", lambda: rcb_partition(graph, n_parts)))
+        legs.append(("ibp", lambda: ibp_partition(graph, n_parts)))
+    legs.append(("rsb", lambda: rsb_partition(graph, n_parts)))
+    return legs
+
+
+def run_portfolio(
+    graph: CSRGraph,
+    n_parts: int,
+    fitness_kind: str = "fitness1",
+    seed: int = 0,
+    time_budget: Optional[float] = None,
+    ga: Optional[dict] = None,
+) -> tuple[Partition, str, float, list[dict]]:
+    """Race the portfolio; returns ``(best, method, fitness, table)``.
+
+    ``table`` has one row per leg — ``{method, cut_size, max_part_cut,
+    fitness, seconds}`` for legs that ran, ``{method, skipped: reason}``
+    for legs the budget cut or that failed (a leg error never sinks the
+    request; the race just moves on).  Legs run in fixed order with the
+    budget checked between legs and between DKNUX generations, so a
+    given (graph, k, fitness, seed, budget-that-does-not-bind) request
+    is deterministic.
+    """
+    fitness = make_fitness(fitness_kind, graph, n_parts)
+    t_start = time.perf_counter()
+
+    def remaining() -> float:
+        if time_budget is None:
+            return float("inf")
+        return time_budget - (time.perf_counter() - t_start)
+
+    table: list[dict] = []
+    best: Optional[Partition] = None
+    best_method = ""
+    best_fitness = -np.inf
+
+    def record(method: str, partition: Partition, seconds: float) -> None:
+        nonlocal best, best_method, best_fitness
+        value = fitness.evaluate(partition.assignment)
+        table.append(
+            {
+                "method": method,
+                "cut_size": float(partition.cut_size),
+                "max_part_cut": float(partition.max_part_cut),
+                "fitness": value,
+                "seconds": round(seconds, 6),
+            }
+        )
+        if value > best_fitness:
+            best, best_method, best_fitness = partition, method, value
+
+    for method, leg in _baseline_legs(graph, n_parts, seed):
+        if remaining() <= 0:
+            table.append({"method": method, "skipped": "time budget exhausted"})
+            continue
+        t0 = time.perf_counter()
+        try:
+            partition = leg()
+        except ReproError as exc:
+            table.append({"method": method, "skipped": f"failed: {exc}"})
+            continue
+        record(method, partition, time.perf_counter() - t0)
+
+    # DKNUX leg: spend whatever budget remains — the generation loop
+    # checks the clock, so a binding budget stops the GA mid-run and
+    # answers with its best-so-far instead of overshooting the cap
+    if remaining() > 0:
+        overrides = dict(PORTFOLIO_GA_DEFAULTS)
+        if ga:
+            overrides.update(ga)
+        config = GAConfig(**overrides)
+        t0 = time.perf_counter()
+        partition, generations = _run_budgeted_dknux(
+            graph, n_parts, fitness_kind, config, seed, remaining
+        )
+        seconds = time.perf_counter() - t0
+        record("dknux", partition, seconds)
+        table[-1]["generations"] = generations
+    else:
+        table.append({"method": "dknux", "skipped": "time budget exhausted"})
+
+    if best is None:
+        # every leg failed or was cut — fall back to a trivial valid answer
+        from ..baselines import random_partition
+
+        best = random_partition(graph, n_parts, seed=seed)
+        best_method = "random"
+        best_fitness = fitness.evaluate(best.assignment)
+        table.append({"method": "random", "skipped": "fallback answer"})
+    return best, best_method, float(best_fitness), table

@@ -1,0 +1,197 @@
+"""Streaming incremental sessions (the service face of Tables 3/6).
+
+A session is the paper's incremental experiment turned into a
+long-lived server object: the client opens a session on a graph, the
+service partitions it once, and every subsequent
+``insert_local_nodes``-style update is re-partitioned with the
+population *seeded from the previous assignment*
+(:mod:`repro.incremental`) instead of a cold start — which is exactly
+the workload the paper's Tables 3/6 measure, and where incremental
+seeding pays: the GA starts concentrated around the previous optimum
+and only has to resolve the refined region.
+
+Each session owns an :class:`IncrementalGAPartitioner` (its state: the
+current graph, partition, and RNG stream) plus a lock serializing its
+updates; different sessions proceed concurrently.  The service pins
+every update of a session to one scheduler slot, so the partitioner's
+evolving state lives on a single worker for the session's lifetime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, ServiceError
+from ..ga.config import GAConfig
+from ..graphs.csr import CSRGraph
+from ..incremental.partitioner import IncrementalGAPartitioner
+from ..partition.partition import Partition
+
+__all__ = ["Session", "SessionManager", "SESSION_GA_DEFAULTS"]
+
+#: compact per-update GA budget — sessions answer interactive traffic,
+#: not offline tables; callers override any of it per session
+SESSION_GA_DEFAULTS = dict(
+    population_size=48,
+    max_generations=60,
+    hill_climb="all",
+    hill_climb_passes=2,
+    patience=12,
+)
+
+
+class Session:
+    """One open incremental-partitioning session."""
+
+    def __init__(
+        self,
+        session_id: str,
+        partitioner: IncrementalGAPartitioner,
+    ) -> None:
+        self.id = session_id
+        self.partitioner = partitioner
+        self.lock = threading.Lock()
+        self.created_at = time.time()
+        self.n_updates = 0
+        self.total_ga_seconds = 0.0
+
+    def partition_initial(self) -> Partition:
+        """Run the session's first GA (the service calls this on the
+        worker slot pinned to the session, not on the request thread)."""
+        t0 = time.perf_counter()
+        with self.lock:
+            partition = self.partitioner.partition_initial()
+        self.total_ga_seconds += time.perf_counter() - t0
+        return partition
+
+    def summary(self) -> dict:
+        part = self.partitioner.partition
+        return {
+            "session_id": self.id,
+            "n_nodes": self.partitioner.graph.n_nodes,
+            "n_parts": self.partitioner.n_parts,
+            "n_updates": self.n_updates,
+            "cut_size": None if part is None else float(part.cut_size),
+            "total_ga_seconds": round(self.total_ga_seconds, 6),
+        }
+
+
+class SessionManager:
+    """Open/update/close lifecycle for incremental sessions."""
+
+    def __init__(self, max_sessions: int = 1024) -> None:
+        if max_sessions < 1:
+            raise ServiceError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.max_sessions = int(max_sessions)
+        self._lock = threading.Lock()
+        self._sessions: dict[str, Session] = {}
+        self._counter = itertools.count()
+        self.opened = 0
+        self.closed = 0
+        self.total_updates = 0
+
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        graph: CSRGraph,
+        n_parts: int,
+        fitness_kind: str = "fitness1",
+        seed: int = 0,
+        ga: Optional[dict] = None,
+    ) -> Session:
+        """Create and register a session (no GA work yet — the caller
+        runs :meth:`Session.partition_initial` on the session's pinned
+        worker slot).  Invalid parameters raise :class:`ServiceError`."""
+        from .models import FITNESS_KINDS
+
+        if isinstance(n_parts, bool) or not isinstance(n_parts, int):
+            raise ServiceError(f"n_parts must be an integer, got {n_parts!r}")
+        if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
+            raise ServiceError(
+                f"seed must be a non-negative integer, got {seed!r}"
+            )
+        if fitness_kind not in FITNESS_KINDS:
+            raise ServiceError(
+                f"fitness_kind must be one of {FITNESS_KINDS}, got "
+                f"{fitness_kind!r}"
+            )
+        overrides = dict(SESSION_GA_DEFAULTS)
+        if ga:
+            if not isinstance(ga, dict):
+                raise ServiceError("ga overrides must be a {str: value} object")
+            overrides.update(ga)
+        try:
+            config = GAConfig(**overrides)
+        except (ConfigError, TypeError) as exc:
+            raise ServiceError(f"bad ga overrides: {exc}") from exc
+        try:
+            partitioner = IncrementalGAPartitioner(
+                graph,
+                n_parts,
+                fitness_kind=fitness_kind,
+                config=config,
+                seed=seed,
+            )
+        except (ConfigError, TypeError, ValueError) as exc:
+            raise ServiceError(f"bad session parameters: {exc}") from exc
+        session_id = f"s{next(self._counter)}-{secrets.token_hex(4)}"
+        session = Session(session_id, partitioner)
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                raise ServiceError(
+                    f"session limit reached ({self.max_sessions} open)"
+                )
+            self._sessions[session_id] = session
+            self.opened += 1
+        return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return session
+
+    def update(self, session_id: str, new_graph: CSRGraph) -> tuple[Session, Partition]:
+        """Re-partition after a graph update, warm-seeded from the
+        session's previous assignment."""
+        session = self.get(session_id)
+        t0 = time.perf_counter()
+        with session.lock:
+            # re-check under the session lock: a concurrent close() may
+            # have removed the session between get() and here, and an
+            # update must not "succeed" against a closed session
+            with self._lock:
+                if self._sessions.get(session_id) is not session:
+                    raise ServiceError(f"unknown session {session_id!r}")
+            partition = session.partitioner.update(new_graph)
+            session.n_updates += 1
+        with self._lock:
+            self.total_updates += 1
+        session.total_ga_seconds += time.perf_counter() - t0
+        return session, partition
+
+    def close(self, session_id: str) -> dict:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                self.closed += 1
+        if session is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        with session.lock:  # let an in-flight update finish first
+            return session.summary()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "open": len(self._sessions),
+                "opened": self.opened,
+                "closed": self.closed,
+                "updates": self.total_updates,
+            }

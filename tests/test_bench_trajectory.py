@@ -1,0 +1,89 @@
+"""Tests for the BENCH_metrics.json trajectory differ."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "bench_trajectory.py"
+
+
+def snapshot(ms_loads, ms_climb, ok=True):
+    return {
+        "scale": {"mesh_nodes": 300, "population": 320, "n_parts": 8},
+        "kernels": {
+            "batch_part_loads": {"new_ms": ms_loads, "speedup": 5.0},
+            "batch_hillclimb": {"new_ms": ms_climb, "speedup": 18.0},
+        },
+        "ok": ok,
+    }
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True,
+    )
+
+
+class TestTrajectory:
+    def test_two_snapshots_build_a_table(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(snapshot(2.0, 100.0)))
+        b.write_text(json.dumps(snapshot(1.0, 80.0)))
+        out = run_cli(f"pr2:{a}", f"pr3:{b}")
+        assert out.returncode == 0, out.stderr
+        table = out.stdout
+        assert "| kernel | pr2 | pr3 |" in table
+        assert "batch_part_loads" in table and "batch_hillclimb" in table
+        assert "-50.0%" in table  # 2.0 ms -> 1.0 ms
+        assert "🟢" in table
+
+    def test_regression_flagged_red(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(snapshot(1.0, 50.0)))
+        b.write_text(json.dumps(snapshot(2.0, 50.0)))
+        out = run_cli(str(a), str(b))
+        assert "🔴 +100.0%" in out.stdout
+
+    def test_missing_kernel_shown_as_gap(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(snapshot(1.0, 50.0)))
+        partial = snapshot(1.5, 60.0)
+        del partial["kernels"]["batch_hillclimb"]
+        b.write_text(json.dumps(partial))
+        out = run_cli(str(a), str(b))
+        assert out.returncode == 0
+        assert "—" in out.stdout
+
+    def test_out_file_written(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(snapshot(1.0, 50.0)))
+        out_md = tmp_path / "traj.md"
+        out = run_cli(str(a), "--out", str(out_md))
+        assert out.returncode == 0
+        assert out_md.read_text().startswith("# Kernel perf trajectory")
+
+    def test_guard_failures_surfaced(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(snapshot(1.0, 50.0, ok=False)))
+        out = run_cli(str(a))
+        assert "FAIL" in out.stdout
+
+    def test_unreadable_snapshot_errors_cleanly(self, tmp_path):
+        out = run_cli(str(tmp_path / "missing.json"))
+        assert out.returncode != 0
+        assert "cannot read snapshot" in out.stderr
+
+    def test_git_snapshot_reads_committed_metrics(self):
+        """The repo commits BENCH_metrics.json, so --git HEAD works."""
+        out = subprocess.run(
+            [sys.executable, str(SCRIPT), "--git", "HEAD"],
+            capture_output=True, text=True,
+            cwd=str(SCRIPT.parent.parent),
+        )
+        assert out.returncode == 0, out.stderr
+        assert "batch_hillclimb" in out.stdout

@@ -390,6 +390,138 @@ class TestEngineBookkeeping:
         assert engine.evaluator.best_assignment is not None
 
 
+class TestCrossGenerationMemo:
+    """The row-hash memo: exact reuse across calls, bounded capacity,
+    DPGA migrant coverage."""
+
+    def setup_method(self):
+        self.graph = mesh_graph(50, seed=3)
+        self.k = 4
+        rng = np.random.default_rng(0)
+        self.pop = rng.integers(0, self.k, size=(20, 50))
+
+    def test_repeated_rows_not_reevaluated_across_calls(self):
+        spy = SpyFitness(self.graph, self.k)
+        ev = BatchEvaluator(spy, memo_capacity=1024)
+        first, n1 = ev.evaluate(self.pop)
+        assert n1 == 20 and spy.rows_evaluated == 20
+        again, n2 = ev.evaluate(self.pop)
+        assert n2 == 0
+        assert spy.rows_evaluated == 20  # nothing flowed through again
+        assert np.array_equal(again, first)
+        assert ev.memo_hits == 20
+
+    def test_intra_batch_duplicates_evaluated_once(self):
+        spy = SpyFitness(self.graph, self.k)
+        ev = BatchEvaluator(spy, memo_capacity=1024)
+        batch = np.vstack([self.pop[:3]] * 4)  # 3 unique rows, 12 total
+        values, n = ev.evaluate(batch)
+        assert n == 3 and spy.rows_evaluated == 3
+        expected = Fitness1(self.graph, self.k).evaluate_batch(self.pop[:3])
+        assert np.array_equal(values, np.tile(expected, 4))
+
+    def test_memo_values_are_exact(self):
+        fit = Fitness1(self.graph, self.k)
+        ev = BatchEvaluator(fit, memo_capacity=1024)
+        ev.evaluate(self.pop)
+        cached, _ = ev.evaluate(self.pop)
+        assert np.array_equal(cached, fit.evaluate_batch(self.pop))
+
+    def test_capacity_bounds_memo(self):
+        fit = Fitness1(self.graph, self.k)
+        ev = BatchEvaluator(fit, memo_capacity=8)
+        ev.evaluate(self.pop)  # 20 rows through an 8-entry memo
+        assert len(ev._memo) <= 8
+        # the freshest rows survived (LRU insertion order)
+        _, n = ev.evaluate(self.pop[-8:])
+        assert n == 0
+
+    def test_memoize_external_rows(self):
+        """Migrant-style insertion: rows whose fitness arrived from
+        elsewhere are never re-evaluated."""
+        spy = SpyFitness(self.graph, self.k)
+        ev = BatchEvaluator(spy, memo_capacity=64)
+        values = Fitness1(self.graph, self.k).evaluate_batch(self.pop[:4])
+        ev.memoize(self.pop[:4], values)
+        out, n = ev.evaluate(self.pop[:4])
+        assert n == 0 and spy.rows_evaluated == 0
+        assert np.array_equal(out, values)
+
+    def test_memo_disabled_by_default_for_bare_evaluator(self):
+        ev = BatchEvaluator(Fitness1(self.graph, self.k))
+        ev.evaluate(self.pop)
+        _, n = ev.evaluate(self.pop)
+        assert n == 20  # no memo: every row evaluated again
+
+    def test_memo_survives_reset(self):
+        fit = Fitness1(self.graph, self.k)
+        ev = BatchEvaluator(fit, memo_capacity=64)
+        ev.evaluate(self.pop)
+        ev.reset()
+        assert ev.n_evaluations == 0
+        _, n = ev.evaluate(self.pop)
+        assert n == 0  # cached fitness is still exact after reset
+
+    def test_engine_trajectory_identical_with_and_without_memo(self):
+        """The memo changes evaluation counts, never the search."""
+        g = mesh_graph(40, seed=11)
+        runs = {}
+        for memo in (0, 4096):
+            fit = Fitness1(g, 3)
+            cfg = GAConfig(
+                population_size=10, max_generations=12, eval_memo=memo
+            )
+            runs[memo] = GAEngine(
+                g, fit, UniformCrossover(), cfg, seed=13
+            ).run()
+        assert runs[0].best_fitness == runs[4096].best_fitness
+        assert np.array_equal(
+            runs[0].best.assignment, runs[4096].best.assignment
+        )
+        assert runs[0].history.best_fitness == runs[4096].history.best_fitness
+        assert runs[0].history.mean_fitness == runs[4096].history.mean_fitness
+        # and the memo genuinely saved evaluations
+        assert runs[4096].history.n_evaluations <= runs[0].history.n_evaluations
+
+    def test_dpga_migrants_are_memoized(self):
+        """After a migration round, the destination island's evaluator
+        answers migrant rows from its memo."""
+        from repro.ga import DPGA, DPGAConfig
+
+        g = mesh_graph(40, seed=11)
+        fit = Fitness1(g, 3)
+        dpga = DPGA(
+            g,
+            fit,
+            UniformCrossover,
+            ga_config=GAConfig(population_size=8),
+            dpga_config=DPGAConfig(
+                total_population=16, n_islands=2, migration_interval=1,
+                migration_size=2, max_generations=0,
+            ),
+            seed=5,
+        )
+        rng = np.random.default_rng(2)
+        populations = [rng.integers(0, 3, size=(8, 40)) for _ in range(2)]
+        fitnesses = [fit.evaluate_batch(p) for p in populations]
+        received = dpga._migrate(populations, fitnesses)
+        for island, arrived in enumerate(received):
+            assert arrived is not None
+            dpga.engines[island].evaluator.memoize(*arrived)
+            rows, values = arrived
+            out, n = dpga.engines[island].evaluator.evaluate(rows)
+            assert n == 0  # served entirely from the memo
+            assert np.array_equal(out, values)
+
+    def test_invalid_memo_capacity_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            BatchEvaluator(Fitness1(self.graph, self.k), memo_capacity=-1)
+        with pytest.raises(ConfigError):
+            GAConfig(eval_memo=-5)
+
+
 class TestHillClimberFitnessReuse:
     def test_improve_batch_fitness_vector_exact(self):
         g = mesh_graph(40, seed=11)

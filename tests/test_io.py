@@ -6,8 +6,11 @@ import pytest
 from repro.errors import GraphFormatError
 from repro.graphs import (
     CSRGraph,
+    graph_from_payload,
+    graph_to_payload,
     grid2d,
     mesh_graph,
+    parse_metis,
     read_edge_list,
     read_json,
     read_metis,
@@ -99,6 +102,109 @@ class TestMetis:
         write_metis(mesh60, path)
         back = read_metis(path)
         assert back.n_edges == mesh60.n_edges
+
+
+class TestMetisStrictErrors:
+    """The strict parser: clear line-numbered GraphFormatError on
+    malformed input (the service endpoint feeds it untrusted bytes),
+    never a raw ValueError."""
+
+    def test_truncated_file_names_the_line(self):
+        with pytest.raises(GraphFormatError, match="truncated") as exc:
+            parse_metis("3 1\n2\n1\n")  # header says 3 nodes, 2 lines given
+        assert "3 nodes" in str(exc.value)
+        assert "line" in str(exc.value)
+
+    def test_nonnumeric_header_is_format_error(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            parse_metis("banana 3\n")
+        with pytest.raises(GraphFormatError, match="line 1"):
+            parse_metis("3 pear\n")
+
+    def test_nonnumeric_neighbor_names_line(self):
+        with pytest.raises(GraphFormatError, match="line 3"):
+            parse_metis("2 1\n2\nkumquat\n")
+
+    def test_nonnumeric_weight_names_line(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            parse_metis("2 1 10\nheavy 2\n1\n")
+
+    def test_extra_lines_name_the_line(self):
+        with pytest.raises(GraphFormatError, match="line 4"):
+            parse_metis("2 1\n2\n1\n2\n")
+
+    def test_ragged_weighted_adjacency_names_line(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            parse_metis("2 1 1\n2 5 3\n1 5\n")  # odd token count on line 2
+
+    def test_self_loop_rejected_with_line(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            parse_metis("2 1\n1\n1\n")
+
+    def test_comment_lines_do_not_shift_numbering(self):
+        text = "% header comment\n2 1\n% mid comment\n2\nbad\n"
+        with pytest.raises(GraphFormatError, match="line 5"):
+            parse_metis(text)
+
+    def test_blank_line_is_isolated_node(self):
+        # METIS semantics: an empty adjacency line is an isolated vertex
+        g = parse_metis("3 1\n2\n1\n\n")
+        assert g.n_nodes == 3
+        assert g.n_edges == 1
+        assert g.degree(2) == 0
+
+    def test_isolated_node_roundtrip(self, tmp_path):
+        g = CSRGraph(4, [0], [1])  # nodes 2, 3 isolated
+        path = tmp_path / "iso.graph"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back.n_nodes == 4
+        assert back.n_edges == 1
+
+    def test_unsupported_header_features_rejected(self):
+        # multi-constraint weights (ncon > 1) would misparse the body
+        with pytest.raises(GraphFormatError, match="ncon=2"):
+            parse_metis("2 1 10 2\n5 2 2\n3 1 1\n")
+        # vertex sizes (3-digit fmt with leading 1) are not implemented
+        with pytest.raises(GraphFormatError, match="vertex sizes"):
+            parse_metis("2 1 100\n1 2\n1 1\n")
+        # but ncon=1 and a redundant leading 0 are fine
+        g = parse_metis("2 1 010 1\n5 2\n3 1\n")
+        assert g.node_weights.tolist() == [5.0, 3.0]
+
+    def test_nonfinite_weights_rejected(self):
+        # float() accepts nan/inf — the strict parser must not
+        with pytest.raises(GraphFormatError, match="line 2"):
+            parse_metis("2 1 1\n2 nan\n1 nan\n")
+        with pytest.raises(GraphFormatError, match="line 2"):
+            parse_metis("2 1 1\n2 inf\n1 1\n")
+        with pytest.raises(GraphFormatError, match="line 2"):
+            parse_metis("2 1 10\n-3 2\n1\n")  # negative node weight
+
+    def test_no_raw_valueerror_on_fuzzed_junk(self):
+        for junk in (
+            "", "%only comments\n", "1", "x", "2 1 zz\n2\n1\n",
+            "2 1\n2 1\n1\n", "-1 0\n", "2 1\n\n\n\n\n",
+        ):
+            with pytest.raises(GraphFormatError):
+                parse_metis(junk)
+
+
+class TestGraphPayload:
+    def test_payload_roundtrip(self, mesh60):
+        back = graph_from_payload(graph_to_payload(mesh60))
+        assert back == mesh60
+
+    def test_payload_type_errors(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_payload("not a dict")
+        with pytest.raises(GraphFormatError):
+            graph_from_payload({"n_nodes": 2})
+        with pytest.raises(GraphFormatError):
+            graph_from_payload(
+                {"n_nodes": 2, "edges_u": [0], "edges_v": ["x"],
+                 "edge_weights": [1], "node_weights": [1, 1], "coords": None}
+            )
 
 
 class TestEdgeList:

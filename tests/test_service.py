@@ -1,0 +1,647 @@
+"""Tests for the partition service subsystem (``repro.service``).
+
+Covers the tentpole's contracts: the JSON request/response model,
+content-addressed caching (hit/miss/eviction, graph interning, warm
+seeds), request coalescing (in-flight join and batched refine, both
+bit-identical to serial submission), streaming incremental sessions
+(including concurrent ones), the method portfolio, and an end-to-end
+HTTP smoke test replaying a workloads-derived mixed trace.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import partition_graph
+from repro.errors import GraphFormatError, ServiceError
+from repro.ga.config import GAConfig
+from repro.graphs import mesh_graph
+from repro.incremental.updates import insert_local_nodes
+from repro.service import (
+    DEFAULT_GA_OVERRIDES,
+    HTTPServiceClient,
+    JobResult,
+    LRUBytesCache,
+    PartitionRequest,
+    PartitionService,
+    RefineRequest,
+    ServiceClient,
+    UpdateRequest,
+    graph_digest,
+    graph_from_wire,
+    graph_to_wire,
+    request_key,
+    serve,
+)
+
+#: tiny GA budget — these tests exercise the serving layer, not search
+#: quality
+GA = dict(population_size=12, max_generations=6, patience=3)
+
+
+@pytest.fixture
+def graph():
+    return mesh_graph(48, seed=3)
+
+
+@pytest.fixture
+def service():
+    with PartitionService(n_workers=2) as svc:
+        yield svc
+
+
+# ----------------------------------------------------------------------
+# models: JSON roundtrips and validation
+# ----------------------------------------------------------------------
+
+class TestModels:
+    def test_partition_request_roundtrip(self, graph):
+        req = PartitionRequest(graph, 4, fitness_kind="fitness2", seed=7,
+                               method="greedy", ga=GA)
+        back = PartitionRequest.from_payload(
+            json.loads(json.dumps(req.to_payload()))
+        )
+        assert back.graph == graph
+        assert (back.n_parts, back.fitness_kind, back.method, back.seed) == (
+            4, "fitness2", "greedy", 7)
+        assert back.ga == GA
+
+    def test_refine_request_roundtrip(self, graph, rng):
+        a = rng.integers(0, 3, graph.n_nodes)
+        req = RefineRequest(graph, 3, a, passes=4)
+        back = RefineRequest.from_payload(
+            json.loads(json.dumps(req.to_payload()))
+        )
+        assert np.array_equal(back.assignment, a)
+        assert back.passes == 4
+
+    def test_update_request_roundtrip(self, graph):
+        req = UpdateRequest("s1-abc", graph)
+        back = UpdateRequest.from_payload(
+            json.loads(json.dumps(req.to_payload()))
+        )
+        assert back.session_id == "s1-abc"
+        assert back.graph == graph
+
+    def test_job_result_roundtrip(self, graph, rng):
+        a = rng.integers(0, 4, graph.n_nodes)
+        res = JobResult(
+            assignment=a, n_parts=4, cut_size=10.0, max_part_cut=6.0,
+            balance_ratio=1.1, part_sizes=[12, 12, 12, 12], method="dknux",
+            fitness=-12.5, cache_hit=True, latency_s=0.01,
+        )
+        back = JobResult.from_payload(json.loads(json.dumps(res.to_payload())))
+        assert np.array_equal(back.assignment, a)
+        assert back.cache_hit and back.method == "dknux"
+
+    def test_metis_text_accepted_on_the_wire(self, graph):
+        from repro.graphs.io import write_metis
+
+        # a graph can travel as METIS text instead of the JSON payload
+        import io as _io
+        from pathlib import Path
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "g.graph"
+            write_metis(graph, path)
+            back = graph_from_wire(path.read_text())
+        assert back.n_nodes == graph.n_nodes
+        assert back.n_edges == graph.n_edges
+
+    def test_bad_requests_rejected(self, graph, rng):
+        with pytest.raises(ServiceError):
+            PartitionRequest(graph, 0)
+        with pytest.raises(ServiceError):
+            PartitionRequest(graph, 2, fitness_kind="fitness9")
+        with pytest.raises(ServiceError):
+            PartitionRequest(graph, 2, method="metis")
+        with pytest.raises(ServiceError):
+            PartitionRequest(graph, 2, time_budget=-1.0)
+        with pytest.raises(ServiceError):
+            PartitionRequest(graph, 2, time_budget="fast")
+        with pytest.raises(ServiceError):
+            PartitionRequest(graph, 2, seed="two")
+        with pytest.raises(ServiceError):
+            PartitionRequest(graph, 2, seed=-1)  # numpy rngs reject these
+        with pytest.raises(GraphFormatError, match="finite"):
+            graph_from_wire({
+                "n_nodes": 2, "edges_u": [0], "edges_v": [1],
+                "edge_weights": [float("nan")], "node_weights": [1, 1],
+                "coords": None,
+            })
+
+    def test_job_result_copies_are_independent(self, rng):
+        base = JobResult(
+            assignment=rng.integers(0, 2, 6), n_parts=2, cut_size=1.0,
+            max_part_cut=1.0, balance_ratio=1.0, part_sizes=[3, 3],
+            method="x", portfolio=[{"method": "kl", "cut_size": 1.0}],
+        )
+        copy = base.replace(cache_hit=True)
+        copy.part_sizes.append(99)
+        copy.portfolio[0]["method"] = "tampered"
+        copy.assignment[0] = 99
+        assert base.part_sizes == [3, 3]
+        assert base.portfolio[0]["method"] == "kl"
+        assert base.assignment[0] != 99
+
+    def test_bad_refine_and_update_requests_rejected(self, graph, rng):
+        with pytest.raises(ServiceError):
+            RefineRequest(graph, 2, rng.integers(0, 2, 5))  # wrong length
+        with pytest.raises(ServiceError):
+            RefineRequest(graph, 2, np.full(graph.n_nodes, 9))  # bad labels
+        with pytest.raises(ServiceError):
+            UpdateRequest("", graph)
+        with pytest.raises(GraphFormatError):
+            graph_from_wire({"n_nodes": 3})  # missing keys
+
+
+# ----------------------------------------------------------------------
+# content-addressed caching
+# ----------------------------------------------------------------------
+
+class TestCache:
+    def test_lru_hit_miss_eviction(self):
+        cache = LRUBytesCache(100)
+        assert cache.get("a") is None
+        cache.put("a", "A", 40)
+        cache.put("b", "B", 40)
+        assert cache.get("a") == "A"  # refreshes a
+        cache.put("c", "C", 40)  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 3 and stats["misses"] == 2
+        assert stats["bytes"] <= 100
+
+    def test_lru_oversized_entry_not_stored(self):
+        cache = LRUBytesCache(10)
+        cache.put("big", "X", 1000)
+        assert cache.get("big") is None
+
+    def test_cli_method_list_matches_service(self):
+        """The CLI submit choices mirror what the endpoint validates
+        (cli.py keeps its own tuple to avoid importing the service at
+        parser-build time)."""
+        from repro.cli import SERVICE_CLI_METHODS
+        from repro.service.models import SERVICE_METHODS
+
+        assert set(SERVICE_CLI_METHODS) == set(SERVICE_METHODS)
+
+    def test_store_seed_if_better_is_monotonic(self, graph, rng):
+        from repro.service import GraphStore
+
+        store = GraphStore(1 << 20)
+        a = rng.integers(0, 2, graph.n_nodes)
+        b = rng.integers(0, 2, graph.n_nodes)
+        assert store.store_seed_if_better("d", 2, "fitness1", a, -10.0)
+        # a worse publish must not replace the stored seed
+        assert not store.store_seed_if_better("d", 2, "fitness1", b, -20.0)
+        assert np.array_equal(store.warm_seed("d", 2, "fitness1"), a)
+        assert store.seed_fitness("d", 2, "fitness1") == -10.0
+        assert store.store_seed_if_better("d", 2, "fitness1", b, -5.0)
+        assert np.array_equal(store.warm_seed("d", 2, "fitness1"), b)
+
+    def test_graph_digest_is_content_identity(self, graph):
+        twin = mesh_graph(48, seed=3)
+        other = mesh_graph(48, seed=4)
+        assert graph_digest(graph) == graph_digest(twin)
+        assert graph_digest(graph) != graph_digest(other)
+
+    def test_request_key_distinguishes_parameters(self, graph):
+        k0 = request_key(PartitionRequest(graph, 4, seed=0))
+        k1 = request_key(PartitionRequest(graph, 4, seed=1))
+        k2 = request_key(PartitionRequest(graph, 8, seed=0))
+        assert len({k0, k1, k2}) == 3
+
+    def test_graph_interning_reuses_instance(self, service, graph):
+        twin = mesh_graph(48, seed=3)
+        d1, g1 = service.store.graphs.intern(graph)
+        d2, g2 = service.store.graphs.intern(twin)
+        assert d1 == d2
+        assert g2 is g1  # the resident CSR build is shared
+
+    def test_repeat_request_hits_cache(self, service, graph):
+        r1 = service.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+        r2 = service.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+        assert not r1.cache_hit and r2.cache_hit
+        assert np.array_equal(r1.assignment, r2.assignment)
+        assert service.scheduler.jobs_executed == 1
+        assert service.store.results.hits == 1
+
+    def test_cache_eviction_under_tiny_budget(self, graph):
+        with PartitionService(n_workers=1, cache_bytes=2048) as svc:
+            for seed in range(4):
+                svc.submit(PartitionRequest(graph, 4, seed=seed,
+                                            method="greedy"))
+            # budget (1024 bytes of results) holds ~2 of the 4 results
+            assert svc.store.results.stats()["evictions"] >= 1
+
+    def test_cold_bit_identity(self, service, graph):
+        """The service's dknux answer equals a cold library run with the
+        same seed and the same effective config."""
+        result = service.submit(PartitionRequest(graph, 4, seed=5, ga=GA))
+        config = GAConfig(**{**DEFAULT_GA_OVERRIDES, **GA})
+        cold = partition_graph(graph, 4, config=config, seed=5)
+        assert np.array_equal(result.assignment, cold.assignment)
+
+
+# ----------------------------------------------------------------------
+# coalescing
+# ----------------------------------------------------------------------
+
+class TestCoalescing:
+    def test_batched_refine_bit_identical_to_serial(self, graph, rng):
+        rows = [rng.integers(0, 4, graph.n_nodes) for _ in range(5)]
+        serial = []
+        with PartitionService(n_workers=1) as svc:
+            for row in rows:
+                serial.append(svc.submit(RefineRequest(graph, 4, row)))
+        with PartitionService(n_workers=1) as svc:
+            batch = svc.submit_many(
+                [RefineRequest(graph, 4, row) for row in rows]
+            )
+            assert svc.scheduler.groups_executed == 1
+            assert svc.scheduler.group_members == 5
+        for one, many in zip(serial, batch):
+            assert np.array_equal(one.assignment, many.assignment)
+            assert one.cut_size == many.cut_size
+        assert sum(r.coalesced for r in batch) == 4  # all but the leader
+
+    def test_submit_many_mixed_kinds_and_cache(self, graph, rng):
+        row = rng.integers(0, 4, graph.n_nodes)
+        with PartitionService(n_workers=2) as svc:
+            first = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+            out = svc.submit_many([
+                PartitionRequest(graph, 4, method="greedy"),  # cache hit
+                RefineRequest(graph, 4, row),
+                PartitionRequest(graph, 4, method="random", seed=1),
+            ])
+        assert out[0].cache_hit
+        assert np.array_equal(out[0].assignment, first.assignment)
+        assert out[1].method == "refine"
+        assert out[2].method == "random"
+
+    def test_inflight_join_deterministic(self):
+        """Followers submitting while a key is in flight join the
+        leader's execution instead of re-running it (scheduler-level,
+        with the leader held open so joining is guaranteed)."""
+        from repro.service import CoalescingScheduler
+
+        scheduler = CoalescingScheduler(n_workers=2)
+        release = threading.Event()
+        template = JobResult(
+            assignment=np.zeros(4, dtype=np.int64), n_parts=2, cut_size=1.0,
+            max_part_cut=1.0, balance_ratio=1.0, part_sizes=[4, 0],
+            method="test",
+        )
+
+        def slow_job():
+            release.wait(timeout=30)
+            return template
+
+        results = []
+
+        def leader():
+            results.append(scheduler.run("K", "pin", slow_job))
+
+        def follower():
+            results.append(scheduler.run("K", "pin", slow_job))
+
+        lead = threading.Thread(target=leader)
+        lead.start()
+        while "K" not in scheduler._inflight:  # leader definitely running
+            pass
+        followers = [threading.Thread(target=follower) for _ in range(3)]
+        for t in followers:
+            t.start()
+        # followers only need to take a lock and check a dict to reach
+        # the join wait; the leader stays held open far longer than that
+        import time as _time
+
+        _time.sleep(0.2)
+        release.set()
+        lead.join()
+        for t in followers:
+            t.join()
+        scheduler.shutdown()
+        assert scheduler.jobs_executed == 1
+        assert scheduler.jobs_joined == 3
+        assert len(results) == 4
+        assert sum(r.coalesced for r in results) == 3
+
+    def test_concurrent_identical_requests_identical_answers(self, graph):
+        """Racing identical requests never duplicates much work and
+        always answers identically (join or cache, by arrival time)."""
+        with PartitionService(n_workers=2) as svc:
+            results = [None] * 4
+            barrier = threading.Barrier(4)
+
+            def hit(i):
+                barrier.wait()
+                results[i] = svc.submit(
+                    PartitionRequest(graph, 4, seed=0, ga=GA)
+                )
+
+            threads = [
+                threading.Thread(target=hit, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            joined = svc.scheduler.jobs_joined
+            hits = svc.store.results.hits
+            executed = svc.scheduler.jobs_executed
+            assert executed + joined + hits == 4
+            assert executed <= 2  # the join/cache window race, at worst
+        base = results[0].assignment
+        for r in results[1:]:
+            assert np.array_equal(r.assignment, base)
+
+    def test_refine_single_matches_hillclimber(self, graph, rng):
+        """The refine path is the deterministic lockstep climb."""
+        from repro.ga import Fitness1, HillClimber
+
+        row = rng.integers(0, 4, graph.n_nodes)
+        with PartitionService(n_workers=1) as svc:
+            result = svc.submit(RefineRequest(graph, 4, row, passes=2))
+        climber = HillClimber(graph, Fitness1(graph, 4))
+        expected, fit = climber.improve(row, max_passes=2, rng=None)
+        assert np.array_equal(result.assignment, expected)
+        assert result.fitness == pytest.approx(fit)
+
+
+# ----------------------------------------------------------------------
+# sessions
+# ----------------------------------------------------------------------
+
+class TestSessions:
+    def test_session_lifecycle(self, service, graph):
+        opened = service.open_session(graph, 4, seed=0, ga=GA)
+        assert opened.session_id
+        update = insert_local_nodes(graph, 6, seed=11)
+        result = service.update_session(
+            UpdateRequest(opened.session_id, update.graph)
+        )
+        assert result.session_id == opened.session_id
+        assert result.assignment.shape == (update.graph.n_nodes,)
+        summary = service.close_session(opened.session_id)
+        assert summary["n_updates"] == 1
+        with pytest.raises(ServiceError):
+            service.close_session(opened.session_id)
+
+    def test_update_unknown_session(self, service, graph):
+        with pytest.raises(ServiceError, match="unknown session"):
+            service.update_session(UpdateRequest("nope", graph))
+
+    def test_open_session_validates_parameters(self, service, graph):
+        """Malformed open parameters raise ServiceError (the HTTP layer
+        maps that to 400, never a 500 with a leaked traceback)."""
+        with pytest.raises(ServiceError):
+            service.open_session(graph, "two")
+        with pytest.raises(ServiceError):
+            service.open_session(graph, 4, seed="x")
+        with pytest.raises(ServiceError):
+            service.open_session(graph, 4, fitness_kind="fitness9")
+        with pytest.raises(ServiceError, match="ga overrides"):
+            service.open_session(graph, 4, ga={"bogus_field": 1})
+        with pytest.raises(ServiceError):
+            service.open_session(graph, 0)
+        # a failed open never leaks a registered session
+        assert service.sessions.stats()["open"] == 0
+
+    def test_update_seeds_from_previous_assignment(self, service, graph):
+        """Old nodes mostly keep their parts across an update — the
+        population was seeded from the previous partition."""
+        opened = service.open_session(graph, 4, seed=0, ga=GA)
+        update = insert_local_nodes(graph, 5, seed=2)
+        result = service.update_session(
+            UpdateRequest(opened.session_id, update.graph)
+        )
+        old = opened.assignment
+        new = result.assignment[: old.shape[0]]
+        agreement = float(np.mean(old == new))
+        assert agreement > 0.5
+
+    def test_concurrent_sessions_are_isolated(self, graph):
+        other = mesh_graph(56, seed=9)
+        with PartitionService(n_workers=2) as svc:
+            outcomes = {}
+            errors = []
+
+            def drive(name, g, seed):
+                try:
+                    opened = svc.open_session(g, 4, seed=seed, ga=GA)
+                    current = g
+                    for step in range(2):
+                        current = insert_local_nodes(
+                            current, 4, seed=100 * seed + step
+                        ).graph
+                        result = svc.update_session(
+                            UpdateRequest(opened.session_id, current)
+                        )
+                        assert result.session_id == opened.session_id
+                    outcomes[name] = svc.close_session(opened.session_id)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append((name, exc))
+
+            threads = [
+                threading.Thread(target=drive, args=("a", graph, 1)),
+                threading.Thread(target=drive, args=("b", other, 2)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert outcomes["a"]["n_updates"] == 2
+            assert outcomes["b"]["n_updates"] == 2
+            assert outcomes["a"]["session_id"] != outcomes["b"]["session_id"]
+            assert svc.sessions.stats() == {
+                "open": 0, "opened": 2, "closed": 2, "updates": 4
+            }
+
+
+# ----------------------------------------------------------------------
+# portfolio
+# ----------------------------------------------------------------------
+
+class TestPortfolio:
+    def test_portfolio_returns_best_leg(self, service, graph):
+        result = service.submit(
+            PartitionRequest(graph, 4, method="portfolio", ga=GA)
+        )
+        assert result.method.startswith("portfolio:")
+        assert result.portfolio
+        ran = [leg for leg in result.portfolio if "fitness" in leg]
+        assert ran, "no portfolio leg ran"
+        assert result.fitness == pytest.approx(
+            max(leg["fitness"] for leg in ran)
+        )
+        methods = [leg["method"] for leg in result.portfolio]
+        assert "dknux" in methods
+
+    def test_engine_deadline_stops_between_generations(self, graph):
+        import time
+
+        from repro.ga import Fitness1, GAEngine, UniformCrossover
+
+        fit = Fitness1(graph, 3)
+        engine = GAEngine(
+            graph, fit, UniformCrossover(),
+            config=GAConfig(population_size=10, max_generations=500),
+            seed=0,
+        )
+        expired = engine.run(deadline=time.perf_counter())  # already past
+        assert expired.stopped_by == "deadline"
+        assert expired.generations == 0
+        # a non-binding deadline changes nothing vs no deadline
+        engine2 = GAEngine(
+            graph, fit, UniformCrossover(),
+            config=GAConfig(population_size=10, max_generations=10),
+            seed=0,
+        )
+        free = engine2.run(deadline=time.perf_counter() + 1e6)
+        engine3 = GAEngine(
+            graph, fit, UniformCrossover(),
+            config=GAConfig(population_size=10, max_generations=10),
+            seed=0,
+        )
+        plain = engine3.run()
+        assert free.best_fitness == plain.best_fitness
+        assert np.array_equal(free.best.assignment, plain.best.assignment)
+
+    def test_budget_bounds_dknux_generations(self, graph):
+        """A binding budget stops the GA leg early instead of running
+        the full generation schedule past the client's cap."""
+        from repro.service import run_portfolio
+
+        _, _, _, table = run_portfolio(
+            graph, 4, time_budget=1e6, ga=dict(GA, max_generations=50)
+        )
+        unbudgeted = [l for l in table if l["method"] == "dknux"][0]
+        # patience (3) binds long before 50 generations
+        assert 0 < unbudgeted["generations"] < 50
+
+    def test_tiny_budget_skips_expensive_legs(self, service, graph):
+        result = service.submit(
+            PartitionRequest(
+                graph, 4, method="portfolio", time_budget=1e-9, ga=GA
+            )
+        )
+        # the budget was exhausted before dknux; the answer still exists
+        dknux = [
+            leg for leg in result.portfolio if leg["method"] == "dknux"
+        ][0]
+        assert "skipped" in dknux
+        assert result.assignment.shape == (graph.n_nodes,)
+
+
+# ----------------------------------------------------------------------
+# warm start + lifecycle
+# ----------------------------------------------------------------------
+
+class TestServiceLifecycle:
+    def test_warm_start_uses_cached_seed(self, service, graph):
+        cold = service.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+        warm = service.submit(
+            PartitionRequest(graph, 4, seed=1, warm_start=True, ga=GA)
+        )
+        assert not warm.cache_hit  # different key: it is a new answer
+        # warm start can only improve on the seed partition's fitness
+        assert warm.fitness >= cold.fitness - 1e-9
+
+    def test_closed_service_rejects_requests(self, graph):
+        svc = PartitionService(n_workers=1)
+        svc.close()
+        with pytest.raises(ServiceError, match="closed"):
+            svc.submit(PartitionRequest(graph, 2, method="random"))
+
+    def test_submit_does_not_mutate_caller_request(self, service, graph):
+        """Interning swaps the graph on a *copy* of the request; the
+        caller's frozen dataclass keeps its own instance."""
+        twin = mesh_graph(48, seed=3)  # same content, different object
+        service.submit(PartitionRequest(graph, 4, method="greedy"))
+        request = PartitionRequest(twin, 4, method="greedy")
+        service.submit(request)
+        assert request.graph is twin
+
+    def test_stats_shape(self, service, graph):
+        service.submit(PartitionRequest(graph, 4, method="greedy"))
+        stats = service.stats()
+        assert {"cache", "scheduler", "sessions", "latency",
+                "session_latency"} <= set(stats)
+        assert stats["latency"]["count"] == 1
+        assert "p50_ms" in stats["latency"]
+
+
+# ----------------------------------------------------------------------
+# HTTP end-to-end
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def http_client():
+    server = serve(port=0, background=True, n_workers=2)
+    host, port = server.server_address
+    yield HTTPServiceClient(f"http://{host}:{port}", timeout=120.0)
+    server.service.close()
+    server.shutdown()
+    server.server_close()
+
+
+class TestHTTP:
+    def test_healthz(self, http_client):
+        assert http_client.healthy()
+
+    def test_partition_roundtrip_and_cache(self, http_client, graph):
+        r1 = http_client.partition(graph, 4, seed=0, ga=GA)
+        r2 = http_client.partition(graph, 4, seed=0, ga=GA)
+        assert np.array_equal(r1.assignment, r2.assignment)
+        assert r2.cache_hit and not r1.cache_hit
+        assert r1.latency_s > 0
+
+    def test_error_codes(self, http_client, graph):
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            http_client.update_session("missing", graph)
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            http_client._call("/v1/partition", {"n_parts": 2})  # no graph
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            http_client._call("/v1/nope", {})
+
+    def test_bad_content_length_is_400(self, http_client):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{http_client.base_url}/v1/partition",
+            data=b"{}",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        request.add_unredirected_header("Content-Length", "abc")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=30)
+        assert exc.value.code == 400
+
+    def test_trace_replay_smoke(self, http_client):
+        """End-to-end: a workloads-derived mixed trace (one-shot,
+        repeated, and incremental-session requests) over real HTTP."""
+        from repro.experiments import replay_trace, service_trace
+
+        trace = service_trace(n_requests=12, seed=1, n_parts=4, ga=GA)
+        ops = {op["op"] for op in trace}
+        assert "partition" in ops and "open" in ops  # genuinely mixed
+        results = replay_trace(http_client, trace)
+        assert len(results) == len(trace)
+        for op, result in results:
+            if op["op"] in ("partition", "open", "update"):
+                assert result is not None and result.n_parts == 4
+        stats = http_client.stats()
+        assert stats["latency"]["count"] >= 1
+        assert stats["cache"]["results"]["hits"] >= 1
+        assert stats["sessions"]["updates"] >= 1
