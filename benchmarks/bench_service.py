@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Smoke + load test of the partition service (``repro.service``).
 
-Three phases, all deterministic:
+Four phases, all deterministic:
 
 1. **Warm vs cold** — the acceptance measurement of the serving layer.
    Repeated one-shot traffic and incremental-session traffic are served
@@ -17,15 +17,30 @@ Three phases, all deterministic:
    incremental sessions) replayed over a real ``ThreadingHTTPServer``
    through :class:`HTTPServiceClient`; p50 latency and cache-hit
    counters come from the service's own stats endpoint.
-3. **Report** — everything lands in ``SERVICE_metrics.json`` next to
-   ``BENCH_metrics.json`` so CI archives the serving trajectory
-   alongside the kernel trajectory.
+3. **Process-parallel scaling** (PR 4) — a CPU-bound trace of distinct
+   dknux requests is driven concurrently against (a) one
+   single-process service with ``--scaling-shards`` worker threads and
+   (b) a digest-sharded :class:`ShardedPartitionService` of the same
+   width, plus (c) the single-process service again with its
+   process-pool execution lane.  Every sharded/process answer must be
+   bit-identical to the single-process one; aggregate sharded
+   throughput must beat single-process by ``--min-shard-speedup``
+   (default 2x) **when the machine has ≥ 4 cores** — on fewer cores
+   the number is recorded and the gate reported as skipped, since a
+   process can't out-parallel a thread without cores to run on.
+4. **Report** — everything lands in ``SERVICE_metrics.json`` next to
+   ``BENCH_metrics.json`` (with a flat ``serving`` section that
+   ``bench_trajectory.py`` renders across commits) so CI archives the
+   serving trajectory alongside the kernel trajectory.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py \
         [--requests 20] [--repeats 10] [--updates 3] \
-        [--min-warm-speedup 5.0] [--out benchmarks/SERVICE_metrics.json]
+        [--min-warm-speedup 5.0] \
+        [--scaling-shards 4] [--scaling-requests 12] \
+        [--min-shard-speedup 2.0] \
+        [--out benchmarks/SERVICE_metrics.json]
 """
 
 from __future__ import annotations
@@ -38,9 +53,12 @@ from pathlib import Path
 
 import numpy as np
 
+import os
+from concurrent.futures import ThreadPoolExecutor
+
 from repro import partition_graph
 from repro.experiments import TRACE_GA_DEFAULTS, replay_trace, service_trace
-from repro.experiments.workloads import incremental_case
+from repro.experiments.workloads import BASE_SIZES, incremental_case, workload
 from repro.ga.config import GAConfig
 from repro.graphs import paper_mesh
 from repro.incremental.updates import insert_local_nodes
@@ -49,6 +67,7 @@ from repro.service import (
     HTTPServiceClient,
     PartitionRequest,
     PartitionService,
+    ShardedPartitionService,
     serve,
 )
 
@@ -191,6 +210,88 @@ def phase_http_replay(n_requests: int) -> dict:
     }
 
 
+def _scaling_trace(n_requests: int) -> list[PartitionRequest]:
+    """Distinct CPU-bound dknux requests over the canonical workloads
+    (deterministic; no repeats, so nothing hides behind the cache)."""
+    ga = dict(TRACE_GA_DEFAULTS, patience=None)  # fixed work per request
+    requests = []
+    seed = 0
+    while len(requests) < n_requests:
+        for size in BASE_SIZES:
+            if len(requests) >= n_requests:
+                break
+            requests.append(
+                PartitionRequest(workload(size), N_PARTS, seed=seed, ga=ga)
+            )
+        seed += 1
+    return requests
+
+
+def _drive(service, requests, width: int) -> tuple[float, list]:
+    """Fan the request list at ``width`` concurrency; returns
+    (wall seconds, results in request order)."""
+    with ThreadPoolExecutor(max_workers=width) as fan:
+        t0 = time.perf_counter()
+        futures = [fan.submit(service.submit, r) for r in requests]
+        results = [f.result() for f in futures]
+        wall = time.perf_counter() - t0
+    return wall, results
+
+
+def phase_scaling(
+    shards: int, n_requests: int
+) -> dict:
+    """Sharded + process-mode throughput vs one single-process service.
+
+    The comparison holds the parallelism budget fixed: the
+    single-process baseline gets ``shards`` worker threads, the sharded
+    service gets ``shards`` worker processes, the process-mode service
+    gets ``shards`` process slots — the driver fans requests at the
+    same concurrency against each.
+    """
+    cores = os.cpu_count() or 1
+    requests = _scaling_trace(n_requests)
+
+    with PartitionService(n_workers=shards) as single:
+        single_s, single_results = _drive(single, requests, shards)
+
+    with ShardedPartitionService(n_shards=shards, n_workers=2) as sharded:
+        sharded_s, sharded_results = _drive(sharded, requests, shards)
+
+    with PartitionService(
+        n_workers=shards, process_workers=shards, process_threshold=0
+    ) as procs:
+        process_s, process_results = _drive(procs, requests, shards)
+
+    identical = all(
+        np.array_equal(a.assignment, b.assignment)
+        and a.cut_size == b.cut_size
+        for a, b in zip(single_results, sharded_results)
+    )
+    process_identical = all(
+        np.array_equal(a.assignment, b.assignment)
+        and a.cut_size == b.cut_size
+        for a, b in zip(single_results, process_results)
+    )
+    n = len(requests)
+    return {
+        "cores": cores,
+        "shards": shards,
+        "requests": n,
+        "single_s": round(single_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "process_s": round(process_s, 4),
+        "single_rps": round(n / max(single_s, 1e-9), 3),
+        "sharded_rps": round(n / max(sharded_s, 1e-9), 3),
+        "process_rps": round(n / max(process_s, 1e-9), 3),
+        "sharded_per_core_rps": round(n / max(sharded_s, 1e-9) / cores, 3),
+        "sharded_speedup": round(single_s / max(sharded_s, 1e-9), 2),
+        "process_speedup": round(single_s / max(process_s, 1e-9), 2),
+        "sharded_identical_to_single": bool(identical),
+        "process_identical_to_single": bool(process_identical),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=20,
@@ -201,6 +302,13 @@ def main(argv=None) -> int:
                         help="incremental session updates in the warm phase")
     parser.add_argument("--min-warm-speedup", type=float, default=5.0,
                         help="floor for warm/cold aggregate throughput")
+    parser.add_argument("--scaling-shards", type=int, default=4,
+                        help="shards / workers in the scaling phase")
+    parser.add_argument("--scaling-requests", type=int, default=12,
+                        help="distinct CPU-bound requests per scaling run")
+    parser.add_argument("--min-shard-speedup", type=float, default=2.0,
+                        help="sharded vs single-process throughput floor "
+                             "(enforced only on machines with >= 4 cores)")
     parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).parent / "SERVICE_metrics.json",
@@ -232,6 +340,31 @@ def main(argv=None) -> int:
     if http["sessions"]["updates"] < 1:
         failures.append("HTTP replay exercised no incremental updates")
 
+    scaling = phase_scaling(args.scaling_shards, args.scaling_requests)
+    if not scaling["sharded_identical_to_single"]:
+        failures.append(
+            "sharded responses are not bit-identical to single-process"
+        )
+    if not scaling["process_identical_to_single"]:
+        failures.append(
+            "process-lane responses are not bit-identical to thread lane"
+        )
+    if scaling["cores"] >= 4:
+        if scaling["sharded_speedup"] < args.min_shard_speedup:
+            failures.append(
+                f"sharded throughput {scaling['sharded_speedup']}x single-"
+                f"process, below floor {args.min_shard_speedup}x on "
+                f"{scaling['cores']} cores"
+            )
+        scaling["gate"] = f"enforced >= {args.min_shard_speedup}x"
+    else:
+        # a process can't out-parallel a thread without cores to run
+        # on; correctness (bit-identity) is still fully gated above
+        scaling["gate"] = (
+            f"skipped: {scaling['cores']} core(s) < 4 (throughput "
+            "recorded, identity still enforced)"
+        )
+
     report = {
         "scale": {
             "session_base": SESSION_BASE,
@@ -242,6 +375,15 @@ def main(argv=None) -> int:
         "min_warm_speedup": args.min_warm_speedup,
         "warm_vs_cold": warm,
         "http_replay": http,
+        "scaling": scaling,
+        # flat section bench_trajectory.py renders across commits
+        "serving": {
+            "warm_cold_speedup_x": warm["aggregate_speedup"],
+            "http_p50_ms": http["p50_ms"],
+            "sharded_speedup_x": scaling["sharded_speedup"],
+            "process_speedup_x": scaling["process_speedup"],
+            "sharded_per_core_rps": scaling["sharded_per_core_rps"],
+        },
         "ok": not failures,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Cross-commit perf trajectory: diff ``BENCH_metrics.json`` snapshots.
+"""Cross-commit perf trajectory: diff benchmark metric snapshots.
 
-Every CI run (and every local ``check_bench.py`` run) writes a
-``BENCH_metrics.json`` with per-kernel timings.  This script lines up
-any number of such snapshots — files on disk, downloaded CI artifacts,
-or versions read straight out of git history — into one markdown
-trajectory table, so "did PR N make the kernels faster?" is a table
-lookup instead of an artifact archaeology session.
+Every CI run (and every local ``check_bench.py`` / ``bench_service.py``
+run) writes a metrics JSON — ``BENCH_metrics.json`` with per-kernel
+timings, ``SERVICE_metrics.json`` with serving-layer numbers (its flat
+``serving`` section).  This script lines up any number of such
+snapshots — files on disk, downloaded CI artifacts, or versions read
+straight out of git history — into one markdown trajectory table, so
+"did PR N make the kernels faster?" is a table lookup instead of an
+artifact archaeology session.  Kernel rows and serving rows render as
+separate sections; a snapshot missing one section simply shows dashes.
 
 Usage::
 
@@ -23,8 +26,13 @@ Usage::
     python benchmarks/bench_trajectory.py --git HEAD fresh:benchmarks/BENCH_metrics.json \
         --out benchmarks/BENCH_trajectory.md
 
+    # serving trajectory (SERVICE_metrics.json committed at revisions)
+    python benchmarks/bench_trajectory.py --path benchmarks/SERVICE_metrics.json \
+        --git HEAD fresh:benchmarks/SERVICE_metrics.json
+
 Exits 0 on success (the table is informational; perf *floors* are
-``check_bench.py``'s job), 2 on unreadable inputs.
+``check_bench.py``'s / ``bench_service.py``'s job), 2 on unreadable
+inputs.
 """
 
 from __future__ import annotations
@@ -53,11 +61,11 @@ def load_snapshot(spec: str) -> tuple[str, dict]:
     return label or Path(path).parent.name or Path(path).stem, data
 
 
-def load_git_snapshot(rev: str) -> tuple[str, dict]:
+def load_git_snapshot(rev: str, path: str = REPO_METRICS_PATH) -> tuple[str, dict]:
     """Snapshot committed at ``rev`` (short sha as label)."""
     try:
         blob = subprocess.run(
-            ["git", "show", f"{rev}:{REPO_METRICS_PATH}"],
+            ["git", "show", f"{rev}:{path}"],
             capture_output=True, text=True, check=True,
         ).stdout
         label = subprocess.run(
@@ -67,7 +75,7 @@ def load_git_snapshot(rev: str) -> tuple[str, dict]:
     except (subprocess.CalledProcessError, FileNotFoundError) as exc:
         detail = getattr(exc, "stderr", "") or str(exc)
         raise SystemExit(
-            f"error: cannot read {REPO_METRICS_PATH} at {rev!r}: {detail.strip()}"
+            f"error: cannot read {path} at {rev!r}: {detail.strip()}"
         )
     try:
         return label, json.loads(blob)
@@ -91,14 +99,17 @@ def build_trajectory(snapshots: list[tuple[str, dict]]) -> str:
                 kernels.append(name)
 
     lines = [
-        "# Kernel perf trajectory",
+        "# Perf trajectory",
         "",
-        f"Columns: {', '.join(labels)} — cell = {PRIMARY_METRIC} "
+        f"Columns: {', '.join(labels)} — kernel cells = {PRIMARY_METRIC} "
         "(speedup vs seed kernel where measured).",
-        "",
-        "| kernel | " + " | ".join(labels) + " | Δ last vs first |",
-        "|---" * (len(labels) + 2) + "|",
     ]
+    if kernels:
+        lines += [
+            "",
+            "| kernel | " + " | ".join(labels) + " | Δ last vs first |",
+            "|---" * (len(labels) + 2) + "|",
+        ]
     for kernel in kernels:
         cells = []
         series = []
@@ -122,6 +133,25 @@ def build_trajectory(snapshots: list[tuple[str, dict]]) -> str:
         else:
             delta_cell = "—"
         lines.append(f"| {kernel} | " + " | ".join(cells) + f" | {delta_cell} |")
+
+    # serving-layer section (bench_service.py's flat `serving` dict)
+    serving_keys: list[str] = []
+    for _, snap in snapshots:
+        for name in snap.get("serving", {}):
+            if name not in serving_keys:
+                serving_keys.append(name)
+    if serving_keys:
+        lines += [
+            "",
+            "| serving metric | " + " | ".join(labels) + " |",
+            "|---" * (len(labels) + 1) + "|",
+        ]
+        for name in serving_keys:
+            cells = []
+            for _, snap in snapshots:
+                value = snap.get("serving", {}).get(name)
+                cells.append("—" if value is None else f"{value:g}")
+            lines.append(f"| {name} | " + " | ".join(cells) + " |")
 
     scales = {
         json.dumps(snap.get("scale", {}), sort_keys=True) for _, snap in snapshots
@@ -148,12 +178,18 @@ def main(argv=None) -> int:
         help="also read the snapshot committed at REV (repeatable)",
     )
     parser.add_argument(
+        "--path", default=REPO_METRICS_PATH,
+        help="repo path read by --git revisions (default: "
+             f"{REPO_METRICS_PATH}; pass benchmarks/SERVICE_metrics.json "
+             "for the serving trajectory)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None,
         help="write the markdown table here as well as stdout",
     )
     args = parser.parse_args(argv)
 
-    loaded = [load_git_snapshot(rev) for rev in args.git]
+    loaded = [load_git_snapshot(rev, args.path) for rev in args.git]
     loaded += [load_snapshot(spec) for spec in args.snapshots]
     if not loaded:
         parser.error("no snapshots given (pass files and/or --git revisions)")

@@ -7,6 +7,7 @@
     repro-partition workloads
     repro-partition info GRAPH.metis
     repro-partition serve [--host H] [--port P] [--workers N]
+                          [--shards S] [--process-workers M]
     repro-partition submit GRAPH.metis -k 8 [--url http://127.0.0.1:8157]
 
 ``python -m repro`` is an alias for the same entry point.
@@ -79,11 +80,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8157)
     p_serve.add_argument(
         "--workers", type=int, default=2,
-        help="pinned worker threads executing jobs",
+        help="pinned worker threads executing jobs (per shard)",
     )
     p_serve.add_argument(
         "--cache-mb", type=int, default=64,
-        help="byte budget of the content-addressed caches",
+        help="byte budget of the content-addressed caches (per shard)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=0,
+        help="digest-sharded multi-process serving: N worker service "
+             "processes (0 = single process)",
+    )
+    p_serve.add_argument(
+        "--process-workers", type=int, default=0,
+        help="pinned worker processes for long GA runs (single-process "
+             "mode only; ignored with --shards)",
+    )
+    p_serve.add_argument(
+        "--process-threshold", type=float, default=None,
+        help="cost floor (nodes x population x generations) routing a "
+             "dknux run to a process worker",
+    )
+    p_serve.add_argument(
+        "--racing-portfolio", action="store_true",
+        help="race portfolio legs concurrently, cancelling losers",
     )
 
     p_sub = sub.add_parser(
@@ -240,16 +260,26 @@ def _run_info(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
     from .service import serve
 
-    print(
-        f"repro partition service on http://{args.host}:{args.port} "
-        f"({args.workers} workers, {args.cache_mb} MiB cache) — Ctrl-C stops"
-    )
-    serve(
-        host=args.host,
-        port=args.port,
+    kwargs = dict(
         n_workers=args.workers,
         cache_bytes=args.cache_mb << 20,
+        process_workers=args.process_workers,
+        racing_portfolio=args.racing_portfolio,
     )
+    if args.process_threshold is not None:
+        kwargs["process_threshold"] = args.process_threshold
+    layout = (
+        f"{args.shards} shards × {args.workers} workers"
+        if args.shards
+        else f"{args.workers} workers"
+        + (f" + {args.process_workers} process slots"
+           if args.process_workers else "")
+    )
+    print(
+        f"repro partition service on http://{args.host}:{args.port} "
+        f"({layout}, {args.cache_mb} MiB cache) — Ctrl-C stops"
+    )
+    serve(host=args.host, port=args.port, shards=args.shards, **kwargs)
     return 0
 
 

@@ -59,6 +59,22 @@ class DKNUX(KNUX):
         """Fitness of the individual currently serving as the estimate."""
         return self._best_fitness
 
+    def set_carried_estimate(
+        self, assignment: np.ndarray, fitness: float
+    ) -> None:
+        """Adopt a known-good estimate *with* its fitness.
+
+        ``initial_estimate`` alone is overwritten by the first
+        :meth:`prepare` call (any population best beats ``-inf``); this
+        seeds the best-seen fitness too, so the carried estimate only
+        yields once the search genuinely improves on it.  Used by the
+        incremental partitioner to carry the dynamic estimate across
+        graph updates (the fitness must be the estimate's value on
+        *this* graph, re-evaluated after extension).
+        """
+        self.set_estimate(assignment)
+        self._best_fitness = float(fitness)
+
     def prepare(self, population: np.ndarray, fitness_values: np.ndarray) -> None:
         """Adopt the population's best individual if it improves on the
         best seen so far (or if no estimate exists yet)."""

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class GAResult:
     best_fitness: float
     history: GAHistory
     generations: int
-    stopped_by: str  # "max_generations" | "patience" | "target_fitness" | "deadline"
+    stopped_by: str  # "max_generations" | "patience" | "target_fitness" | "deadline" | "aborted"
 
     @property
     def best_cut(self) -> float:
@@ -261,6 +261,7 @@ class GAEngine:
         self,
         initial_population: Optional[np.ndarray] = None,
         deadline: Optional[float] = None,
+        abort: Optional[Callable[[float], bool]] = None,
     ) -> GAResult:
         """Run to completion and return the best partition found.
 
@@ -275,6 +276,14 @@ class GAEngine:
         (``stopped_by="deadline"``) — used by time-budgeted serving
         (the portfolio racer); completed generations are unaffected, so
         a non-binding deadline changes nothing.
+
+        ``abort`` is a best-so-far callback checked between generations
+        (after the deadline check): it receives the best fitness found
+        so far and returning True stops the run with
+        ``stopped_by="aborted"``.  The racing portfolio uses it to
+        cancel a leg that can no longer beat the incumbent under the
+        remaining budget; a callback that always returns False changes
+        nothing.
         """
         cfg = self.config
         history = GAHistory()
@@ -290,6 +299,9 @@ class GAEngine:
         for _ in range(cfg.max_generations):
             if deadline is not None and time.perf_counter() >= deadline:
                 stopped_by = "deadline"
+                break
+            if abort is not None and abort(float(best_fitness)):
+                stopped_by = "aborted"
                 break
             population, fitness_values, evals = self.step(
                 population, fitness_values

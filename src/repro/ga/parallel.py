@@ -14,18 +14,42 @@ Worker processes build their engine once (per island) from a compact
 spec and keep it cached, so per-epoch IPC is just the population matrix.
 Because an engine carries state that evolves across epochs — its RNG
 stream, DKNUX's dynamic estimate, the evaluator's best-ever tracker —
-every island is **pinned** to one worker process for the whole run
-(island ``i`` always runs on pool ``i % n_workers``, each pool a
-single-process executor).  A shared pool would rebuild an island's
-engine from scratch whenever pool scheduling moved the island to a
-different process, making same-seed results depend on n_workers and on
-OS scheduling; with pinning, same-seed runs are bit-identical for any
-``n_workers``.
+the runner offers two ways to keep that state consistent, selected by
+``pool_mode``:
+
+* ``"pinned"`` — every island is pinned to one single-process executor
+  for the whole run (island ``i`` always runs on pool ``i %
+  n_workers``), so its engine state simply lives where the island
+  runs.  An unpinned shared pool *without* state shipping would
+  rebuild an island's engine from scratch whenever scheduling moved it,
+  making same-seed results depend on n_workers and on OS scheduling.
+* ``"shared"`` — one :class:`~concurrent.futures.ProcessPoolExecutor`
+  of ``n_workers`` processes, with the evolving engine state
+  **explicitly shipped** with every epoch task (RNG bit-generator
+  state, DKNUX estimate + its fitness, best-ever individual) and
+  restored onto whichever process picks the island up.  Same-seed
+  results are bit-identical to pinned mode — the state round-trips
+  exactly — at the cost of a few extra KB of IPC per island-epoch.
+
+``pool_mode="auto"`` (the default) picks pinned up to
+:data:`SHARED_POOL_CUTOFF` worker slots and shared beyond.  Measured
+(``benchmarks/bench_parallel_fanout.py``, 24 islands × 2 epochs on a
+60-node mesh): each pinned slot is a whole ``ProcessPoolExecutor`` —
+one OS process plus a management thread and pipe pair — so bank
+construction and teardown grow linearly with the slot count and come
+to dominate: end-to-end the shared pool matches pinned at 4 workers
+(1.0x), and is 1.5x faster at 16 and 2.0x faster at 24.  Pinned keeps
+the edge for long runs at small-to-moderate widths, where its setup
+amortizes and per-island evaluator-memo affinity pays every epoch —
+hence the cutoff at 16.  Same-seed search results are identical for
+any ``n_workers`` in *both* modes, so the cutoff is pure performance
+policy.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
@@ -47,10 +71,26 @@ from .knux import KNUX
 from .population import random_population
 from .topology import Topology, hypercube_topology, ring_topology
 
-__all__ = ["ParallelDPGA", "PinnedExecutors", "CROSSOVER_KINDS"]
+__all__ = [
+    "ParallelDPGA",
+    "PinnedExecutors",
+    "CROSSOVER_KINDS",
+    "POOL_MODES",
+    "SHARED_POOL_CUTOFF",
+]
 
 #: crossover kinds the parallel runner can reconstruct in workers
 CROSSOVER_KINDS = ("2-point", "uniform", "knux", "dknux")
+
+#: pool execution strategies (see the module docstring)
+POOL_MODES = ("auto", "pinned", "shared")
+
+#: ``pool_mode="auto"`` switches from per-island pinned executors to
+#: one shared pool with explicit state shipping above this many worker
+#: slots — the executor-bank setup/teardown cost grows linearly with
+#: the slot count while the shared pool's is flat (measured in
+#: ``benchmarks/bench_parallel_fanout.py``)
+SHARED_POOL_CUTOFF = 16
 
 
 class PinnedExecutors:
@@ -149,8 +189,16 @@ class _EngineSpec:
     island_entropy: tuple[int, ...]
 
 
-_WORKER_ENGINES: dict[int, GAEngine] = {}
+_WORKER_ENGINES: "OrderedDict[int, GAEngine]" = OrderedDict()
 _WORKER_SPEC: Optional[_EngineSpec] = None
+
+#: shared-pool engine-cache cap per worker process.  Pinned mode hosts
+#: only a process's own islands, so its cache is naturally bounded; a
+#: shared worker may execute *any* island each epoch, and without a cap
+#: every process would eventually hold an engine (fitness tables, DKNUX
+#: counts, evaluator memo) for every island.  Eviction is harmless in
+#: shared mode — the authoritative state ships with each task.
+_WORKER_ENGINE_CAP = 4
 
 
 def _init_worker(spec: _EngineSpec) -> None:
@@ -193,6 +241,90 @@ def _get_engine(island: int) -> GAEngine:
     return engine
 
 
+def _capture_engine_state(engine: GAEngine) -> dict:
+    """The picklable evolving state of an island engine (everything a
+    fresh rebuild would lose): RNG stream, DKNUX dynamic estimate with
+    its fitness, and the evaluator's best-ever individual.  The
+    evaluator's row-hash memo is deliberately not shipped — it only
+    affects evaluation *counts*, never values (exact-value cache on a
+    fixed graph), and it is the bulkiest piece."""
+    state: dict = {"rng": engine.rng.bit_generator.state}
+    cross = engine.crossover
+    if isinstance(cross, DKNUX):
+        est = cross._estimate
+        state["dknux_estimate"] = None if est is None else np.asarray(est)
+        state["dknux_fitness"] = float(cross._best_fitness)
+    tracker = engine.evaluator
+    state["best_assignment"] = (
+        None
+        if tracker.best_assignment is None
+        else np.asarray(tracker.best_assignment)
+    )
+    state["best_fitness"] = float(tracker.best_fitness)
+    return state
+
+
+def _restore_engine_state(engine: GAEngine, state: dict) -> None:
+    """Install shipped state onto a (possibly rebuilt) island engine.
+
+    Exact inverse of :func:`_capture_engine_state`: the RNG state dict
+    round-trips bit-exactly, the DKNUX count table is a deterministic
+    function of the estimate, and the best-ever tracker is re-observed
+    with zero evaluation cost."""
+    engine.rng.bit_generator.state = state["rng"]
+    cross = engine.crossover
+    if isinstance(cross, DKNUX) and state.get("dknux_estimate") is not None:
+        cross.set_carried_estimate(
+            state["dknux_estimate"], state["dknux_fitness"]
+        )
+    tracker = engine.evaluator
+    tracker.best_fitness = -np.inf
+    tracker.best_assignment = None
+    if state["best_assignment"] is not None:
+        tracker.observe(
+            state["best_assignment"][None, :],
+            np.array([state["best_fitness"]]),
+            evaluated=0,
+        )
+
+
+def _run_epoch_shipped(
+    island: int,
+    population: np.ndarray,
+    fitness_values: np.ndarray,
+    n_gens: int,
+    migrants: Optional[tuple[np.ndarray, np.ndarray]],
+    state: Optional[dict],
+) -> tuple[int, np.ndarray, np.ndarray, int, Optional[np.ndarray], float, dict]:
+    """Shared-pool epoch step: like :func:`_run_epoch`, but the island's
+    evolving engine state arrives with the task (``None`` on the first
+    epoch, when the engine's fresh build *is* the canonical state) and
+    the updated state returns with the result, so the island may run on
+    a different process next epoch without losing anything."""
+    engine = _get_engine(island)
+    _WORKER_ENGINES.move_to_end(island)
+    while len(_WORKER_ENGINES) > _WORKER_ENGINE_CAP:
+        _WORKER_ENGINES.popitem(last=False)
+    if state is not None:
+        _restore_engine_state(engine, state)
+    if migrants is not None:
+        engine.evaluator.memoize(*migrants)
+    evals = 0
+    for _ in range(n_gens):
+        population, fitness_values, e = engine.step(population, fitness_values)
+        evals += e
+    tracker = engine.evaluator
+    return (
+        island,
+        population,
+        fitness_values,
+        evals,
+        tracker.best_assignment,
+        float(tracker.best_fitness),
+        _capture_engine_state(engine),
+    )
+
+
 def _run_epoch(
     island: int,
     population: np.ndarray,
@@ -225,16 +357,22 @@ def _run_epoch(
 
 
 class ParallelDPGA:
-    """DPGA over island-pinned worker processes.
+    """DPGA over a process pool (pinned or shared — see module docstring).
 
     Parameters mirror :class:`repro.ga.dpga.DPGA` except the crossover
     operator is named by ``crossover_kind`` (one of
-    :data:`CROSSOVER_KINDS`) so it can be rebuilt inside workers.
+    :data:`CROSSOVER_KINDS`) so it can be rebuilt inside workers, and
+    ``pool_mode`` selects the execution strategy (one of
+    :data:`POOL_MODES`).
 
-    Same-seed runs produce identical results for any ``n_workers``:
-    island engines are pinned to worker processes (see the module
-    docstring), so an island's evolving operator/RNG state never
-    depends on pool scheduling.
+    Same-seed runs produce identical search results (populations,
+    fitness values, best partition) for any ``n_workers`` and either
+    pool mode: pinned islands keep their engine state in place, shared
+    pools ship it explicitly.  Only the *evaluation counters* may
+    differ between modes — an island hopping processes in shared mode
+    starts with a cold evaluator memo, so it re-pays evaluations the
+    pinned memo would have cached (values are unaffected by
+    construction).
     """
 
     def __init__(
@@ -250,6 +388,7 @@ class ParallelDPGA:
         topology: Optional[Topology] = None,
         n_workers: int = 4,
         seed: SeedLike = None,
+        pool_mode: str = "auto",
     ) -> None:
         if crossover_kind not in CROSSOVER_KINDS:
             raise ConfigError(
@@ -258,6 +397,11 @@ class ParallelDPGA:
             )
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if pool_mode not in POOL_MODES:
+            raise ConfigError(
+                f"pool_mode must be one of {POOL_MODES}, got {pool_mode!r}"
+            )
+        self.pool_mode = pool_mode
         self.graph = graph
         self.n_parts = int(n_parts)
         self.fitness = make_fitness(fitness_kind, graph, n_parts, alpha)
@@ -340,42 +484,70 @@ class ParallelDPGA:
 
         harvest()
         epochs = max(cfg.max_generations // cfg.migration_interval, 0)
-        # One single-worker executor per slot (PinnedExecutors): island i
+        # Pinned mode: one single-worker executor per slot — island i
         # always runs on slot i % n_pools, so its engine (RNG stream,
-        # DKNUX estimate, best-ever tracker) lives in exactly one process
-        # for the whole run and same-seed results cannot depend on which
-        # process a shared pool's scheduler would have picked.
+        # DKNUX estimate, best-ever tracker) lives in exactly one
+        # process for the whole run.  Shared mode: one pool of n_pools
+        # workers, with that same engine state explicitly shipped with
+        # every epoch task and restored wherever the island lands.
+        # Either way same-seed results cannot depend on scheduling.
         n_pools = min(self.n_workers, n_isl)
+        mode = self.pool_mode
+        if mode == "auto":
+            mode = "pinned" if n_pools <= SHARED_POOL_CUTOFF else "shared"
         pools: Optional[PinnedExecutors] = None
+        shared: Optional[ProcessPoolExecutor] = None
         received: list[Optional[tuple[np.ndarray, np.ndarray]]] = [
             None
         ] * n_isl
+        states: list[Optional[dict]] = [None] * n_isl
         try:
-            if epochs > 0:
+            if epochs > 0 and mode == "pinned":
                 pools = PinnedExecutors(
                     n_pools,
                     kind="process",
                     initializer=_init_worker,
                     initargs=(self._spec,),
                 )
+            elif epochs > 0:
+                shared = ProcessPoolExecutor(
+                    max_workers=n_pools,
+                    initializer=_init_worker,
+                    initargs=(self._spec,),
+                )
             for _ in range(epochs):
-                futures = [
-                    pools.submit(
-                        island,
-                        _run_epoch,
-                        island,
-                        populations[island],
-                        fitnesses[island],
-                        cfg.migration_interval,
-                        received[island],
-                    )
-                    for island in range(n_isl)
-                ]
+                if mode == "pinned":
+                    futures = [
+                        pools.submit(
+                            island,
+                            _run_epoch,
+                            island,
+                            populations[island],
+                            fitnesses[island],
+                            cfg.migration_interval,
+                            received[island],
+                        )
+                        for island in range(n_isl)
+                    ]
+                else:
+                    futures = [
+                        shared.submit(
+                            _run_epoch_shipped,
+                            island,
+                            populations[island],
+                            fitnesses[island],
+                            cfg.migration_interval,
+                            received[island],
+                            states[island],
+                        )
+                        for island in range(n_isl)
+                    ]
                 total_evals = 0
                 for fut in futures:
-                    island, pop, fit, evals, epoch_best, epoch_best_fit = (
-                        fut.result()
-                    )
+                    out = fut.result()
+                    island, pop, fit, evals, epoch_best, epoch_best_fit = out[:6]
+                    if mode == "shared":
+                        states[island] = out[6]
                     populations[island] = pop
                     fitnesses[island] = fit
                     total_evals += evals
@@ -391,6 +563,8 @@ class ParallelDPGA:
         finally:
             if pools is not None:
                 pools.shutdown()
+            if shared is not None:
+                shared.shutdown()
 
         best = Partition(self.graph, best_assignment, self.n_parts)
         return DPGAResult(

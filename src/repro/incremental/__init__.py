@@ -3,7 +3,11 @@
 from .updates import IncrementalUpdate, insert_local_nodes
 from .seeding import extend_assignment, seed_population_from_previous
 from .naive import naive_incremental_partition
-from .partitioner import IncrementalGAPartitioner
+from .partitioner import (
+    IncrementalGAPartitioner,
+    PendingUpdate,
+    StaleUpdateError,
+)
 
 __all__ = [
     "IncrementalUpdate",
@@ -12,4 +16,6 @@ __all__ = [
     "seed_population_from_previous",
     "naive_incremental_partition",
     "IncrementalGAPartitioner",
+    "PendingUpdate",
+    "StaleUpdateError",
 ]

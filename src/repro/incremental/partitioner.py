@@ -5,6 +5,39 @@ an updated graph (old node ids preserved), seeds a GA population from
 the previous partition per Section 3.5, re-optimizes with DKNUX, and
 becomes the new state.  This is the object a mesh-refinement loop would
 hold on to across adaptation steps (see ``examples/incremental_remesh.py``).
+
+Two things persist across updates beyond the partition itself (PR 4):
+
+* **The DKNUX dynamic estimate.**  Instead of rebuilding the operator
+  cold per update (its estimate then restarts from the new population's
+  generation-0 best), the previous best partition — extended to the new
+  graph and re-evaluated there — is carried in as the initial estimate
+  *with its fitness*, so the operator's domain knowledge survives the
+  graph change and only yields to genuine improvements.
+* **The engine, where safe.**  The engine is graph-bound; when an
+  update re-optimizes the *same* graph the existing engine (evaluator
+  row-hash memo and all) is reused instead of rebuilt.  The RNG stream
+  is shared either way, so carrying state never forks determinism.
+
+Update handling is split into three kernels so callers can shorten
+their locks (:mod:`repro.service.sessions` overlaps updates this way):
+
+* :meth:`begin_update` — *ingestion*: validate the new graph and
+  snapshot nothing mutable (cheap, RNG-free — safe under a short lock,
+  and safe to run concurrently with an in-flight optimization).
+* :meth:`run_pending` — *optimization*: seed from whatever partition is
+  current **at run time** (this is the rebase point: a pending update
+  that waited behind another one seeds from that one's result, exactly
+  as serial execution would) and run the engine.  Consumes the RNG
+  stream; callers must serialize calls per partitioner.
+* :meth:`commit_update` — install the result.  Raises
+  :class:`StaleUpdateError` when another update committed between this
+  one's optimization and its commit (only possible for pipelined
+  callers); the caller rebases by re-running :meth:`run_pending`.
+
+:meth:`update` composes the three, so the serial path and the
+overlapped path execute literally the same code and produce identical
+assignments.
 """
 
 from __future__ import annotations
@@ -24,7 +57,24 @@ from ..partition.partition import Partition
 from ..rng import SeedLike, as_generator
 from .seeding import seed_population_from_previous
 
-__all__ = ["IncrementalGAPartitioner"]
+__all__ = ["IncrementalGAPartitioner", "PendingUpdate", "StaleUpdateError"]
+
+
+class StaleUpdateError(PartitionError):
+    """Another update committed while this one was optimizing; the
+    caller should rebase (re-run the pending update, which will seed
+    from the newly committed partition) and commit again."""
+
+
+@dataclass
+class PendingUpdate:
+    """An ingested-but-uncommitted graph update."""
+
+    new_graph: CSRGraph
+    #: epoch observed when :meth:`run_pending` seeded the optimization;
+    #: ``None`` until the pending update has been run
+    run_epoch: Optional[int] = None
+    result: Optional[GAResult] = field(default=None, repr=False)
 
 
 class IncrementalGAPartitioner:
@@ -44,6 +94,10 @@ class IncrementalGAPartitioner:
     initial_assignment:
         Optional heuristic start (e.g. an RSB solution); otherwise the
         first run starts from a random population.
+    carry_estimate:
+        Carry the DKNUX dynamic estimate across updates (see the module
+        docstring).  On by default; ``False`` restores the
+        rebuild-per-update behavior.
     """
 
     def __init__(
@@ -55,6 +109,7 @@ class IncrementalGAPartitioner:
         alpha: float = 1.0,
         seed: SeedLike = None,
         initial_assignment: Optional[np.ndarray] = None,
+        carry_estimate: bool = True,
     ) -> None:
         if n_parts < 1:
             raise ConfigError(f"n_parts must be >= 1, got {n_parts}")
@@ -73,6 +128,9 @@ class IncrementalGAPartitioner:
         self.partition: Optional[Partition] = None
         self.last_result: Optional[GAResult] = None
         self.n_updates = 0
+        self.carry_estimate = bool(carry_estimate)
+        self._engine: Optional[GAEngine] = None
+        self._epoch = 0  # bumped at every commit (and initial partition)
         if initial_assignment is not None:
             self.partition = Partition(graph, initial_assignment, self.n_parts)
 
@@ -80,14 +138,29 @@ class IncrementalGAPartitioner:
     def _run_engine(
         self, graph: CSRGraph, initial_population: Optional[np.ndarray]
     ) -> GAResult:
-        fitness = make_fitness(self.fitness_kind, graph, self.n_parts, self.alpha)
-        engine = GAEngine(
-            graph,
-            fitness,
-            DKNUX(graph, self.n_parts),
-            config=self.config,
-            seed=self.rng,
-        )
+        engine = self._engine
+        if engine is None or engine.graph is not graph:
+            fitness = make_fitness(
+                self.fitness_kind, graph, self.n_parts, self.alpha
+            )
+            crossover = DKNUX(graph, self.n_parts)
+            if (
+                self.carry_estimate
+                and self.partition is not None
+                and initial_population is not None
+                and initial_population.shape[0] > 0
+            ):
+                # row 0 of the seeded population is the faithful
+                # extension of the previous best — carry it (with its
+                # fitness on the *new* graph) as the dynamic estimate
+                estimate = initial_population[0]
+                crossover.set_carried_estimate(
+                    estimate, float(fitness.evaluate(estimate))
+                )
+            engine = GAEngine(
+                graph, fitness, crossover, config=self.config, seed=self.rng
+            )
+            self._engine = engine
         return engine.run(initial_population)
 
     def partition_initial(self) -> Partition:
@@ -107,6 +180,72 @@ class IncrementalGAPartitioner:
         result = self._run_engine(self.graph, init_pop)
         self.partition = result.best
         self.last_result = result
+        self._epoch += 1
+        return result.best
+
+    # ------------------------------------------------------------------
+    # the ingest → optimize → commit kernels (see module docstring)
+    # ------------------------------------------------------------------
+    def begin_update(self, new_graph: CSRGraph) -> PendingUpdate:
+        """Ingest a graph update: validation only — cheap and RNG-free,
+        so a short lock suffices and an in-flight optimization is never
+        raced on shared state."""
+        if self.partition is not None and new_graph.n_nodes < self.graph.n_nodes:
+            raise PartitionError(
+                "updated graph has fewer nodes than the current one; "
+                "node removal is not part of the paper's incremental model"
+            )
+        return PendingUpdate(new_graph)
+
+    def run_pending(self, pending: PendingUpdate) -> GAResult:
+        """Optimize a pending update, seeding from the partition that is
+        current *now* (the rebase point).
+
+        Consumes the shared RNG stream — callers serialize calls per
+        partitioner (the service pins each session to one worker slot).
+        """
+        if self.partition is None:
+            raise PartitionError(
+                "run_pending needs an existing partition; call "
+                "partition_initial first (update() handles this case)"
+            )
+        if pending.new_graph.n_nodes < self.graph.n_nodes:
+            # a competing update committed a *larger* graph since this
+            # one was ingested — there is nothing to rebase onto (node
+            # removal is outside the incremental model), so surface the
+            # conflict instead of failing mid-seed with a shape error
+            raise StaleUpdateError(
+                "the session has moved past this update's graph "
+                f"({self.graph.n_nodes} nodes committed vs "
+                f"{pending.new_graph.n_nodes} pending); resubmit an "
+                "update against the current graph"
+            )
+        pending.run_epoch = self._epoch
+        init_pop = seed_population_from_previous(
+            pending.new_graph,
+            self.partition.assignment,
+            self.n_parts,
+            self.config.population_size,
+            seed=self.rng,
+        )
+        pending.result = self._run_engine(pending.new_graph, init_pop)
+        return pending.result
+
+    def commit_update(self, pending: PendingUpdate) -> Partition:
+        """Install an optimized pending update as the new state."""
+        if pending.result is None or pending.run_epoch is None:
+            raise PartitionError("pending update has not been run yet")
+        if pending.run_epoch != self._epoch:
+            raise StaleUpdateError(
+                "another update committed during optimization; rebase by "
+                "re-running the pending update"
+            )
+        result = pending.result
+        self.graph = pending.new_graph
+        self.partition = result.best
+        self.last_result = result
+        self.n_updates += 1
+        self._epoch += 1
         return result.best
 
     def update(self, new_graph: CSRGraph) -> Partition:
@@ -119,24 +258,9 @@ class IncrementalGAPartitioner:
         if self.partition is None:
             self.graph = new_graph
             return self.partition_initial()
-        if new_graph.n_nodes < self.graph.n_nodes:
-            raise PartitionError(
-                "updated graph has fewer nodes than the current one; "
-                "node removal is not part of the paper's incremental model"
-            )
-        init_pop = seed_population_from_previous(
-            new_graph,
-            self.partition.assignment,
-            self.n_parts,
-            self.config.population_size,
-            seed=self.rng,
-        )
-        result = self._run_engine(new_graph, init_pop)
-        self.graph = new_graph
-        self.partition = result.best
-        self.last_result = result
-        self.n_updates += 1
-        return result.best
+        pending = self.begin_update(new_graph)
+        self.run_pending(pending)
+        return self.commit_update(pending)
 
     def __repr__(self) -> str:
         state = "unpartitioned" if self.partition is None else (

@@ -25,6 +25,13 @@ for arbitrarily large ``P × m``; the bincount metrics are bit-invariant
 to chunking because every row's bins are disjoint from every other
 row's.  The scalar forms delegate to the batch kernels on a single-row
 batch, so the two forms are bit-identical by construction.
+
+Every batch metric is chunk-invariant — chunk height is a pure perf
+knob, never an answer knob.  For :func:`batch_cut_size` this holds
+because integer-valued edge weights sum exactly in any order (the BLAS
+fast path) and fractional weights take a sequential per-row
+``reduceat`` whose order depends only on the edge count (see its
+docstring).
 """
 
 from __future__ import annotations
@@ -272,10 +279,20 @@ def batch_cut_size(
 ) -> np.ndarray:
     """``(P,)`` vector of total cut weights.
 
-    Unlike the bincount metrics, the BLAS row reduction here may shift
-    the last ulp when the chunk height changes; any fixed chunking is
-    deterministic, and the default budget keeps paper-scale populations
-    in a single chunk (identical to the unchunked form).
+    Chunk-invariant: the same floats come out regardless of chunk
+    height, so ``chunk_rows`` is a pure performance knob.  For
+    integer-valued edge weights (the paper's setting) whose total stays
+    below 2**53 every partial sum of the BLAS row reduction is an
+    exactly-representable integer, so the accumulation order BLAS picks
+    for a given matrix shape cannot change the result — the fast path
+    is exact by construction (weights large enough to break that bound
+    take the fallback path below).  Fractional weights, where reduction order does move
+    the last ulp, take a masked ``np.add.reduceat`` row reduction
+    instead, whose strictly sequential per-row order depends only on
+    the row length ``m``, never on how many rows share the chunk.
+    (``ndarray.sum(axis=1)`` would not do: for multi-row arrays numpy
+    switches from per-row pairwise to a buffered column-accumulation
+    loop whose order varies with the row count.)
     """
     pop = np.asarray(population)
     if pop.ndim != 2 or pop.shape[1] != graph.n_nodes:
@@ -287,10 +304,25 @@ def batch_cut_size(
         return np.zeros(p)
     out = np.empty(p)
     step = _chunk_step(p, graph.n_edges, chunk_rows)
+    # the order-free argument needs every partial sum exactly
+    # representable; the total edge weight bounds any row's cut sum,
+    # so graphs with astronomically large integer weights fall back to
+    # the order-fixed reduceat path instead of voiding the invariance
+    exact = (
+        graph.has_integer_edge_weights()
+        and graph.total_edge_weight() < 2.0**53
+    )
+    ew = graph.edge_weights
     for start in range(0, p, step):
         chunk = pop[start : start + step]
         cut = chunk[:, graph.edges_u] != chunk[:, graph.edges_v]  # (c, m) bool
-        out[start : start + chunk.shape[0]] = cut @ graph.edge_weights
+        if exact:
+            out[start : start + chunk.shape[0]] = cut @ ew
+        else:
+            masked = np.where(cut, ew, 0.0)
+            out[start : start + chunk.shape[0]] = np.add.reduceat(
+                masked, [0], axis=1
+            )[:, 0]
     return out
 
 

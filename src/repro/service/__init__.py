@@ -1,13 +1,16 @@
 """repro.service — partition-as-a-service over the GA kernels.
 
 The serving subsystem the ROADMAP's production north star builds on:
-typed requests with a JSON wire format (:mod:`.models`),
-content-addressed caching of graphs/results/warm seeds (:mod:`.cache`),
-a coalescing scheduler over pinned workers (:mod:`.scheduler`),
-streaming incremental sessions (:mod:`.sessions`), a method portfolio
-racer (:mod:`.portfolio`), and two frontends — a stdlib HTTP endpoint
-(:mod:`.http`, ``repro-partition serve``) and programmatic clients
-(:mod:`.client`).
+typed requests with a JSON wire format (:mod:`.models`), one config
+surface (:mod:`.config`), content-addressed caching of
+graphs/results/warm seeds (:mod:`.cache`), a coalescing scheduler over
+pinned thread workers with a process lane for long GA runs
+(:mod:`.scheduler`, :mod:`.procexec`), digest-sharded multi-process
+serving (:mod:`.sharding`, ``serve --shards N``), streaming
+incremental sessions with overlapped updates (:mod:`.sessions`), a
+method portfolio racer (:mod:`.portfolio`), and two frontends — a
+stdlib HTTP endpoint (:mod:`.http`, ``repro-partition serve``) and
+programmatic clients (:mod:`.client`).
 """
 
 from .models import (
@@ -22,14 +25,20 @@ from .models import (
     result_from_partition,
 )
 from .cache import ContentStore, GraphStore, LRUBytesCache, graph_digest, request_key
+from .config import DEFAULT_PROCESS_THRESHOLD, ServiceConfig
 from .scheduler import CoalescingScheduler
 from .sessions import SESSION_GA_DEFAULTS, Session, SessionManager
 from .portfolio import PORTFOLIO_GA_DEFAULTS, run_portfolio
 from .core import DEFAULT_GA_OVERRIDES, PartitionService
+from .sharding import ShardedPartitionService, shard_for_digest
 from .client import HTTPServiceClient, ServiceClient
 from .http import PartitionHTTPServer, make_server, serve
 
 __all__ = [
+    "DEFAULT_PROCESS_THRESHOLD",
+    "ServiceConfig",
+    "ShardedPartitionService",
+    "shard_for_digest",
     "FITNESS_KINDS",
     "SERVICE_METHODS",
     "JobResult",

@@ -40,11 +40,34 @@ __all__ = ["ServiceClient", "HTTPServiceClient"]
 
 
 class ServiceClient:
-    """Programmatic, in-process client (owns its service by default)."""
+    """Programmatic client (owns its service by default).
 
-    def __init__(self, service: Optional[PartitionService] = None, **kwargs) -> None:
+    ``shards=N`` builds a digest-sharded
+    :class:`~repro.service.sharding.ShardedPartitionService` of N
+    worker processes instead of an in-process service; the client API
+    (and every answer) is identical either way.  An explicit
+    ``service`` may be a :class:`PartitionService` or a sharded front.
+    """
+
+    def __init__(
+        self,
+        service: Optional[PartitionService] = None,
+        shards: int = 0,
+        **kwargs,
+    ) -> None:
+        if service is not None and shards:
+            raise ServiceError(
+                "pass either an explicit service or shards=N, not both"
+            )
         self._owns = service is None
-        self.service = service if service is not None else PartitionService(**kwargs)
+        if service is None:
+            if shards:
+                from .sharding import ShardedPartitionService
+
+                service = ShardedPartitionService(n_shards=shards, **kwargs)
+            else:
+                service = PartitionService(**kwargs)
+        self.service = service
 
     # -- verbs ---------------------------------------------------------
     def partition(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:

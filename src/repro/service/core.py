@@ -9,6 +9,7 @@ flows::
             └─miss→ in-flight join (identical request already running?)
             └─lead→ pinned worker slot (by graph digest / session id)
                      → GA / baseline / portfolio / batched refine
+                       (long GA runs: process slot, see cost model)
                      → result stored + warm seed updated → answer
 
 Everything the PR-1/2 kernels made fast stays hot across requests: the
@@ -18,10 +19,20 @@ partitioners keep their population near the previous optimum, and the
 engine evaluator's row-hash memo (PR 3) never re-evaluates a row the
 service has already paid for.
 
-Determinism contract: cached, joined, and group-coalesced answers are
-bit-identical to what a cold serial run of the same request (same seed)
-would return.  The only opt-out is ``warm_start=True``, which
-explicitly trades that property for convergence speed.
+Execution lanes (PR 4): jobs run on pinned worker threads by default;
+when :class:`~repro.service.config.ServiceConfig` enables a process
+bank, dknux requests whose estimated cost (``n_nodes × population ×
+generations``) clears ``process_threshold`` run on a pinned worker
+*process* instead — same computation, same bits, but Python-level
+generation bookkeeping no longer serializes on the GIL.  Graph payloads
+ship to a process slot once per pin and are interned worker-side
+(:mod:`repro.service.procexec`).
+
+Determinism contract: cached, joined, group-coalesced, and
+process-routed answers are bit-identical to what a cold serial run of
+the same request (same seed) would return.  The only opt-out is
+``warm_start=True``, which explicitly trades that property for
+convergence speed.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -40,6 +52,7 @@ from ..ga.fitness import make_fitness
 from ..graphs.csr import CSRGraph
 from ..partition.partition import Partition
 from .cache import ContentStore, request_key
+from .config import ServiceConfig
 from .models import (
     JobResult,
     PartitionRequest,
@@ -48,6 +61,7 @@ from .models import (
     result_from_partition,
 )
 from .portfolio import run_portfolio
+from .procexec import NEEDS_GRAPH, graph_to_arrays, run_partition_job
 from .scheduler import CoalescingScheduler
 from .sessions import SessionManager
 
@@ -98,19 +112,36 @@ class _LatencyWindow:
 
 
 class PartitionService:
-    """The partition-as-a-service engine room (see module docstring)."""
+    """The partition-as-a-service engine room (see module docstring).
+
+    Built from a :class:`~repro.service.config.ServiceConfig`; keyword
+    arguments are config field overrides, so ``PartitionService(
+    n_workers=4, process_workers=2)`` and ``PartitionService(
+    config=ServiceConfig(...))`` are the same thing.
+    """
 
     def __init__(
-        self,
-        n_workers: int = 2,
-        cache_bytes: int = 64 << 20,
-        max_sessions: int = 1024,
+        self, config: Optional[ServiceConfig] = None, **overrides
     ) -> None:
-        self.store = ContentStore(cache_bytes)
-        self.scheduler = CoalescingScheduler(n_workers)
-        self.sessions = SessionManager(max_sessions)
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            config = config.with_updates(**overrides)
+        self.config = config
+        self.store = ContentStore(config.cache_bytes)
+        self.scheduler = CoalescingScheduler(
+            config.n_workers, process_workers=config.process_workers
+        )
+        self.sessions = SessionManager(config.max_sessions)
         self.latency = _LatencyWindow()
         self.session_latency = _LatencyWindow()
+        # digests whose CSR arrays were shipped to each process slot —
+        # later jobs for the pin send the digest alone.  Bounded to the
+        # worker-side intern LRU's capacity per slot: beyond that the
+        # worker has evicted the graph anyway, so remembering it here
+        # would be pure memory cost answered by NEEDS_GRAPH resends.
+        self._ship_lock = threading.Lock()
+        self._shipped: dict[int, "OrderedDict[str, None]"] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -129,11 +160,24 @@ class PartitionService:
             # the scheduler drops its in-flight entry, so a same-key
             # request arriving at any moment finds either the flight or
             # the cache — identical work truly runs at most once
-            result = self.scheduler.run(
-                key,
-                digest,
-                lambda: self._execute_and_publish(request, digest, key),
-            )
+            process_config = self._process_route(request)
+            if process_config is not None:
+                # inline: the calling thread only blocks on IPC; the
+                # actual work runs on the pinned process slot
+                result = self.scheduler.run(
+                    key,
+                    digest,
+                    lambda: self._execute_process_and_publish(
+                        request, digest, key, process_config
+                    ),
+                    inline=True,
+                )
+            else:
+                result = self.scheduler.run(
+                    key,
+                    digest,
+                    lambda: self._execute_and_publish(request, digest, key),
+                )
         latency = time.perf_counter() - t0
         self.latency.add(latency)
         result.latency_s = latency
@@ -267,14 +311,31 @@ class PartitionService:
         )
 
     def update_session(self, request: UpdateRequest) -> JobResult:
-        """One incremental step, pinned to the session's worker slot."""
+        """One incremental step, pinned to the session's worker slot.
+
+        With ``overlap_updates`` (the default) the update runs through
+        the overlapped path: the session's state lock is held only for
+        ingestion and commit, so ``close_session``/stats never block
+        behind a GA run.  Final assignments are identical to the
+        serial-lock path (both compose the same
+        ``begin_update → run_pending → commit_update`` kernels).
+        """
         self._check_open()
         t0 = time.perf_counter()
+        # intern the update graph too: replayed updates (and the sharded
+        # bit-identity benchmark) then reuse one CSR build + strengths
+        _, graph = self.store.graphs.intern(request.graph)
+        overlap = self.config.overlap_updates
 
         def step() -> JobResult:
-            session, partition = self.sessions.update(
-                request.session_id, request.graph
-            )
+            if overlap:
+                session, partition = self.sessions.update_overlapped(
+                    request.session_id, graph
+                )
+            else:
+                session, partition = self.sessions.update(
+                    request.session_id, graph
+                )
             return result_from_partition(
                 partition,
                 "dknux-incremental",
@@ -325,10 +386,128 @@ class PartitionService:
     # ------------------------------------------------------------------
     # execution (runs on scheduler workers)
     # ------------------------------------------------------------------
+    def _resolved_ga_config(self, request: PartitionRequest) -> GAConfig:
+        """The effective GAConfig of a dknux request (serving defaults
+        plus the request's overrides); raises :class:`ServiceError` on
+        bad overrides."""
+        overrides = dict(DEFAULT_GA_OVERRIDES)
+        if request.ga:
+            overrides.update(request.ga)
+        try:
+            return GAConfig(**overrides)
+        except (ConfigError, TypeError) as exc:
+            raise ServiceError(f"bad ga overrides: {exc}") from exc
+
+    def _process_route(self, request: Request) -> Optional[GAConfig]:
+        """The resolved config when this request should run on a
+        process slot, else ``None`` (thread lane).
+
+        Cost model: ``n_nodes × population_size × max_generations``
+        estimates the GA work; runs clearing
+        ``config.process_threshold`` amortize the one-time graph
+        shipping and per-job IPC of a process slot (measured — see
+        :data:`~repro.service.config.DEFAULT_PROCESS_THRESHOLD`).
+        """
+        if (
+            self.scheduler.process_pool is None
+            or not isinstance(request, PartitionRequest)
+            or request.method != "dknux"
+        ):
+            return None
+        config = self._resolved_ga_config(request)
+        cost = (
+            request.graph.n_nodes
+            * config.population_size
+            * config.max_generations
+        )
+        if cost < self.config.process_threshold:
+            return None
+        return config
+
+    def _was_shipped(self, slot: int, digest: str) -> bool:
+        with self._ship_lock:
+            per_slot = self._shipped.get(slot)
+            if per_slot is None or digest not in per_slot:
+                return False
+            per_slot.move_to_end(digest)
+            return True
+
+    def _mark_shipped(self, slot: int, digest: str) -> None:
+        from .procexec import WORKER_GRAPH_CAP
+
+        with self._ship_lock:
+            per_slot = self._shipped.setdefault(slot, OrderedDict())
+            per_slot[digest] = None
+            per_slot.move_to_end(digest)
+            while len(per_slot) > WORKER_GRAPH_CAP:
+                per_slot.popitem(last=False)
+
     def _execute_and_publish(
         self, request: Request, digest: str, key: str
     ) -> JobResult:
         result = self._execute(request, digest)
+        self.store.store_result(key, result)
+        self._store_warm_seed(request, digest, result)
+        return result
+
+    def _execute_process_and_publish(
+        self,
+        request: PartitionRequest,
+        digest: str,
+        key: str,
+        config: GAConfig,
+    ) -> JobResult:
+        """Run a dknux request on its pinned process slot.
+
+        The graph's CSR arrays ship with the first job for this
+        (slot, digest) pair; afterwards the digest alone travels.  A
+        worker that lost the graph (restart, worker-side LRU eviction)
+        answers :data:`NEEDS_GRAPH` and the job is resent once with the
+        arrays attached.
+        """
+        pool = self.scheduler.process_pool
+        assert pool is not None
+        slot = pool.slot(digest)
+        seed_assignment = None
+        if request.warm_start:
+            seed_assignment = self.store.graphs.warm_seed(
+                digest, request.n_parts, request.fitness_kind
+            )
+        arrays = (
+            None
+            if self._was_shipped(slot, digest)
+            else graph_to_arrays(request.graph)
+        )
+        config_kwargs = dataclasses.asdict(config)
+        out = pool.submit(
+            digest,
+            run_partition_job,
+            digest,
+            arrays,
+            request.n_parts,
+            request.fitness_kind,
+            config_kwargs,
+            request.seed,
+            seed_assignment,
+        ).result()
+        if isinstance(out, str) and out == NEEDS_GRAPH:
+            out = pool.submit(
+                digest,
+                run_partition_job,
+                digest,
+                graph_to_arrays(request.graph),
+                request.n_parts,
+                request.fitness_kind,
+                config_kwargs,
+                request.seed,
+                seed_assignment,
+            ).result()
+        self._mark_shipped(slot, digest)
+        assignment, fitness = out
+        partition = Partition(request.graph, assignment, request.n_parts)
+        result = result_from_partition(
+            partition, request.method, fitness=fitness, executed_in="process"
+        )
         self.store.store_result(key, result)
         self._store_warm_seed(request, digest, result)
         return result
@@ -359,19 +538,14 @@ class PartitionService:
                 seed=request.seed,
                 time_budget=request.time_budget,
                 ga=request.ga,
+                racing=self.config.racing_portfolio,
             )
             return result_from_partition(
                 partition, f"portfolio:{method}", fitness=fitness,
                 portfolio=table,
             )
         if request.method == "dknux":
-            overrides = dict(DEFAULT_GA_OVERRIDES)
-            if request.ga:
-                overrides.update(request.ga)
-            try:
-                config = GAConfig(**overrides)
-            except (ConfigError, TypeError) as exc:
-                raise ServiceError(f"bad ga overrides: {exc}") from exc
+            config = self._resolved_ga_config(request)
             seed_assignment = None
             if request.warm_start:
                 seed_assignment = self.store.graphs.warm_seed(

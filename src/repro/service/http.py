@@ -50,12 +50,17 @@ MAX_BODY_BYTES = 64 << 20
 
 
 class PartitionHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that owns a :class:`PartitionService`."""
+    """ThreadingHTTPServer that owns a service.
+
+    ``service`` is anything exposing the shared service verbs — a
+    :class:`PartitionService` or a digest-sharded
+    :class:`~repro.service.sharding.ShardedPartitionService`.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, service: PartitionService) -> None:
+    def __init__(self, address, service) -> None:
         super().__init__(address, _Handler)
         self.service = service
 
@@ -171,11 +176,30 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8157,
     service: Optional[PartitionService] = None,
+    shards: int = 0,
     **service_kwargs,
 ) -> PartitionHTTPServer:
-    """Build (but do not start) a server; ``port=0`` picks a free port."""
+    """Build (but do not start) a server; ``port=0`` picks a free port.
+
+    ``shards=N`` (N ≥ 1) serves through a digest-sharded
+    :class:`~repro.service.sharding.ShardedPartitionService` of N
+    worker processes instead of one in-process service; responses are
+    bit-identical either way.  ``shards`` only applies when the server
+    builds its own service — combining it with an explicit ``service``
+    is rejected rather than silently ignored.
+    """
+    if service is not None and shards:
+        raise ServiceError(
+            "pass either an explicit service or shards=N, not both "
+            "(wrap the service yourself if you need a custom sharded front)"
+        )
     if service is None:
-        service = PartitionService(**service_kwargs)
+        if shards:
+            from .sharding import ShardedPartitionService
+
+            service = ShardedPartitionService(n_shards=shards, **service_kwargs)
+        else:
+            service = PartitionService(**service_kwargs)
     return PartitionHTTPServer((host, port), service)
 
 
@@ -184,11 +208,13 @@ def serve(
     port: int = 8157,
     service: Optional[PartitionService] = None,
     background: bool = False,
+    shards: int = 0,
     **service_kwargs,
 ) -> PartitionHTTPServer:
     """Start serving; ``background=True`` serves from a daemon thread
-    and returns immediately (used by tests and the smoke benchmark)."""
-    server = make_server(host, port, service, **service_kwargs)
+    and returns immediately (used by tests and the smoke benchmark).
+    ``shards=N`` enables digest-sharded multi-process serving."""
+    server = make_server(host, port, service, shards=shards, **service_kwargs)
     if background:
         thread = threading.Thread(
             target=server.serve_forever, name="repro-service", daemon=True

@@ -272,7 +272,12 @@ class JobResult:
     execution (joined in-flight duplicate or batched refine group);
     ``latency_s`` is the request's wall time inside the service.
     ``portfolio`` carries the per-method race table when the request
-    ran in portfolio mode.
+    ran in portfolio mode.  ``executed_in`` records the execution lane
+    that computed the answer (``""`` = worker thread, ``"process"`` =
+    pinned process slot) and ``shard`` the shard index that served it
+    (``None`` outside sharded serving) — transport metadata, never part
+    of the answer: the assignment and metrics are bit-identical across
+    lanes and shard layouts.
     """
 
     assignment: np.ndarray
@@ -289,6 +294,8 @@ class JobResult:
     request_key: str = ""
     session_id: Optional[str] = None
     portfolio: Optional[list[dict]] = None
+    executed_in: str = ""
+    shard: Optional[int] = None
 
     def to_payload(self) -> dict:
         return {
@@ -306,6 +313,8 @@ class JobResult:
             "request_key": self.request_key,
             "session_id": self.session_id,
             "portfolio": self.portfolio,
+            "executed_in": self.executed_in,
+            "shard": self.shard,
         }
 
     @classmethod
@@ -325,6 +334,8 @@ class JobResult:
             request_key=payload.get("request_key", ""),
             session_id=payload.get("session_id"),
             portfolio=payload.get("portfolio"),
+            executed_in=payload.get("executed_in", ""),
+            shard=payload.get("shard"),
         )
 
     def replace(self, **kwargs) -> "JobResult":

@@ -11,10 +11,34 @@ seeding pays: the GA starts concentrated around the previous optimum
 and only has to resolve the refined region.
 
 Each session owns an :class:`IncrementalGAPartitioner` (its state: the
-current graph, partition, and RNG stream) plus a lock serializing its
-updates; different sessions proceed concurrently.  The service pins
-every update of a session to one scheduler slot, so the partitioner's
-evolving state lives on a single worker for the session's lifetime.
+current graph, partition, and RNG stream) plus two locks: ``lock``
+guards the session's *published state* (the partitioner's graph and
+partition, the update counters — everything ``summary()``/``close()``
+read) and ``compute_lock`` serializes the session's GA work.  The
+service pins every update of a session to one scheduler slot, so the
+partitioner's evolving state lives on a single worker for the
+session's lifetime.
+
+Two update paths share the same kernels (PR 4):
+
+* :meth:`SessionManager.update` — the serial-lock path: the state lock
+  is held for the whole update, GA run included (the original PR-3
+  behavior).
+* :meth:`SessionManager.update_overlapped` — the overlapped path: the
+  state lock is held only for *ingestion* (validate the new graph) and
+  *commit* (install the result); the GA runs between the two holding
+  only the compute lock.  ``close``/``summary``/stats therefore never
+  block behind a GA run: a close that races an in-flight overlapped
+  update wins immediately, and the update fails its commit with
+  "unknown session" instead of committing to a closed session.  If a
+  pipelined caller commits another update meanwhile, the commit detects
+  the stale epoch and *rebases*: the pending update re-runs, seeding
+  from the newly committed partition — exactly what serial execution
+  would have done.
+
+Both paths compose ``begin_update → run_pending → commit_update``
+(:mod:`repro.incremental.partitioner`), so for serially issued updates
+they produce bit-identical assignments.
 """
 
 from __future__ import annotations
@@ -56,7 +80,11 @@ class Session:
     ) -> None:
         self.id = session_id
         self.partitioner = partitioner
+        #: guards published state (see module docstring) — held briefly
+        #: on the overlapped path, for the whole update on the serial one
         self.lock = threading.Lock()
+        #: serializes the session's GA work (RNG stream, engine state)
+        self.compute_lock = threading.Lock()
         self.created_at = time.time()
         self.n_updates = 0
         self.total_ga_seconds = 0.0
@@ -65,7 +93,7 @@ class Session:
         """Run the session's first GA (the service calls this on the
         worker slot pinned to the session, not on the request thread)."""
         t0 = time.perf_counter()
-        with self.lock:
+        with self.compute_lock, self.lock:
             partition = self.partitioner.partition_initial()
         self.total_ga_seconds += time.perf_counter() - t0
         return partition
@@ -160,22 +188,72 @@ class SessionManager:
 
     def update(self, session_id: str, new_graph: CSRGraph) -> tuple[Session, Partition]:
         """Re-partition after a graph update, warm-seeded from the
-        session's previous assignment."""
+        session's previous assignment (serial-lock path: the state lock
+        is held for the whole GA run, so a concurrent close waits)."""
         session = self.get(session_id)
         t0 = time.perf_counter()
-        with session.lock:
+        with session.compute_lock, session.lock:
             # re-check under the session lock: a concurrent close() may
             # have removed the session between get() and here, and an
             # update must not "succeed" against a closed session
-            with self._lock:
-                if self._sessions.get(session_id) is not session:
-                    raise ServiceError(f"unknown session {session_id!r}")
+            self._check_registered(session_id, session)
             partition = session.partitioner.update(new_graph)
             session.n_updates += 1
         with self._lock:
             self.total_updates += 1
         session.total_ga_seconds += time.perf_counter() - t0
         return session, partition
+
+    def update_overlapped(
+        self, session_id: str, new_graph: CSRGraph
+    ) -> tuple[Session, Partition]:
+        """Re-partition after a graph update, holding the state lock
+        only for ingestion and commit (see the module docstring).
+
+        Bit-identical to :meth:`update` for serially issued updates:
+        both compose the partitioner's ``begin_update → run_pending →
+        commit_update`` kernels on the same RNG stream.
+        """
+        from ..incremental.partitioner import StaleUpdateError
+
+        session = self.get(session_id)
+        t0 = time.perf_counter()
+        with session.compute_lock:  # serializes this session's GA work
+            with session.lock:  # short: ingestion
+                self._check_registered(session_id, session)
+                if session.partitioner.partition is None:
+                    # first contact — an initial partition cannot
+                    # overlap with anything; behave like the serial path
+                    partition = session.partitioner.update(new_graph)
+                    session.n_updates += 1
+                    return self._finish_update(session, t0, partition)
+                pending = session.partitioner.begin_update(new_graph)
+            while True:
+                session.partitioner.run_pending(pending)  # GA: no state lock
+                with session.lock:  # short: commit
+                    # a close that raced the GA has already won — the
+                    # update must not commit to a closed session
+                    self._check_registered(session_id, session)
+                    try:
+                        partition = session.partitioner.commit_update(pending)
+                    except StaleUpdateError:
+                        continue  # rebase onto the newly committed state
+                    session.n_updates += 1
+                    break
+        return self._finish_update(session, t0, partition)
+
+    def _finish_update(
+        self, session: Session, t0: float, partition: Partition
+    ) -> tuple[Session, Partition]:
+        with self._lock:
+            self.total_updates += 1
+        session.total_ga_seconds += time.perf_counter() - t0
+        return session, partition
+
+    def _check_registered(self, session_id: str, session: Session) -> None:
+        with self._lock:
+            if self._sessions.get(session_id) is not session:
+                raise ServiceError(f"unknown session {session_id!r}")
 
     def close(self, session_id: str) -> dict:
         with self._lock:
@@ -184,7 +262,11 @@ class SessionManager:
                 self.closed += 1
         if session is None:
             raise ServiceError(f"unknown session {session_id!r}")
-        with session.lock:  # let an in-flight update finish first
+        # serial-path updates hold the state lock for their whole GA run
+        # (close waits, as in PR 3); overlapped updates hold it only
+        # briefly, so this returns immediately and a racing update fails
+        # its commit against the now-unregistered session
+        with session.lock:
             return session.summary()
 
     def stats(self) -> dict:

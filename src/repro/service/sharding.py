@@ -1,0 +1,417 @@
+"""Digest-sharded multi-process serving.
+
+One Python process can only scale the serving tier so far: worker
+threads overlap the GIL-releasing kernels, but every request still
+shares one interpreter.  :class:`ShardedPartitionService` is the
+shared-nothing answer — ``N`` worker *processes*, each running a full,
+independent :class:`~repro.service.core.PartitionService` (its own
+caches, pinned executors, and sessions), behind a thin front that
+routes every request by **graph digest**::
+
+    request ──digest──→ shard = blake2b(digest) % N ──pipe──→ worker
+                                                       process N
+
+Routing by content digest is what keeps the per-shard caches as
+effective as a single process's: a given graph always lands on the
+same shard, so its interned CSR build, cached results, and warm seeds
+concentrate there instead of being diluted across workers.  Sessions
+are routed by the digest of their opening graph and then stick to
+their shard by session id.
+
+Transport is one duplex :func:`multiprocessing.Pipe` per shard with
+request multiplexing: the front tags each request with a sequence id,
+a per-shard reader thread dispatches replies to waiting callers, and
+the shard worker executes requests on a small thread pool over its
+service — so concurrent requests to the *same* shard overlap exactly
+as they would against a single-process service, and requests to
+different shards run on different cores outright.
+
+Determinism: every shard executes the identical
+:class:`PartitionService` code, so sharded answers are bit-identical
+to single-process answers for the same requests — the shard layout
+changes which process computes, never what is computed (enforced by
+``tests/test_sharding.py`` and gated in CI by ``bench_service.py``).
+
+Composition note: shard workers run with ``process_workers=0`` — a
+shard *is* a process, and daemonic shard workers may not spawn child
+processes.  The process-pool execution lane
+(:mod:`repro.service.procexec`) is the single-process alternative;
+sharding is the multi-process one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from ..errors import ServiceError
+from ..graphs.csr import CSRGraph
+from .cache import graph_digest
+from .config import ServiceConfig
+from .models import JobResult, UpdateRequest
+
+__all__ = ["ShardedPartitionService", "shard_for_digest"]
+
+
+def shard_for_digest(digest: str, n_shards: int) -> int:
+    """Stable digest → shard index (same mapping in every process and
+    across runs: a pure function of the content digest)."""
+    if n_shards < 1:
+        raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+    raw = hashlib.blake2b(digest.encode(), digest_size=8).digest()
+    return int.from_bytes(raw, "big") % n_shards
+
+
+# ----------------------------------------------------------------------
+# shard worker process
+# ----------------------------------------------------------------------
+
+_SHUTDOWN = "__shutdown__"
+
+
+def _safe_exception(exc: BaseException) -> Exception:
+    """An exception that survives pickling (fallback: ServiceError)."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc if isinstance(exc, Exception) else ServiceError(repr(exc))
+    except Exception:
+        return ServiceError(f"{type(exc).__name__}: {exc}")
+
+
+def _shard_main(conn, config: ServiceConfig) -> None:  # pragma: no cover
+    """Entry point of one shard worker process.
+
+    Runs a full PartitionService and answers ``(req_id, verb, args)``
+    messages with ``(req_id, ok, payload)``; requests execute on a
+    small thread pool so same-shard traffic overlaps.  (Covered by the
+    subprocess-driving tests in ``tests/test_sharding.py``, which
+    coverage cannot see.)
+    """
+    from .core import PartitionService
+
+    service = PartitionService(config=config)
+    send_lock = threading.Lock()
+
+    def handle(req_id: int, verb: str, args: tuple) -> None:
+        try:
+            if verb == "submit":
+                out = service.submit(args[0])
+            elif verb == "submit_many":
+                out = service.submit_many(args[0])
+            elif verb == "open_session":
+                out = service.open_session(args[0], args[1], **args[2])
+            elif verb == "update_session":
+                out = service.update_session(args[0])
+            elif verb == "close_session":
+                out = service.close_session(args[0])
+            elif verb == "stats":
+                out = service.stats()
+            else:
+                raise ServiceError(f"unknown shard verb {verb!r}")
+            reply = (req_id, True, out)
+        except BaseException as exc:
+            reply = (req_id, False, _safe_exception(exc))
+        with send_lock:
+            try:
+                conn.send(reply)
+            except Exception as exc:
+                # a reply that cannot serialize must still be answered,
+                # or the parent's call would wait forever — fall back to
+                # an error reply; if even that fails the pipe is dead
+                # and the parent's reader EOF flushes every waiter
+                try:
+                    conn.send((
+                        req_id,
+                        False,
+                        ServiceError(f"shard reply failed to send: {exc!r}"),
+                    ))
+                except Exception:
+                    pass
+
+    # two lanes: data verbs (GA work, may block for seconds) and
+    # control verbs (stats / close_session, expected to answer fast).
+    # A shared pool would let a burst of long submits queue a stats or
+    # close behind GA runs — the very blocking the overlapped-session
+    # work removed from the single-process path.
+    pool = ThreadPoolExecutor(
+        max_workers=config.n_workers + 2, thread_name_prefix="shard-req"
+    )
+    control = ThreadPoolExecutor(
+        max_workers=2, thread_name_prefix="shard-ctl"
+    )
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # parent died: exit with it
+            if msg == _SHUTDOWN:
+                break
+            req_id, verb, args = msg
+            lane = control if verb in ("stats", "close_session") else pool
+            lane.submit(handle, req_id, verb, args)
+    finally:
+        pool.shutdown(wait=True)
+        control.shutdown(wait=True)
+        service.close()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# parent-side shard handle
+# ----------------------------------------------------------------------
+
+class _Reply:
+    __slots__ = ("done", "ok", "payload")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.ok = False
+        self.payload = None
+
+
+class _ShardHandle:
+    """Parent-side endpoint of one shard: multiplexed request/reply."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, _Reply] = {}
+        self._counter = itertools.count()
+        self._alive = True
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-{index}-reader", daemon=True
+        )
+        self._reader.start()
+
+    def call(self, verb: str, *args):
+        reply = _Reply()
+        req_id = next(self._counter)
+        with self._pending_lock:
+            if not self._alive:
+                raise ServiceError(f"shard {self.index} is not running")
+            self._pending[req_id] = reply
+        try:
+            with self._send_lock:
+                self.conn.send((req_id, verb, args))
+        except (OSError, ValueError) as exc:
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            raise ServiceError(f"shard {self.index} unreachable: {exc}") from exc
+        reply.done.wait()
+        if not reply.ok:
+            raise reply.payload
+        return reply.payload
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                req_id, ok, payload = self.conn.recv()
+                with self._pending_lock:
+                    reply = self._pending.pop(req_id, None)
+                if reply is None:
+                    continue  # response to an abandoned request
+                reply.ok = ok
+                reply.payload = payload
+                reply.done.set()
+        except (EOFError, OSError):
+            pass
+        finally:
+            with self._pending_lock:
+                self._alive = False
+                pending, self._pending = self._pending, {}
+            for reply in pending.values():
+                reply.ok = False
+                reply.payload = ServiceError(
+                    f"shard {self.index} exited with requests in flight"
+                )
+                reply.done.set()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        try:
+            with self._send_lock:
+                self.conn.send(_SHUTDOWN)
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# the sharded front
+# ----------------------------------------------------------------------
+
+class ShardedPartitionService:
+    """Digest-sharded, shared-nothing serving front.
+
+    Implements the same verbs as :class:`PartitionService` (``submit``,
+    ``submit_many``, ``open_session``, ``update_session``,
+    ``close_session``, ``stats``, ``close``), so the HTTP frontend and
+    :class:`~repro.service.client.ServiceClient` drive either
+    interchangeably.  Keyword arguments are
+    :class:`~repro.service.config.ServiceConfig` overrides applied to
+    every shard.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        config: Optional[ServiceConfig] = None,
+        **overrides,
+    ) -> None:
+        if n_shards < 1:
+            raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            config = config.with_updates(**overrides)
+        if config.process_workers:
+            # a shard is already a process; daemonic shard workers may
+            # not spawn children (see the module docstring)
+            config = config.with_updates(process_workers=0)
+        self.n_shards = int(n_shards)
+        self.config = config
+        ctx = multiprocessing.get_context()
+        self._shards: list[_ShardHandle] = []
+        try:
+            for i in range(self.n_shards):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_shard_main,
+                    args=(child_conn, config),
+                    name=f"repro-shard-{i}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._shards.append(_ShardHandle(i, process, parent_conn))
+        except BaseException:
+            # a partial fleet must not outlive a failed constructor
+            for handle in self._shards:
+                handle.shutdown()
+            raise
+        self._session_lock = threading.Lock()
+        self._session_shard: dict[str, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def shard_of(self, graph: CSRGraph) -> int:
+        """The shard a graph's traffic routes to (stable across runs)."""
+        return shard_for_digest(graph_digest(graph), self.n_shards)
+
+    def _mark(self, result: JobResult, shard: int) -> JobResult:
+        result.shard = shard
+        return result
+
+    # -- verbs ---------------------------------------------------------
+    def submit(self, request) -> JobResult:
+        self._check_open()
+        shard = self.shard_of(request.graph)
+        return self._mark(self._shards[shard].call("submit", request), shard)
+
+    def submit_many(self, requests: Sequence) -> list[JobResult]:
+        """Batch submission: the batch splits by shard, each sub-batch
+        keeps its relative order (so per-shard coalescing behaves as in
+        a single process), and sub-batches run concurrently."""
+        self._check_open()
+        by_shard: dict[int, list[int]] = {}
+        for i, request in enumerate(requests):
+            by_shard.setdefault(self.shard_of(request.graph), []).append(i)
+        results: list[Optional[JobResult]] = [None] * len(requests)
+
+        def run_shard(shard: int, members: list[int]) -> None:
+            batch = [requests[i] for i in members]
+            out = self._shards[shard].call("submit_many", batch)
+            for i, result in zip(members, out):
+                results[i] = self._mark(result, shard)
+
+        if len(by_shard) == 1:
+            ((shard, members),) = by_shard.items()
+            run_shard(shard, members)
+        elif by_shard:
+            with ThreadPoolExecutor(max_workers=len(by_shard)) as fan:
+                futures = [
+                    fan.submit(run_shard, shard, members)
+                    for shard, members in by_shard.items()
+                ]
+                for future in futures:
+                    future.result()
+        return results  # type: ignore[return-value]
+
+    def open_session(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
+        self._check_open()
+        shard = self.shard_of(graph)
+        result = self._shards[shard].call(
+            "open_session", graph, int(n_parts), kwargs
+        )
+        with self._session_lock:
+            self._session_shard[result.session_id] = shard
+        return self._mark(result, shard)
+
+    def update_session(self, request: UpdateRequest) -> JobResult:
+        self._check_open()
+        shard = self._session_route(request.session_id)
+        return self._mark(
+            self._shards[shard].call("update_session", request), shard
+        )
+
+    def close_session(self, session_id: str) -> dict:
+        self._check_open()
+        shard = self._session_route(session_id)
+        summary = self._shards[shard].call("close_session", session_id)
+        with self._session_lock:
+            self._session_shard.pop(session_id, None)
+        return summary
+
+    def stats(self) -> dict:
+        self._check_open()
+        with self._session_lock:
+            routed = len(self._session_shard)
+        return {
+            "n_shards": self.n_shards,
+            "sessions_routed": routed,
+            "shards": [handle.call("stats") for handle in self._shards],
+        }
+
+    def _session_route(self, session_id: str) -> int:
+        with self._session_lock:
+            shard = self._session_shard.get(session_id)
+        if shard is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return shard
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._shards:
+            handle.shutdown()
+
+    def __enter__(self) -> "ShardedPartitionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")

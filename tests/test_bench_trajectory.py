@@ -59,13 +59,33 @@ class TestTrajectory:
         assert out.returncode == 0
         assert "—" in out.stdout
 
+    def test_serving_section_rendered(self, tmp_path):
+        """SERVICE_metrics.json snapshots (flat `serving` dict) render
+        as their own section — with or without kernel rows present."""
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        serving_a = {"serving": {"sharded_speedup_x": 2.4}, "ok": True}
+        serving_b = snapshot(1.0, 50.0)
+        serving_b["serving"] = {
+            "sharded_speedup_x": 2.9, "http_p50_ms": 80.0,
+        }
+        a.write_text(json.dumps(serving_a))
+        b.write_text(json.dumps(serving_b))
+        out = run_cli(f"pr3:{a}", f"pr4:{b}")
+        assert out.returncode == 0, out.stderr
+        assert "| serving metric | pr3 | pr4 |" in out.stdout
+        assert "sharded_speedup_x | 2.4 | 2.9" in out.stdout
+        assert "http_p50_ms | — | 80" in out.stdout
+        # kernel rows from the second snapshot still render
+        assert "batch_part_loads" in out.stdout
+
     def test_out_file_written(self, tmp_path):
         a = tmp_path / "a.json"
         a.write_text(json.dumps(snapshot(1.0, 50.0)))
         out_md = tmp_path / "traj.md"
         out = run_cli(str(a), "--out", str(out_md))
         assert out.returncode == 0
-        assert out_md.read_text().startswith("# Kernel perf trajectory")
+        assert out_md.read_text().startswith("# Perf trajectory")
 
     def test_guard_failures_surfaced(self, tmp_path):
         a = tmp_path / "a.json"

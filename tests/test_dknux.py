@@ -38,7 +38,25 @@ class TestEstimateTracking:
         better = rng.integers(0, 4, (2, 60))
         op.prepare(better, np.array([-1.0, -9.0]))
         assert np.array_equal(op.estimate, better[0])
-        assert op.best_fitness_seen == -1.0
+
+    def test_carried_estimate_resists_worse_populations(self, mesh60, rng):
+        """set_carried_estimate seeds estimate *and* fitness, so a
+        worse generation-0 population cannot displace the carried
+        knowledge (the incremental warm-carry mechanism, PR 4)."""
+        op = DKNUX(mesh60, 4)
+        carried = rng.integers(0, 4, 60)
+        op.set_carried_estimate(carried, -2.0)
+        assert np.array_equal(op.estimate, carried)
+        assert op.best_fitness_seen == -2.0
+        # a population whose best is worse does not replace it …
+        op.prepare(rng.integers(0, 4, (3, 60)), np.array([-5.0, -3.0, -9.0]))
+        assert np.array_equal(op.estimate, carried)
+        assert op.best_fitness_seen == -2.0
+        # … but a genuine improvement does
+        better = rng.integers(0, 4, (2, 60))
+        op.prepare(better, np.array([-1.5, -4.0]))
+        assert np.array_equal(op.estimate, better[0])
+        assert op.best_fitness_seen == -1.5
 
     def test_initial_estimate_accepted(self, mesh60, rng):
         est = rng.integers(0, 4, 60)

@@ -156,6 +156,53 @@ class TestBatchMetrics:
         assert np.isclose(batch[0], cut_size(grid4x4, a))
 
 
+class TestChunkInvariance:
+    """Chunk height is a pure perf knob: every batch metric — including
+    the BLAS-backed ``batch_cut_size`` — returns the identical floats
+    for every chunk height (PR 4 closed the ROADMAP item; fractional
+    weights take a per-row pairwise reduction)."""
+
+    HEIGHTS = (1, 2, 3, 7, 64)
+
+    def test_cut_size_chunk_invariant_integer_weights(self, mesh60, rng):
+        pop = rng.integers(0, 4, size=(23, 60))
+        ref = batch_cut_size(mesh60, pop)
+        for h in self.HEIGHTS:
+            assert np.array_equal(batch_cut_size(mesh60, pop, chunk_rows=h), ref)
+
+    def test_cut_size_chunk_invariant_fractional_weights(self, mesh60, rng):
+        w = rng.random(mesh60.n_edges) * 0.9 + 0.05  # genuinely fractional
+        g = mesh60.with_weights(edge_weights=w)
+        assert not g.has_integer_edge_weights()
+        pop = rng.integers(0, 4, size=(23, 60))
+        ref = batch_cut_size(g, pop)
+        for h in self.HEIGHTS:
+            assert np.array_equal(batch_cut_size(g, pop, chunk_rows=h), ref)
+        for r in range(0, 23, 7):  # still the cut weight
+            assert np.isclose(ref[r], cut_size(g, pop[r]))
+
+    def test_cut_size_chunk_invariant_huge_integer_weights(self, mesh60, rng):
+        """Integer weights too large for exact float accumulation
+        (row sums past 2**53) must not take the order-free BLAS path —
+        they fall back to the order-fixed reduction, keeping the
+        chunk-invariance contract."""
+        w = rng.integers(1, 5, mesh60.n_edges).astype(float) * 2.0**52
+        g = mesh60.with_weights(edge_weights=w)
+        assert g.has_integer_edge_weights()
+        pop = rng.integers(0, 4, size=(23, 60))
+        ref = batch_cut_size(g, pop)
+        for h in self.HEIGHTS:
+            assert np.array_equal(batch_cut_size(g, pop, chunk_rows=h), ref)
+
+    def test_part_cuts_chunk_invariant_fractional_weights(self, mesh60, rng):
+        w = rng.random(mesh60.n_edges) * 0.9 + 0.05
+        g = mesh60.with_weights(edge_weights=w)
+        pop = rng.integers(0, 4, size=(23, 60))
+        ref = batch_part_cuts(g, pop, 4)
+        for h in self.HEIGHTS:
+            assert np.array_equal(batch_part_cuts(g, pop, 4, chunk_rows=h), ref)
+
+
 class TestGraphCachesAndFastPaths:
     """PR 2: memoized per-graph quantities and the unit-weight cut path."""
 

@@ -27,6 +27,10 @@ class TestValidation:
         assert "dknux" in CROSSOVER_KINDS
         assert "2-point" in CROSSOVER_KINDS
 
+    def test_bad_pool_mode(self, graph):
+        with pytest.raises(ConfigError):
+            ParallelDPGA(graph, "fitness1", 4, pool_mode="remote")
+
 
 class TestRun:
     def test_parallel_run_produces_valid_partition(self, graph):
@@ -74,6 +78,52 @@ class TestRun:
         fit = Fitness1(graph, 2)
         rand = random_partition(graph, 2, seed=0)
         assert res.best_fitness > fit.evaluate(rand.assignment)
+
+    def test_shared_pool_matches_pinned(self, graph):
+        """The PR-4 fan-out satellite: one shared pool with explicit
+        state shipping produces bit-identical search results to the
+        per-island pinned executors, for any worker count."""
+        kwargs = dict(
+            fitness_kind="fitness1",
+            n_parts=4,
+            crossover_kind="dknux",
+            ga_config=GAConfig(
+                population_size=8, hill_climb="all", hill_climb_passes=1
+            ),
+            dpga_config=DPGAConfig(
+                total_population=16,
+                n_islands=4,
+                migration_interval=2,
+                max_generations=4,
+                migration_size=2,
+            ),
+            seed=11,
+        )
+        pinned = ParallelDPGA(
+            graph, n_workers=2, pool_mode="pinned", **kwargs
+        ).run()
+        shared = ParallelDPGA(
+            graph, n_workers=2, pool_mode="shared", **kwargs
+        ).run()
+        shared3 = ParallelDPGA(
+            graph, n_workers=3, pool_mode="shared", **kwargs
+        ).run()
+        assert np.array_equal(pinned.best.assignment, shared.best.assignment)
+        assert pinned.best_fitness == shared.best_fitness
+        # shared mode is itself n_workers-invariant
+        assert np.array_equal(shared.best.assignment, shared3.best.assignment)
+        # per-epoch harvested cut metrics agree too
+        assert np.array_equal(
+            pinned.history.as_arrays()["best_cut"],
+            shared.history.as_arrays()["best_cut"],
+        )
+
+    def test_auto_mode_picks_pinned_at_small_widths(self, graph):
+        from repro.ga.parallel import SHARED_POOL_CUTOFF
+
+        assert SHARED_POOL_CUTOFF == 16  # the measured default
+        runner = ParallelDPGA(graph, "fitness1", 4, n_workers=2)
+        assert runner.pool_mode == "auto"
 
     def test_initial_population_respected(self, graph):
         from repro.baselines import rsb_partition

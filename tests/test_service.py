@@ -428,6 +428,93 @@ class TestSessions:
         agreement = float(np.mean(old == new))
         assert agreement > 0.5
 
+    def test_overlapped_updates_match_serial_lock_path(self, graph):
+        """The PR-4 acceptance contract: the overlapped update path
+        (short state lock, GA outside it) produces bit-identical
+        assignments to the serial-lock path on the same update trace."""
+        updates = []
+        current = graph
+        for step in range(3):
+            current = insert_local_nodes(current, 5, seed=50 + step).graph
+            updates.append(current)
+
+        def drive(overlap: bool):
+            outs = []
+            with PartitionService(n_workers=1, overlap_updates=overlap) as svc:
+                opened = svc.open_session(graph, 4, seed=0, ga=GA)
+                outs.append(opened.assignment)
+                for g in updates:
+                    result = svc.update_session(
+                        UpdateRequest(opened.session_id, g)
+                    )
+                    outs.append(result.assignment)
+                svc.close_session(opened.session_id)
+            return outs
+
+        serial = drive(overlap=False)
+        overlapped = drive(overlap=True)
+        for a, b in zip(serial, overlapped):
+            assert np.array_equal(a, b)
+
+    def test_overlapped_manager_paths_are_equivalent(self, graph):
+        """SessionManager.update vs update_overlapped, driven directly."""
+        from repro.service import SessionManager
+
+        update = insert_local_nodes(graph, 6, seed=9)
+        results = {}
+        for name in ("serial", "overlapped"):
+            manager = SessionManager()
+            session = manager.open(graph, 4, seed=3, ga=GA)
+            session.partition_initial()
+            if name == "serial":
+                _, part = manager.update(session.id, update.graph)
+            else:
+                _, part = manager.update_overlapped(session.id, update.graph)
+            results[name] = part.assignment
+            assert session.n_updates == 1
+        assert np.array_equal(results["serial"], results["overlapped"])
+
+    def test_close_wins_over_inflight_overlapped_update(self, graph):
+        """A close racing an overlapped update's GA run returns
+        immediately; the update then fails its commit instead of
+        committing to a closed session."""
+        from repro.service import SessionManager
+
+        manager = SessionManager()
+        session = manager.open(graph, 4, seed=0, ga=GA)
+        session.partition_initial()
+        update = insert_local_nodes(graph, 6, seed=9)
+        started = threading.Event()
+        outcome = {}
+
+        original_run = session.partitioner.run_pending
+
+        def slow_run(pending):
+            started.set()
+            result = original_run(pending)
+            release.wait(timeout=30)
+            return result
+
+        release = threading.Event()
+        session.partitioner.run_pending = slow_run
+
+        def updater():
+            try:
+                manager.update_overlapped(session.id, update.graph)
+                outcome["update"] = "committed"
+            except ServiceError:
+                outcome["update"] = "rejected"
+
+        thread = threading.Thread(target=updater)
+        thread.start()
+        assert started.wait(timeout=30)
+        summary = manager.close(session.id)  # must not block on the GA
+        assert summary["session_id"] == session.id
+        release.set()
+        thread.join(timeout=30)
+        assert outcome["update"] == "rejected"
+        assert manager.stats()["open"] == 0
+
     def test_concurrent_sessions_are_isolated(self, graph):
         other = mesh_graph(56, seed=9)
         with PartitionService(n_workers=2) as svc:
@@ -527,6 +614,74 @@ class TestPortfolio:
         unbudgeted = [l for l in table if l["method"] == "dknux"][0]
         # patience (3) binds long before 50 generations
         assert 0 < unbudgeted["generations"] < 50
+
+    def test_racing_matches_serial_winner(self, graph):
+        """With a non-binding budget, the racing portfolio returns the
+        identical winner, partition, and fitness as the serial one (the
+        acceptance contract for PR 4's racing mode)."""
+        from repro.service import run_portfolio
+
+        for budget in (None, 1e6):
+            serial = run_portfolio(
+                graph, 4, seed=0, time_budget=budget, ga=GA, racing=False
+            )
+            raced = run_portfolio(
+                graph, 4, seed=0, time_budget=budget, ga=GA, racing=True
+            )
+            assert raced[1] == serial[1]  # same winning method
+            assert np.array_equal(raced[0].assignment, serial[0].assignment)
+            assert raced[2] == serial[2]  # same fitness
+            # leg tables line up row-for-row in the fixed leg order
+            assert [r["method"] for r in raced[3]] == [
+                r["method"] for r in serial[3]
+            ]
+
+    def test_racing_service_answers_match_serial_service(self, graph):
+        req = dict(method="portfolio", seed=0, ga=GA)
+        with PartitionService(n_workers=1) as svc:
+            serial = svc.submit(PartitionRequest(graph, 4, **req))
+        with PartitionService(n_workers=1, racing_portfolio=True) as svc:
+            raced = svc.submit(PartitionRequest(graph, 4, **req))
+        assert raced.method == serial.method
+        assert np.array_equal(raced.assignment, serial.assignment)
+        assert raced.fitness == serial.fitness
+
+    def test_racing_with_binding_budget_still_answers(self, graph):
+        from repro.service import run_portfolio
+
+        best, method, fitness, table = run_portfolio(
+            graph, 4, seed=0, time_budget=1e-9, ga=GA, racing=True
+        )
+        assert best.assignment.shape == (graph.n_nodes,)
+        assert method  # some leg (or the fallback) won
+
+    def test_engine_abort_callback(self, graph):
+        """abort=True stops the run immediately with stopped_by="aborted";
+        an abort that never fires changes nothing."""
+        from repro.ga import Fitness1, GAEngine, UniformCrossover
+
+        fit = Fitness1(graph, 3)
+        cfg = GAConfig(population_size=10, max_generations=10)
+        seen = []
+
+        def never(best):
+            seen.append(best)
+            return False
+
+        aborted = GAEngine(
+            graph, fit, UniformCrossover(), config=cfg, seed=0
+        ).run(abort=lambda best: True)
+        assert aborted.stopped_by == "aborted"
+        assert aborted.generations == 0
+        free = GAEngine(
+            graph, fit, UniformCrossover(), config=cfg, seed=0
+        ).run(abort=never)
+        plain = GAEngine(
+            graph, fit, UniformCrossover(), config=cfg, seed=0
+        ).run()
+        assert len(seen) == 10  # called once per generation
+        assert free.best_fitness == plain.best_fitness
+        assert np.array_equal(free.best.assignment, plain.best.assignment)
 
     def test_tiny_budget_skips_expensive_legs(self, service, graph):
         result = service.submit(

@@ -1,0 +1,277 @@
+"""Tests for the process-parallel serving tier (PR 4).
+
+Covers: digest→shard routing stability, sharded vs single-process
+bit-identity on a replayed mixed trace, the process-pool execution
+lane (cost-model routing, graph shipping, bit-identity with the
+thread lane), and the sharded front's lifecycle/error behavior.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments import replay_trace, service_trace
+from repro.graphs import mesh_graph
+from repro.incremental.updates import insert_local_nodes
+from repro.service import (
+    PartitionRequest,
+    PartitionService,
+    ServiceClient,
+    ServiceConfig,
+    ShardedPartitionService,
+    UpdateRequest,
+    graph_digest,
+    shard_for_digest,
+)
+
+#: tiny GA budget — these tests exercise the serving layer, not search
+GA = dict(population_size=12, max_generations=6, patience=3)
+
+
+@pytest.fixture
+def graph():
+    return mesh_graph(48, seed=3)
+
+
+# ----------------------------------------------------------------------
+# shard routing
+# ----------------------------------------------------------------------
+
+class TestShardRouting:
+    def test_routing_is_stable_across_calls_and_runs(self, graph):
+        """shard_for_digest is a pure function of content: same digest,
+        same shard, in every process, forever (the frozen literal guards
+        against silent changes to the hash construction)."""
+        d = graph_digest(graph)
+        assert shard_for_digest(d, 4) == shard_for_digest(d, 4)
+        twin = graph_digest(mesh_graph(48, seed=3))
+        assert shard_for_digest(twin, 4) == shard_for_digest(d, 4)
+        # frozen expectation for a literal digest string
+        assert shard_for_digest("deadbeef", 4) == 1
+        assert shard_for_digest("deadbeef", 2) == 1
+
+    def test_routing_covers_shards(self):
+        """The canonical workload digests spread over shards (no
+        degenerate all-on-one mapping)."""
+        from repro.experiments.workloads import BASE_SIZES, workload
+
+        shards = {
+            shard_for_digest(graph_digest(workload(s)), 2) for s in BASE_SIZES
+        }
+        assert shards == {0, 1}
+
+    def test_single_shard_accepts_everything(self, graph):
+        assert shard_for_digest(graph_digest(graph), 1) == 0
+        with pytest.raises(ServiceError):
+            shard_for_digest("x", 0)
+
+
+# ----------------------------------------------------------------------
+# sharded vs single-process bit-identity
+# ----------------------------------------------------------------------
+
+class TestShardedService:
+    def test_trace_replay_bit_identical_to_single_process(self):
+        """The acceptance contract: a replayed mixed trace (one-shot +
+        repeated + incremental sessions) answers with bit-identical
+        assignments whether served by one process or by digest-sharded
+        worker processes."""
+        trace = service_trace(n_requests=10, seed=2, n_parts=4, ga=GA)
+        with ServiceClient(n_workers=2) as single:
+            single_results = replay_trace(single, trace)
+        with ServiceClient(shards=2, n_workers=2) as sharded:
+            sharded_results = replay_trace(sharded, trace)
+        assert len(single_results) == len(sharded_results)
+        for (op_a, res_a), (op_b, res_b) in zip(
+            single_results, sharded_results
+        ):
+            assert op_a == op_b
+            if op_a["op"] in ("partition", "open", "update"):
+                assert np.array_equal(res_a.assignment, res_b.assignment)
+                assert res_a.cut_size == res_b.cut_size
+                assert res_a.fitness == res_b.fitness
+
+    def test_same_graph_sticks_to_one_shard(self, graph):
+        with ShardedPartitionService(n_shards=3, n_workers=1) as svc:
+            expected = svc.shard_of(graph)
+            r1 = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            r2 = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert r1.shard == r2.shard == expected
+            assert r2.cache_hit  # the shard's own result cache fired
+
+    def test_submit_many_reassembles_in_order(self, graph):
+        other = mesh_graph(56, seed=9)
+        requests = [
+            PartitionRequest(graph, 4, method="greedy"),
+            PartitionRequest(other, 4, method="greedy"),
+            PartitionRequest(graph, 4, method="random", seed=1),
+        ]
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            out = svc.submit_many(requests)
+            assert [r.method for r in out] == ["greedy", "greedy", "random"]
+            assert out[0].shard == svc.shard_of(graph)
+            assert out[1].shard == svc.shard_of(other)
+        with PartitionService(n_workers=1) as single:
+            ref = [single.submit(r) for r in requests]
+        for a, b in zip(out, ref):
+            assert np.array_equal(a.assignment, b.assignment)
+
+    def test_sessions_route_by_id(self, graph):
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            opened = svc.open_session(graph, 4, seed=0, ga=GA)
+            update = insert_local_nodes(graph, 5, seed=7)
+            result = svc.update_session(
+                UpdateRequest(opened.session_id, update.graph)
+            )
+            assert result.session_id == opened.session_id
+            assert result.shard == opened.shard == svc.shard_of(graph)
+            summary = svc.close_session(opened.session_id)
+            assert summary["n_updates"] == 1
+            with pytest.raises(ServiceError, match="unknown session"):
+                svc.update_session(UpdateRequest(opened.session_id, graph))
+
+    def test_shard_errors_propagate(self, graph):
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            with pytest.raises(ServiceError):
+                svc.submit(PartitionRequest(graph, 4, ga={"bogus": 1}))
+            # the shard survives a failed request
+            ok = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+            assert ok.assignment.shape == (graph.n_nodes,)
+
+    def test_closed_front_rejects_requests(self, graph):
+        svc = ShardedPartitionService(n_shards=1, n_workers=1)
+        svc.close()
+        with pytest.raises(ServiceError, match="closed"):
+            svc.submit(PartitionRequest(graph, 2, method="random"))
+        svc.close()  # idempotent
+
+    def test_stats_aggregates_shards(self, graph):
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            svc.submit(PartitionRequest(graph, 4, method="greedy"))
+            stats = svc.stats()
+            assert stats["n_shards"] == 2
+            assert len(stats["shards"]) == 2
+            executed = sum(
+                s["scheduler"]["jobs_executed"] for s in stats["shards"]
+            )
+            assert executed == 1
+
+    def test_http_serve_with_shards(self, graph):
+        """End-to-end: the HTTP frontend drives a sharded service."""
+        from repro.service import HTTPServiceClient, serve
+
+        server = serve(port=0, background=True, shards=2, n_workers=1)
+        host, port = server.server_address
+        client = HTTPServiceClient(f"http://{host}:{port}", timeout=120.0)
+        try:
+            assert client.healthy()
+            r1 = client.partition(graph, 4, seed=0, ga=GA)
+            r2 = client.partition(graph, 4, seed=0, ga=GA)
+            assert np.array_equal(r1.assignment, r2.assignment)
+            assert r2.cache_hit
+            assert r1.shard is not None
+            stats = client.stats()
+            assert stats["n_shards"] == 2
+        finally:
+            server.service.close()
+            server.shutdown()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# process-pool execution lane
+# ----------------------------------------------------------------------
+
+class TestProcessExecution:
+    def test_process_lane_bit_identical_to_thread_lane(self, graph):
+        with PartitionService(n_workers=1) as svc:
+            thread_r = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+        with PartitionService(
+            n_workers=1, process_workers=1, process_threshold=0
+        ) as svc:
+            proc_r = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert proc_r.executed_in == "process"
+            assert svc.stats()["scheduler"]["jobs_process"] == 1
+        assert np.array_equal(thread_r.assignment, proc_r.assignment)
+        assert thread_r.fitness == proc_r.fitness
+        assert thread_r.executed_in == ""
+
+    def test_cost_model_routes_by_threshold(self, graph):
+        config = ServiceConfig(
+            n_workers=1, process_workers=1, process_threshold=1e18
+        )
+        with PartitionService(config=config) as svc:
+            r = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert r.executed_in == ""  # below the floor: thread lane
+            assert svc.stats()["scheduler"]["jobs_process"] == 0
+        # ... and cheap methods never route regardless of threshold
+        with PartitionService(
+            n_workers=1, process_workers=1, process_threshold=0
+        ) as svc:
+            r = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+            assert r.executed_in == ""
+
+    def test_graph_ships_once_per_pin(self, graph):
+        with PartitionService(
+            n_workers=1, process_workers=1, process_threshold=0
+        ) as svc:
+            svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            pool = svc.scheduler.process_pool
+            digest = graph_digest(graph)
+            assert svc._was_shipped(pool.slot(digest), digest)
+            # a second distinct request reuses the shipped graph
+            r2 = svc.submit(PartitionRequest(graph, 4, seed=1, ga=GA))
+            assert r2.executed_in == "process"
+            assert sum(len(d) for d in svc._shipped.values()) == 1
+
+    def test_worker_resends_graph_after_state_loss(self, graph):
+        """The NEEDS_GRAPH fallback: if the parent believes a graph was
+        shipped but the worker does not hold it, the job is resent with
+        the arrays — shipping is an optimization, not a protocol."""
+        with PartitionService(
+            n_workers=1, process_workers=1, process_threshold=0
+        ) as svc:
+            digest = graph_digest(graph)
+            slot = svc.scheduler.process_pool.slot(digest)
+            svc._mark_shipped(slot, digest)  # lie: nothing was shipped
+            r = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert r.executed_in == "process"
+        with PartitionService(n_workers=1) as svc:
+            ref = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+        assert np.array_equal(r.assignment, ref.assignment)
+
+    def test_shipped_tracking_is_bounded_per_slot(self, graph):
+        """The parent-side shipped set mirrors the worker intern LRU's
+        capacity — it must not grow without bound on distinct-graph
+        traffic (beyond the cap the worker has evicted the graph
+        anyway, so remembering it would buy nothing)."""
+        from repro.service.procexec import WORKER_GRAPH_CAP
+
+        with PartitionService(
+            n_workers=1, process_workers=1, process_threshold=0
+        ) as svc:
+            for i in range(WORKER_GRAPH_CAP + 5):
+                svc._mark_shipped(0, f"digest-{i}")
+            assert len(svc._shipped[0]) == WORKER_GRAPH_CAP
+            assert not svc._was_shipped(0, "digest-0")  # evicted
+            assert svc._was_shipped(0, f"digest-{WORKER_GRAPH_CAP + 4}")
+
+    def test_serve_rejects_service_plus_shards(self, graph):
+        from repro.service import make_server
+
+        with PartitionService(n_workers=1) as svc:
+            with pytest.raises(ServiceError, match="not both"):
+                make_server(port=0, service=svc, shards=2)
+            with pytest.raises(ServiceError, match="not both"):
+                ServiceClient(service=svc, shards=2)
+
+    def test_process_mode_warm_start_uses_parent_seed(self, graph):
+        with PartitionService(
+            n_workers=1, process_workers=1, process_threshold=0
+        ) as svc:
+            cold = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            warm = svc.submit(
+                PartitionRequest(graph, 4, seed=1, warm_start=True, ga=GA)
+            )
+            assert warm.executed_in == "process"
+            assert warm.fitness >= cold.fitness - 1e-9
