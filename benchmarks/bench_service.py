@@ -28,10 +28,19 @@ Four phases, all deterministic:
    (default 2x) **when the machine has ≥ 4 cores** — on fewer cores
    the number is recorded and the gate reported as skipped, since a
    process can't out-parallel a thread without cores to run on.
-4. **Report** — everything lands in ``SERVICE_metrics.json`` next to
-   ``BENCH_metrics.json`` (with a flat ``serving`` section that
-   ``bench_trajectory.py`` renders across commits) so CI archives the
-   serving trajectory alongside the kernel trajectory.
+4. **Failover smoke** (PR 5) — a 2-shard fleet serves a replayed
+   mixed trace while one shard is killed mid-traffic.  The driver
+   retries :class:`ShardDiedError` (the fail-fast answer for requests
+   caught in flight), so the gate is *no lost answers*: every request
+   eventually answers, bit-identical to an uninterrupted
+   single-process replay; the crashed shard's session resumes from its
+   snapshot bit-identically; and the warm-cache speedup is retained
+   after restart (a repeated request on the restarted shard hits the
+   cache again).
+5. **Report** — everything lands in ``SERVICE_metrics.json`` next to
+   ``BENCH_metrics.json`` (with flat ``serving`` + ``failover``
+   sections that ``bench_trajectory.py`` renders across commits) so CI
+   archives the serving trajectory alongside the kernel trajectory.
 
 Usage::
 
@@ -57,6 +66,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 
 from repro import partition_graph
+from repro.errors import ShardDiedError
 from repro.experiments import TRACE_GA_DEFAULTS, replay_trace, service_trace
 from repro.experiments.workloads import BASE_SIZES, incremental_case, workload
 from repro.ga.config import GAConfig
@@ -68,6 +78,7 @@ from repro.service import (
     PartitionRequest,
     PartitionService,
     ShardedPartitionService,
+    UpdateRequest,
     serve,
 )
 
@@ -135,8 +146,6 @@ def phase_warm_vs_cold(repeats: int, updates: int) -> dict:
             graphs.append(graph)
         t0 = time.perf_counter()
         session_cuts = []
-        from repro.service.models import UpdateRequest
-
         for graph in graphs:
             result = service.update_session(
                 UpdateRequest(opened.session_id, graph)
@@ -292,6 +301,147 @@ def phase_scaling(
     }
 
 
+def _wait_for(predicate, timeout: float = 60.0) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _submit_with_retry(service, request, tries: int = 5):
+    """Requests caught in flight by a shard death fail fast with
+    ShardDiedError (never hang); the replay driver retries them, so the
+    no-lost-answers gate measures the fleet, not the driver."""
+    retries = 0
+    for _ in range(tries):
+        try:
+            return service.submit(request), retries
+        except ShardDiedError:
+            retries += 1
+            time.sleep(0.2)
+    raise SystemExit("failover phase: request lost after retries")
+
+
+def phase_failover() -> dict:
+    """Kill + restart one of 2 shards under replayed traffic.
+
+    Gates: (a) no lost answers — every concurrent request answers,
+    bit-identical to an uninterrupted single-process run; (b) the
+    killed shard's open session resumes from its snapshot with
+    bit-identical assignments; (c) warm-cache speedup is retained
+    after restart (a repeated request hits the restarted shard's
+    cache).
+    """
+    ga = dict(TRACE_GA_DEFAULTS)
+    base = paper_mesh(SESSION_BASE)
+    session_updates = []
+    graph = base
+    for step in range(2):
+        graph = insert_local_nodes(
+            graph, SESSION_STEP_NODES, seed=2000 + step
+        ).graph
+        session_updates.append(graph)
+    requests = [
+        PartitionRequest(workload(size), N_PARTS, seed=s, ga=ga)
+        for s in range(2)
+        for size in BASE_SIZES
+    ]
+
+    # uninterrupted single-process reference (the bit-identity oracle)
+    with PartitionService(n_workers=2) as ref_svc:
+        ref_results = [ref_svc.submit(r) for r in requests]
+        ref_open = ref_svc.open_session(base, N_PARTS, seed=0, ga=ga)
+        ref_updates = [
+            ref_svc.update_session(UpdateRequest(ref_open.session_id, g))
+            for g in session_updates
+        ]
+
+    lost = 0
+    retried = 0
+    with ShardedPartitionService(n_shards=2, n_workers=2) as svc:
+        target = svc.shard_of(base)
+        opened = svc.open_session(base, N_PARTS, seed=0, ga=ga)
+        u1 = svc.update_session(
+            UpdateRequest(opened.session_id, session_updates[0])
+        )
+
+        # fan the trace while the session's shard is killed mid-flight;
+        # a watcher thread times the actual kill→up supervisor latency
+        # (timing it after the trace drains would fold GA/retry time —
+        # trace-size noise — into the restart_s trajectory metric)
+        import threading
+
+        restart_seen: dict = {}
+
+        def watch_restart(t_kill: float) -> None:
+            if _wait_for(
+                lambda: svc.shard_health()[target]["state"] == "up"
+                and svc.shard_health()[target]["restarts"] >= 1
+            ):
+                restart_seen["s"] = time.perf_counter() - t_kill
+
+        with ThreadPoolExecutor(max_workers=4) as fan:
+            futures = [
+                fan.submit(_submit_with_retry, svc, r) for r in requests
+            ]
+            time.sleep(0.05)  # let requests reach the shards
+            t_kill = time.perf_counter()
+            svc._slots[target].handle.process.kill()
+            watcher = threading.Thread(target=watch_restart, args=(t_kill,))
+            watcher.start()
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except SystemExit:
+                    lost += 1
+                    outcomes.append(None)
+        watcher.join()
+        restarted = "s" in restart_seen
+        restart_s = restart_seen.get("s", -1.0)
+        retried = sum(o[1] for o in outcomes if o is not None)
+        identical = restarted and all(
+            o is not None
+            and np.array_equal(o[0].assignment, ref.assignment)
+            and o[0].cut_size == ref.cut_size
+            for o, ref in zip(outcomes, ref_results)
+        )
+
+        # (b) the session crossed the crash: resumes bit-identically
+        u2 = svc.update_session(
+            UpdateRequest(opened.session_id, session_updates[1])
+        )
+        session_resumed = (
+            np.array_equal(u1.assignment, ref_updates[0].assignment)
+            and np.array_equal(u2.assignment, ref_updates[1].assignment)
+            and u2.session_id == opened.session_id
+        )
+
+        # (c) warm-cache speedup retained: repeat a request routed to
+        # the restarted shard — recomputed once cold, then a cache hit
+        probe = PartitionRequest(base, N_PARTS, seed=0, ga=ga)
+        cold = svc.submit(probe)
+        warm = svc.submit(probe)
+        cache_retained = bool(warm.cache_hit)
+        repeat_speedup = cold.latency_s / max(warm.latency_s, 1e-9)
+        restarts = svc.shard_health()[target]["restarts"]
+
+    return {
+        "requests": len(requests),
+        "lost_answers": int(lost),
+        "retried_after_death": int(retried),
+        "restarted": bool(restarted),
+        "restarts": int(restarts),
+        "restart_s": round(restart_s, 4),
+        "answers_identical_to_single": bool(identical),
+        "session_resumed_identical": bool(session_resumed),
+        "post_restart_cache_hit": bool(cache_retained),
+        "post_restart_repeat_speedup": round(repeat_speedup, 1),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=20,
@@ -340,6 +490,28 @@ def main(argv=None) -> int:
     if http["sessions"]["updates"] < 1:
         failures.append("HTTP replay exercised no incremental updates")
 
+    failover = phase_failover()
+    if failover["lost_answers"]:
+        failures.append(
+            f"failover lost {failover['lost_answers']} answer(s) — "
+            "requests must fail fast and succeed on retry"
+        )
+    if not failover["restarted"]:
+        failures.append("killed shard was not restarted by the supervisor")
+    if not failover["answers_identical_to_single"]:
+        failures.append(
+            "post-failover answers are not bit-identical to single-process"
+        )
+    if not failover["session_resumed_identical"]:
+        failures.append(
+            "session did not resume bit-identically from its snapshot"
+        )
+    if not failover["post_restart_cache_hit"]:
+        failures.append(
+            "restarted shard did not retain warm-cache behavior "
+            "(repeat was not a cache hit)"
+        )
+
     scaling = phase_scaling(args.scaling_shards, args.scaling_requests)
     if not scaling["sharded_identical_to_single"]:
         failures.append(
@@ -376,13 +548,23 @@ def main(argv=None) -> int:
         "warm_vs_cold": warm,
         "http_replay": http,
         "scaling": scaling,
-        # flat section bench_trajectory.py renders across commits
+        "failover_detail": failover,
+        # flat sections bench_trajectory.py renders across commits
         "serving": {
             "warm_cold_speedup_x": warm["aggregate_speedup"],
             "http_p50_ms": http["p50_ms"],
             "sharded_speedup_x": scaling["sharded_speedup"],
             "process_speedup_x": scaling["process_speedup"],
             "sharded_per_core_rps": scaling["sharded_per_core_rps"],
+        },
+        "failover": {
+            "lost_answers": failover["lost_answers"],
+            "restart_s": failover["restart_s"],
+            "resumed_identical": int(failover["session_resumed_identical"]),
+            "post_restart_cache_hit": int(failover["post_restart_cache_hit"]),
+            "post_restart_repeat_speedup_x": failover[
+                "post_restart_repeat_speedup"
+            ],
         },
         "ok": not failures,
     }

@@ -134,22 +134,25 @@ def build_trajectory(snapshots: list[tuple[str, dict]]) -> str:
             delta_cell = "—"
         lines.append(f"| {kernel} | " + " | ".join(cells) + f" | {delta_cell} |")
 
-    # serving-layer section (bench_service.py's flat `serving` dict)
-    serving_keys: list[str] = []
-    for _, snap in snapshots:
-        for name in snap.get("serving", {}):
-            if name not in serving_keys:
-                serving_keys.append(name)
-    if serving_keys:
+    # serving-layer sections (bench_service.py's flat dicts: `serving`
+    # throughput/latency numbers, `failover` crash-recovery numbers)
+    for section in ("serving", "failover"):
+        section_keys: list[str] = []
+        for _, snap in snapshots:
+            for name in snap.get(section, {}):
+                if name not in section_keys:
+                    section_keys.append(name)
+        if not section_keys:
+            continue
         lines += [
             "",
-            "| serving metric | " + " | ".join(labels) + " |",
+            f"| {section} metric | " + " | ".join(labels) + " |",
             "|---" * (len(labels) + 1) + "|",
         ]
-        for name in serving_keys:
+        for name in section_keys:
             cells = []
             for _, snap in snapshots:
-                value = snap.get("serving", {}).get(name)
+                value = snap.get(section, {}).get(name)
                 cells.append("—" if value is None else f"{value:g}")
             lines.append(f"| {name} | " + " | ".join(cells) + " |")
 

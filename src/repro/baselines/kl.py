@@ -7,10 +7,19 @@ gains), then roll back to the best prefix of the swap sequence.  Works
 on 2-way partitions; :func:`kl_refine` improves an existing bisection
 and :func:`recursive_kl_partition` builds a ``k``-way partition by
 recursive bisection with KL at every level.
+
+Both entry points accept an optional ``deadline`` (a
+``time.perf_counter()`` timestamp): the refinement loop checks it per
+sweep and per candidate pair, so a binding time budget — the racing
+portfolio's, for instance — cancels the run mid-flight while still
+returning a *valid* partition (refinement simply stops early).  A
+deadline that never binds changes nothing: results are bit-identical
+to running without one.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -45,18 +54,24 @@ def kl_refine(
     graph: CSRGraph,
     side: np.ndarray,
     max_passes: int = 10,
+    deadline: Optional[float] = None,
 ) -> np.ndarray:
     """One KL optimization of a boolean bisection vector.
 
     ``side`` is a boolean array (False = part 0).  Returns an improved
     boolean vector with exactly the same part sizes (KL swaps preserve
-    balance by construction).
+    balance by construction).  A ``deadline`` that has passed stops
+    refinement: completed passes keep their improvements, a pass cut
+    mid-sequence is discarded whole (its swaps were provisional until
+    the best-prefix rollback, which never ran).
     """
     side = np.asarray(side, dtype=bool).copy()
     if side.shape != (graph.n_nodes,):
         raise PartitionError("side vector length mismatch")
     n = graph.n_nodes
     for _ in range(max_passes):
+        if deadline is not None and time.perf_counter() >= deadline:
+            break
         d = _d_values(graph, side)
         locked = np.zeros(n, dtype=bool)
         gains: list[float] = []
@@ -64,6 +79,8 @@ def kl_refine(
         work_side = side.copy()
         n_pairs = min(int(side.sum()), int((~side).sum()))
         for _ in range(n_pairs):
+            if deadline is not None and time.perf_counter() >= deadline:
+                return side  # mid-pass cut: drop the provisional swaps
             cand_a = np.flatnonzero(~locked & ~work_side)
             cand_b = np.flatnonzero(~locked & work_side)
             if cand_a.size == 0 or cand_b.size == 0:
@@ -112,25 +129,39 @@ def kl_refine(
 
 
 def _bisect(
-    graph: CSRGraph, nodes: np.ndarray, k_left: int, k: int, rng
+    graph: CSRGraph,
+    nodes: np.ndarray,
+    k_left: int,
+    k: int,
+    rng,
+    deadline: Optional[float] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     sub, mapping = subgraph(graph, nodes)
     n = sub.n_nodes
     target_left = n * k_left // k
     side = np.zeros(n, dtype=bool)
+    # the random split always draws, deadline or not: the RNG stream
+    # must not depend on timing (only refinement effort does)
     side[rng.choice(n, size=n - target_left, replace=False)] = True
-    side = kl_refine(sub, side)
+    side = kl_refine(sub, side, deadline=deadline)
     return mapping[~side], mapping[side]
 
 
 def recursive_kl_partition(
-    graph: CSRGraph, n_parts: int, seed: SeedLike = None
+    graph: CSRGraph,
+    n_parts: int,
+    seed: SeedLike = None,
+    deadline: Optional[float] = None,
 ) -> Partition:
     """``k``-way partition by recursive bisection with KL refinement.
 
     Each bisection starts from a random balanced split (KL is a
     refinement method, not a constructor), so different seeds explore
-    different local optima.
+    different local optima.  ``deadline`` is checked per sweep inside
+    every bisection's KL refinement: once binding, the remaining levels
+    fall back to the unrefined random balanced splits, so the call
+    returns a valid ``k``-way partition promptly instead of overshooting
+    its time budget.
     """
     if n_parts < 1:
         raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
@@ -146,7 +177,7 @@ def recursive_kl_partition(
             labels[nodes] = next_label
             return next_label + 1
         k_left = k // 2
-        left, right = _bisect(graph, nodes, k_left, k, rng)
+        left, right = _bisect(graph, nodes, k_left, k, rng, deadline=deadline)
         if left.size == 0 or right.size == 0:
             half = max(nodes.size * k_left // k, 1)
             left, right = nodes[:half], nodes[half:]

@@ -7,10 +7,19 @@ and recurse on each half until the requested number of parts is
 reached.  Non-power-of-two ``k`` is handled by splitting into
 ``floor(k/2)`` and ``ceil(k/2)`` shares with node-weight targets in the
 same proportion.
+
+:func:`rsb_partition` accepts an optional ``deadline`` (a
+``time.perf_counter()`` timestamp), checked before each bisection's
+eigensolve — the expensive unit of RSB work.  A binding deadline makes
+the remaining levels fall back to cheap deterministic index splits, so
+a time-budgeted caller (the racing portfolio) can cancel RSB mid-run
+and still receive a valid ``k``-way partition; a non-binding deadline
+leaves results bit-identical.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -60,14 +69,26 @@ def _recurse(
     next_label: int,
     method: str,
     seed: Optional[int],
+    deadline: Optional[float] = None,
 ) -> int:
     """Assign labels ``next_label .. next_label+k-1`` to ``nodes``."""
     if k == 1 or nodes.size <= 1:
         labels[nodes] = next_label
         return next_label + 1
-    sub, mapping = subgraph(graph, nodes)
     k_left = k // 2
     k_right = k - k_left
+    if deadline is not None and time.perf_counter() >= deadline:
+        # budget exhausted: skip the eigensolve, split by node order —
+        # valid parts now beat a better cut delivered too late
+        half = max(nodes.size * k_left // k, 1)
+        left, right = nodes[:half], nodes[half:]
+        next_label = _recurse(
+            graph, left, k_left, labels, next_label, method, seed, deadline
+        )
+        return _recurse(
+            graph, right, k_right, labels, next_label, method, seed, deadline
+        )
+    sub, mapping = subgraph(graph, nodes)
     frac = k_left / k
     if sub.n_nodes == 2:
         mask = np.array([True, False])
@@ -79,8 +100,12 @@ def _recurse(
     if left.size == 0 or right.size == 0:  # degenerate split: force a cut
         half = max(nodes.size * k_left // k, 1)
         left, right = nodes[:half], nodes[half:]
-    next_label = _recurse(graph, left, k_left, labels, next_label, method, seed)
-    return _recurse(graph, right, k_right, labels, next_label, method, seed)
+    next_label = _recurse(
+        graph, left, k_left, labels, next_label, method, seed, deadline
+    )
+    return _recurse(
+        graph, right, k_right, labels, next_label, method, seed, deadline
+    )
 
 
 def rsb_partition(
@@ -88,6 +113,7 @@ def rsb_partition(
     n_parts: int,
     method: str = "auto",
     seed: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> Partition:
     """Partition ``graph`` into ``n_parts`` by recursive spectral bisection.
 
@@ -104,6 +130,10 @@ def rsb_partition(
     seed:
         Seed for the sparse eigensolver's start vector (the dense path
         is fully deterministic).
+    deadline:
+        Optional ``time.perf_counter()`` timestamp; once passed, the
+        remaining bisections use cheap index splits instead of
+        eigensolves (see the module docstring).
     """
     if n_parts < 1:
         raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
@@ -115,6 +145,7 @@ def rsb_partition(
         )
     labels = np.full(graph.n_nodes, -1, dtype=np.int64)
     _recurse(
-        graph, np.arange(graph.n_nodes), n_parts, labels, 0, method, seed
+        graph, np.arange(graph.n_nodes), n_parts, labels, 0, method, seed,
+        deadline,
     )
     return Partition(graph, labels, n_parts)

@@ -8,6 +8,8 @@
     repro-partition info GRAPH.metis
     repro-partition serve [--host H] [--port P] [--workers N]
                           [--shards S] [--process-workers M]
+                          [--attach-shard HOST:PORT ...] [--snapshot-dir D]
+    repro-partition serve --shard-listen HOST:PORT  (remote shard worker)
     repro-partition submit GRAPH.metis -k 8 [--url http://127.0.0.1:8157]
 
 ``python -m repro`` is an alias for the same entry point.
@@ -104,6 +106,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--racing-portfolio", action="store_true",
         help="race portfolio legs concurrently, cancelling losers",
+    )
+    p_serve.add_argument(
+        "--shard-listen", metavar="HOST:PORT", default=None,
+        help="run a standalone shard worker serving the shard RPC on "
+             "this address instead of an HTTP endpoint (fronts attach "
+             "it with --attach-shard)",
+    )
+    p_serve.add_argument(
+        "--attach-shard", metavar="HOST:PORT", action="append", default=[],
+        help="attach a running --shard-listen worker as one shard "
+             "(repeatable; replaces --shards; the fleet width is the "
+             "number of attached addresses)",
+    )
+    p_serve.add_argument(
+        "--snapshot-dir", default=None,
+        help="durable directory for session failover snapshots (default: "
+             "a private temporary store for local shards)",
+    )
+    p_serve.add_argument(
+        "--snapshot-interval", type=float, default=0.0,
+        help="seconds between periodic session snapshot passes on top "
+             "of the on-commit writes (0 = on-commit only)",
     )
 
     p_sub = sub.add_parser(
@@ -265,21 +289,105 @@ def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
         cache_bytes=args.cache_mb << 20,
         process_workers=args.process_workers,
         racing_portfolio=args.racing_portfolio,
+        snapshot_interval_s=args.snapshot_interval,
     )
     if args.process_threshold is not None:
         kwargs["process_threshold"] = args.process_threshold
-    layout = (
-        f"{args.shards} shards × {args.workers} workers"
-        if args.shards
-        else f"{args.workers} workers"
-        + (f" + {args.process_workers} process slots"
-           if args.process_workers else "")
-    )
+    if args.snapshot_dir is not None:
+        kwargs["snapshot_dir"] = args.snapshot_dir
+    elif args.snapshot_interval > 0 and not args.shards:
+        # a sharded front provisions per-shard stores itself; every
+        # other serve role persists only into an explicit directory —
+        # an interval with nowhere to write would be a silent no-op
+        print(
+            "error: --snapshot-interval needs --snapshot-dir "
+            "(only --shards N provisions a snapshot store on its own)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.shard_listen:
+        # standalone shard worker: serves the shard RPC over a socket,
+        # to be attached by a front running with --attach-shard
+        from .service.sharding import ShardServer
+        from .service.transport import parse_address
+
+        if args.shards or args.attach_shard:
+            print(
+                "error: --shard-listen is a worker role; it cannot be "
+                "combined with --shards or --attach-shard",
+                file=sys.stderr,
+            )
+            return 1
+        host, port = parse_address(args.shard_listen)
+        server = ShardServer(host=host, port=port, **kwargs)
+        print(
+            f"repro shard worker on {server.address} "
+            f"({args.workers} workers, {args.cache_mb} MiB cache) — "
+            "Ctrl-C stops"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+
+    if args.shards and args.attach_shard:
+        print(
+            "error: pass either --shards N (local workers) or "
+            "--attach-shard (remote workers), not both",
+            file=sys.stderr,
+        )
+        return 1
+    if args.attach_shard and args.snapshot_dir is not None:
+        # an attach front holds no sessions itself; persistence lives on
+        # the workers — silently accepting the flag would let the
+        # operator believe sessions are durable when nothing is written
+        print(
+            "error: --snapshot-dir belongs on the shard workers; pass it "
+            "to each `serve --shard-listen`, not to the attach front",
+            file=sys.stderr,
+        )
+        return 1
+    if args.attach_shard:
+        # service knobs configure workers, and attached workers are
+        # configured where they run — reject instead of ignoring
+        if (
+            args.workers != 2 or args.cache_mb != 64
+            or args.process_workers or args.racing_portfolio
+            or args.process_threshold is not None
+            or args.snapshot_interval > 0
+        ):
+            print(
+                "error: service options (--workers, --cache-mb, ...) "
+                "configure shard workers; pass them to each "
+                "`serve --shard-listen`, not to the attach front",
+                file=sys.stderr,
+            )
+            return 1
+        kwargs = {}
+    if args.attach_shard:
+        layout = f"{len(args.attach_shard)} attached shards"
+    elif args.shards:
+        layout = f"{args.shards} shards × {args.workers} workers"
+    else:
+        layout = f"{args.workers} workers" + (
+            f" + {args.process_workers} process slots"
+            if args.process_workers else ""
+        )
     print(
         f"repro partition service on http://{args.host}:{args.port} "
         f"({layout}, {args.cache_mb} MiB cache) — Ctrl-C stops"
     )
-    serve(host=args.host, port=args.port, shards=args.shards, **kwargs)
+    serve(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        attach_shards=args.attach_shard or None,
+        **kwargs,
+    )
     return 0
 
 

@@ -16,6 +16,7 @@ __all__ = [
     "ConvergenceError",
     "ExperimentError",
     "ServiceError",
+    "ShardDiedError",
 ]
 
 
@@ -49,3 +50,10 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """Invalid request to, or failed operation of, the partition service."""
+
+
+class ShardDiedError(ServiceError):
+    """A shard worker died (process exit, lost socket) while the request
+    was in flight or before it could be sent.  The request was *not*
+    completed; idempotent requests may be retried once the shard is
+    restarted or reattached."""

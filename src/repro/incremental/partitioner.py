@@ -248,6 +248,75 @@ class IncrementalGAPartitioner:
         self._epoch += 1
         return result.best
 
+    # ------------------------------------------------------------------
+    # failover snapshots (see repro.service.persistence)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Commit counter: bumped by the initial partition and every
+        committed update.  Snapshot/restore round-trips it, so a restored
+        partitioner resumes exactly at the epoch it last committed."""
+        return self._epoch
+
+    def snapshot_state(self) -> dict:
+        """The partitioner's resumable state as one picklable dict.
+
+        Captures everything the next :meth:`update` depends on — the
+        graph, the committed partition, the RNG **bit-generator state**,
+        the GA config, and the commit counters.  The engine is
+        deliberately *not* captured: it is graph-bound and rebuilt on
+        the next update exactly as an uninterrupted run rebuilds it when
+        the graph changes, with the carried DKNUX estimate re-derived
+        from the committed partition (row 0 of the seeded population) —
+        so a partitioner restored via :meth:`from_state` produces
+        updates bit-identical to one that never stopped.
+        """
+        return {
+            "format": 1,
+            "graph": self.graph,
+            "assignment": (
+                None
+                if self.partition is None
+                else np.asarray(self.partition.assignment, dtype=np.int64)
+            ),
+            "n_parts": self.n_parts,
+            "fitness_kind": self.fitness_kind,
+            "alpha": self.alpha,
+            "config": self.config,
+            "carry_estimate": self.carry_estimate,
+            "rng_state": self.rng.bit_generator.state,
+            "epoch": self._epoch,
+            "n_updates": self.n_updates,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IncrementalGAPartitioner":
+        """Rebuild a partitioner from :meth:`snapshot_state` output."""
+        try:
+            partitioner = cls(
+                state["graph"],
+                state["n_parts"],
+                fitness_kind=state["fitness_kind"],
+                config=state["config"],
+                alpha=state["alpha"],
+                carry_estimate=state["carry_estimate"],
+            )
+            rng_state = state["rng_state"]
+            bit_generator = getattr(np.random, rng_state["bit_generator"])()
+            bit_generator.state = rng_state
+            partitioner.rng = np.random.Generator(bit_generator)
+            if state["assignment"] is not None:
+                partitioner.partition = Partition(
+                    state["graph"], state["assignment"], state["n_parts"]
+                )
+            partitioner._epoch = int(state["epoch"])
+            partitioner.n_updates = int(state["n_updates"])
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise PartitionError(
+                f"unusable partitioner snapshot: {exc!r}"
+            ) from exc
+        return partitioner
+
     def update(self, new_graph: CSRGraph) -> Partition:
         """Re-partition after a graph update (old node ids preserved).
 

@@ -6,11 +6,14 @@ surface (:mod:`.config`), content-addressed caching of
 graphs/results/warm seeds (:mod:`.cache`), a coalescing scheduler over
 pinned thread workers with a process lane for long GA runs
 (:mod:`.scheduler`, :mod:`.procexec`), digest-sharded multi-process
-serving (:mod:`.sharding`, ``serve --shards N``), streaming
-incremental sessions with overlapped updates (:mod:`.sessions`), a
-method portfolio racer (:mod:`.portfolio`), and two frontends — a
-stdlib HTTP endpoint (:mod:`.http`, ``repro-partition serve``) and
-programmatic clients (:mod:`.client`).
+serving with supervision/auto-restart (:mod:`.sharding`, ``serve
+--shards N``) over pipe or socket transports (:mod:`.transport`,
+``serve --shard-listen`` / ``--attach-shard``), session failover
+snapshots (:mod:`.persistence`), streaming incremental sessions with
+overlapped updates (:mod:`.sessions`), a method portfolio racer
+(:mod:`.portfolio`), and two frontends — a stdlib HTTP endpoint
+(:mod:`.http`, ``repro-partition serve``) and programmatic clients
+(:mod:`.client`).
 """
 
 from .models import (
@@ -28,9 +31,18 @@ from .cache import ContentStore, GraphStore, LRUBytesCache, graph_digest, reques
 from .config import DEFAULT_PROCESS_THRESHOLD, ServiceConfig
 from .scheduler import CoalescingScheduler
 from .sessions import SESSION_GA_DEFAULTS, Session, SessionManager
+from .persistence import SessionPersistence, SnapshotStore
 from .portfolio import PORTFOLIO_GA_DEFAULTS, run_portfolio
 from .core import DEFAULT_GA_OVERRIDES, PartitionService
-from .sharding import ShardedPartitionService, shard_for_digest
+from .transport import (
+    PipeTransport,
+    ShardListener,
+    ShardTransport,
+    SocketTransport,
+    connect_shard,
+    parse_address,
+)
+from .sharding import ShardServer, ShardedPartitionService, shard_for_digest
 from .client import HTTPServiceClient, ServiceClient
 from .http import PartitionHTTPServer, make_server, serve
 
@@ -38,7 +50,16 @@ __all__ = [
     "DEFAULT_PROCESS_THRESHOLD",
     "ServiceConfig",
     "ShardedPartitionService",
+    "ShardServer",
     "shard_for_digest",
+    "ShardTransport",
+    "PipeTransport",
+    "SocketTransport",
+    "ShardListener",
+    "connect_shard",
+    "parse_address",
+    "SessionPersistence",
+    "SnapshotStore",
     "FITNESS_KINDS",
     "SERVICE_METHODS",
     "JobResult",

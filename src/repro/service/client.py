@@ -44,24 +44,38 @@ class ServiceClient:
 
     ``shards=N`` builds a digest-sharded
     :class:`~repro.service.sharding.ShardedPartitionService` of N
-    worker processes instead of an in-process service; the client API
-    (and every answer) is identical either way.  An explicit
-    ``service`` may be a :class:`PartitionService` or a sharded front.
+    worker processes instead of an in-process service;
+    ``attach=["host:port", ...]`` builds the same front over remote
+    socket shards (``serve --shard-listen``).  The client API (and
+    every answer) is identical either way.  An explicit ``service`` may
+    be a :class:`PartitionService` or a sharded front.
     """
 
     def __init__(
         self,
         service: Optional[PartitionService] = None,
         shards: int = 0,
+        attach: Optional[Sequence[str]] = None,
         **kwargs,
     ) -> None:
-        if service is not None and shards:
+        if service is not None and (shards or attach):
             raise ServiceError(
-                "pass either an explicit service or shards=N, not both"
+                "pass either an explicit service or shards/attach, not both"
+            )
+        if shards and attach:
+            raise ServiceError(
+                "pass either shards=N (local workers) or attach (remote "
+                "workers), not both"
             )
         self._owns = service is None
         if service is None:
-            if shards:
+            if attach:
+                from .sharding import ShardedPartitionService
+
+                service = ShardedPartitionService(
+                    attach=list(attach), **kwargs
+                )
+            elif shards:
                 from .sharding import ShardedPartitionService
 
                 service = ShardedPartitionService(n_shards=shards, **kwargs)

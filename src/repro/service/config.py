@@ -13,6 +13,7 @@ a request answers lives in the request itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..errors import ServiceError
 
@@ -69,6 +70,20 @@ class ServiceConfig:
         result commit hold the session state lock only briefly while
         the GA runs outside it (see :mod:`repro.service.sessions`).
         Final assignments are identical to the serial-lock path.
+    snapshot_dir:
+        Directory for session failover snapshots (see
+        :mod:`repro.service.persistence`).  When set, the service
+        snapshots each session's resumable state on every commit,
+        restores all readable snapshots at construction, and a
+        restarted shard therefore resumes its sessions bit-identically
+        at the last committed epoch.  ``None`` (default) disables
+        persistence for a bare :class:`PartitionService`; the sharded
+        front always provisions per-shard directories (a private
+        temporary one unless this is set).
+    snapshot_interval_s:
+        ``> 0`` adds a periodic snapshot pass at this cadence on top of
+        the on-commit writes (sessions mid-update are skipped — only
+        committed, quiescent state ever reaches the store).
     """
 
     n_workers: int = 2
@@ -78,6 +93,8 @@ class ServiceConfig:
     process_threshold: float = DEFAULT_PROCESS_THRESHOLD
     racing_portfolio: bool = False
     overlap_updates: bool = True
+    snapshot_dir: Optional[str] = None
+    snapshot_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -97,6 +114,11 @@ class ServiceConfig:
         if self.process_threshold < 0:
             raise ServiceError(
                 f"process_threshold must be >= 0, got {self.process_threshold}"
+            )
+        if self.snapshot_interval_s < 0:
+            raise ServiceError(
+                f"snapshot_interval_s must be >= 0, got "
+                f"{self.snapshot_interval_s}"
             )
 
     def with_updates(self, **kwargs) -> "ServiceConfig":

@@ -142,6 +142,20 @@ class PartitionService:
         # would be pure memory cost answered by NEEDS_GRAPH resends.
         self._ship_lock = threading.Lock()
         self._shipped: dict[int, "OrderedDict[str, None]"] = {}
+        # session failover persistence (see repro.service.persistence):
+        # snapshot on every session commit, restore what the store holds
+        # before taking traffic — a restarted shard resumes its sessions
+        # at the last committed epoch instead of answering "unknown"
+        self.persistence = None
+        if config.snapshot_dir:
+            from .persistence import SessionPersistence, SnapshotStore
+
+            self.persistence = SessionPersistence(
+                SnapshotStore(config.snapshot_dir),
+                self.sessions,
+                interval_s=config.snapshot_interval_s,
+            )
+            self.persistence.restore_all()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -292,10 +306,17 @@ class PartitionService:
         # the initial GA runs on the session's pinned worker slot, like
         # every later update — never on the calling (HTTP) thread, so
         # `n_workers` bounds service CPU even under open bursts
+
+        def initial() -> Partition:
+            partition = session.partition_initial()
+            # snapshot on the pinned slot, before this session's first
+            # update can run — the stored RNG state is the committed one
+            if self.persistence is not None:
+                self.persistence.commit(session)
+            return partition
+
         try:
-            future = self.scheduler.pool.submit(
-                session.id, session.partition_initial
-            )
+            future = self.scheduler.pool.submit(session.id, initial)
             partition = future.result()
         except BaseException:
             self.sessions.close(session.id)  # do not leak a broken session
@@ -336,6 +357,10 @@ class PartitionService:
                 session, partition = self.sessions.update(
                     request.session_id, graph
                 )
+            # on-commit snapshot: still on the session's pinned slot, so
+            # the session's next update cannot have consumed RNG yet
+            if self.persistence is not None:
+                self.persistence.commit(session)
             return result_from_partition(
                 partition,
                 "dknux-incremental",
@@ -354,23 +379,31 @@ class PartitionService:
 
     def close_session(self, session_id: str) -> dict:
         self._check_open()
-        return self.sessions.close(session_id)
+        summary = self.sessions.close(session_id)
+        if self.persistence is not None:
+            self.persistence.forget(session_id)
+        return summary
 
     # ------------------------------------------------------------------
     # stats / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        return {
+        out = {
             "cache": self.store.stats(),
             "scheduler": self.scheduler.stats(),
             "sessions": self.sessions.stats(),
             "latency": self.latency.percentiles(),
             "session_latency": self.session_latency.percentiles(),
         }
+        if self.persistence is not None:
+            out["persistence"] = self.persistence.stats()
+        return out
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if self.persistence is not None:
+                self.persistence.close()
             self.scheduler.shutdown()
 
     def __enter__(self) -> "PartitionService":

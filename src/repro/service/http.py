@@ -31,9 +31,9 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Optional, Sequence
 
-from ..errors import ReproError, ServiceError
+from ..errors import ReproError, ServiceError, ShardDiedError
 from .core import PartitionService
 from .models import (
     PartitionRequest,
@@ -147,6 +147,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {self.path}"})
         except _HTTPError as exc:
             self._send_json(exc.status, {"error": exc.message})
+        except ShardDiedError as exc:
+            # a shard crash is the service's fault, not the request's:
+            # answer 503 (retryable) so HTTP clients can distinguish
+            # "retry me once the shard restarts" from a bad request
+            self._send_json(503, {"error": str(exc)})
         except ServiceError as exc:
             status = 404 if "unknown session" in str(exc) else 400
             self._send_json(status, {"error": str(exc)})
@@ -177,24 +182,39 @@ def make_server(
     port: int = 8157,
     service: Optional[PartitionService] = None,
     shards: int = 0,
+    attach_shards: Optional[Sequence[str]] = None,
     **service_kwargs,
 ) -> PartitionHTTPServer:
     """Build (but do not start) a server; ``port=0`` picks a free port.
 
     ``shards=N`` (N ≥ 1) serves through a digest-sharded
     :class:`~repro.service.sharding.ShardedPartitionService` of N
-    worker processes instead of one in-process service; responses are
-    bit-identical either way.  ``shards`` only applies when the server
-    builds its own service — combining it with an explicit ``service``
-    is rejected rather than silently ignored.
+    worker processes instead of one in-process service;
+    ``attach_shards=["host:port", ...]`` builds the same front over
+    *remote* socket shards (running ``serve --shard-listen``) instead
+    of spawning local workers.  Responses are bit-identical either way.
+    These only apply when the server builds its own service — combining
+    them with an explicit ``service`` is rejected rather than silently
+    ignored.
     """
-    if service is not None and shards:
+    if service is not None and (shards or attach_shards):
         raise ServiceError(
-            "pass either an explicit service or shards=N, not both "
-            "(wrap the service yourself if you need a custom sharded front)"
+            "pass either an explicit service or shards/attach_shards, not "
+            "both (wrap the service yourself for a custom sharded front)"
+        )
+    if shards and attach_shards:
+        raise ServiceError(
+            "pass either shards=N (local workers) or attach_shards "
+            "(remote workers), not both"
         )
     if service is None:
-        if shards:
+        if attach_shards:
+            from .sharding import ShardedPartitionService
+
+            service = ShardedPartitionService(
+                attach=list(attach_shards), **service_kwargs
+            )
+        elif shards:
             from .sharding import ShardedPartitionService
 
             service = ShardedPartitionService(n_shards=shards, **service_kwargs)
@@ -209,12 +229,17 @@ def serve(
     service: Optional[PartitionService] = None,
     background: bool = False,
     shards: int = 0,
+    attach_shards: Optional[Sequence[str]] = None,
     **service_kwargs,
 ) -> PartitionHTTPServer:
     """Start serving; ``background=True`` serves from a daemon thread
     and returns immediately (used by tests and the smoke benchmark).
-    ``shards=N`` enables digest-sharded multi-process serving."""
-    server = make_server(host, port, service, shards=shards, **service_kwargs)
+    ``shards=N`` enables digest-sharded multi-process serving;
+    ``attach_shards`` fronts remote socket shards instead."""
+    server = make_server(
+        host, port, service, shards=shards, attach_shards=attach_shards,
+        **service_kwargs,
+    )
     if background:
         thread = threading.Thread(
             target=server.serve_forever, name="repro-service", daemon=True

@@ -40,6 +40,8 @@ __all__ = [
     "graph_from_wire",
     "graph_to_wire",
     "result_from_partition",
+    "error_to_wire",
+    "error_from_wire",
 ]
 
 FITNESS_KINDS = ("fitness1", "fitness2")
@@ -67,6 +69,37 @@ def graph_from_wire(obj: Union[dict, str]) -> CSRGraph:
     if isinstance(obj, str):
         return parse_metis(obj)
     return graph_from_payload(obj)
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """JSON wire form of a service-side exception (class name + message).
+
+    Exceptions cross the socket shard transport as data, never as
+    pickled objects: the front reconstructs the library error class by
+    name (see :func:`error_from_wire`), so a hostile or buggy shard can
+    at worst produce a :class:`ServiceError` with an odd message."""
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def error_from_wire(obj: dict) -> Exception:
+    """Reconstruct a wire-format error as a library exception.
+
+    Known :class:`~repro.errors.ReproError` subclasses come back as
+    themselves (they all take a single message argument); anything else
+    degrades to :class:`ServiceError` carrying the original type name."""
+    from .. import errors
+
+    name = obj.get("type", "ServiceError") if isinstance(obj, dict) else ""
+    message = obj.get("message", "") if isinstance(obj, dict) else repr(obj)
+    cls = getattr(errors, str(name), None)
+    if isinstance(cls, type) and issubclass(cls, errors.ReproError):
+        try:
+            return cls(message)
+        except Exception:  # pragma: no cover - exotic constructor
+            pass
+    if name and name != "ServiceError":
+        return ServiceError(f"{name}: {message}")
+    return ServiceError(message)
 
 
 def _require(payload: dict, key: str):

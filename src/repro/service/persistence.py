@@ -1,0 +1,301 @@
+"""Session persistence: snapshot/restore of incremental sessions.
+
+A shard crash used to lose every open session on that shard — the
+partitioner's graph, partition, and RNG stream lived only in the dead
+process, so the next ``update_session`` answered "unknown session".
+This module closes that hole: each session's resumable state
+(:meth:`repro.incremental.partitioner.IncrementalGAPartitioner.
+snapshot_state` — graph, committed partition, RNG bit-generator state,
+GA config, commit counters) is pickled to a per-shard
+:class:`SnapshotStore` directory, and a restarting shard (or a
+restarted single-process service) restores every snapshot it finds
+before taking traffic.
+
+Write discipline is what makes restore *bit-identical* rather than
+merely plausible:
+
+* **On-commit snapshots** run on the session's pinned worker slot,
+  immediately after ``open_session`` / ``update_session`` commit and
+  before the slot accepts the session's next update — so a snapshot
+  always captures a quiescent, committed epoch, never a mid-GA RNG
+  state.
+* **Periodic snapshots** (``ServiceConfig.snapshot_interval_s > 0``)
+  are an alternative cadence for write-heavy deployments: a timer
+  thread re-snapshots sessions whose epoch advanced, taking each
+  session's ``compute_lock`` *non-blocking* — a session mid-update is
+  simply skipped until the next tick, because a consistent snapshot can
+  only be taken between updates.
+
+Files are written atomically (temp file + ``os.replace``), so a crash
+mid-write leaves the previous committed snapshot intact; a snapshot
+that fails to unpickle on restore is skipped and counted, never fatal.
+Restoring re-registers the session under its **original id**, so the
+sharded front's session→shard routing keeps working unchanged across a
+shard restart.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import Optional
+
+from ..errors import ServiceError
+from ..incremental.partitioner import IncrementalGAPartitioner
+from .sessions import Session, SessionManager
+
+__all__ = [
+    "SNAPSHOT_SUFFIX",
+    "SnapshotStore",
+    "SessionPersistence",
+    "capture_session_state",
+    "snapshot_session",
+    "restore_session",
+]
+
+#: snapshot file suffix inside a store directory
+SNAPSHOT_SUFFIX = ".session.pkl"
+
+
+def capture_session_state(session: Session) -> dict:
+    """One session's resumable state as a dict (caller holds the
+    session's locks or otherwise guarantees quiescence).
+
+    Capture is cheap — references to the immutable graph/partition
+    arrays plus a copy of the RNG state — so it can run under the
+    session's state lock; the expensive :func:`pickle.dumps` can then
+    happen outside it (the partitioner never mutates these objects in
+    place: commits install *new* partition/graph objects)."""
+    state = session.partitioner.snapshot_state()
+    state["session_id"] = session.id
+    state["session_n_updates"] = session.n_updates
+    state["session_created_at"] = session.created_at
+    state["session_total_ga_seconds"] = session.total_ga_seconds
+    return state
+
+
+def snapshot_session(session: Session) -> bytes:
+    """Serialize one session's resumable state (see
+    :func:`capture_session_state` for the locking contract)."""
+    return pickle.dumps(
+        capture_session_state(session), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def restore_session(data: bytes) -> Session:
+    """Rebuild a :class:`Session` from :func:`snapshot_session` bytes."""
+    state = pickle.loads(data)
+    if not isinstance(state, dict) or "session_id" not in state:
+        raise ServiceError("snapshot is not a session state dict")
+    session = Session(
+        str(state["session_id"]), IncrementalGAPartitioner.from_state(state)
+    )
+    session.n_updates = int(state.get("session_n_updates", 0))
+    session.created_at = float(
+        state.get("session_created_at", session.created_at)
+    )
+    session.total_ga_seconds = float(
+        state.get("session_total_ga_seconds", 0.0)
+    )
+    return session
+
+
+class SnapshotStore:
+    """A directory of per-session snapshot files with atomic writes."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, session_id: str) -> Path:
+        name = str(session_id)
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise ServiceError(f"unsafe session id for snapshot: {name!r}")
+        return self.root / f"{name}{SNAPSHOT_SUFFIX}"
+
+    def save(self, session_id: str, data: bytes) -> None:
+        path = self._path(session_id)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def load(self, session_id: str) -> bytes:
+        return self._path(session_id).read_bytes()
+
+    def delete(self, session_id: str) -> None:
+        try:
+            self._path(session_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def list_ids(self) -> list[str]:
+        return sorted(
+            p.name[: -len(SNAPSHOT_SUFFIX)]
+            for p in self.root.glob(f"*{SNAPSHOT_SUFFIX}")
+        )
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(root={str(self.root)!r})"
+
+
+class SessionPersistence:
+    """Snapshot pump for one service's :class:`SessionManager`."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        sessions: SessionManager,
+        interval_s: float = 0.0,
+    ) -> None:
+        self.store = store
+        self.sessions = sessions
+        self.interval_s = float(interval_s)
+        self._lock = threading.Lock()
+        self._last_epoch: dict[str, int] = {}
+        self.snapshots_written = 0
+        self.write_failures = 0
+        self.restored = 0
+        self.restore_failures = 0
+        self._stop = threading.Event()
+        self._timer: Optional[threading.Thread] = None
+        if self.interval_s > 0:
+            self._timer = threading.Thread(
+                target=self._periodic_loop,
+                name="session-snapshots",
+                daemon=True,
+            )
+            self._timer.start()
+
+    # ------------------------------------------------------------------
+    def restore_all(self) -> int:
+        """Restore every readable snapshot in the store (service start).
+
+        Corrupt or stale snapshots are skipped and counted — a bad file
+        must never keep a restarting shard from serving the rest.
+        """
+        restored = 0
+        for session_id in self.store.list_ids():
+            try:
+                session = restore_session(self.store.load(session_id))
+                self.sessions.restore(session)
+            except Exception:
+                with self._lock:
+                    self.restore_failures += 1
+                continue
+            with self._lock:
+                self._last_epoch[session.id] = session.partitioner.epoch
+                self.restored += 1
+            restored += 1
+        return restored
+
+    def commit(self, session: Session) -> None:
+        """On-commit snapshot — runs on the session's pinned worker slot
+        right after open/update commit, before the next update of this
+        session can start, so the captured RNG state is exactly the
+        committed epoch's.
+
+        Never raises: the update has *already committed* in-memory when
+        this runs, so a snapshot failure (full disk, unwritable store)
+        must degrade durability — counted in ``write_failures`` — not
+        fail a request whose answer exists (a caller retrying that
+        "failed" update would re-run it on the advanced RNG stream and
+        break bit-identity)."""
+        try:
+            # state lock held only for the cheap reference capture —
+            # the pickle and file write must not reintroduce the
+            # close/stats blocking the overlapped path exists to avoid
+            with session.lock:
+                state = capture_session_state(session)
+                epoch = session.partitioner.epoch
+            data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            self._write(session.id, data, epoch)
+        except Exception:
+            with self._lock:
+                self.write_failures += 1
+            return
+        # a close() racing this commit may have forgotten the session
+        # *before* the write landed; re-check after writing so a closed
+        # session can never be resurrected from a stale snapshot (any
+        # close starting after this point deletes the file itself)
+        try:
+            self.sessions.get(session.id)
+        except ServiceError:
+            self.forget(session.id)
+
+    def forget(self, session_id: str) -> None:
+        """Drop a closed session's snapshot."""
+        self.store.delete(session_id)
+        with self._lock:
+            self._last_epoch.pop(session_id, None)
+
+    def _write(self, session_id: str, data: bytes, epoch: int) -> None:
+        self.store.save(session_id, data)
+        with self._lock:
+            self._last_epoch[session_id] = epoch
+            self.snapshots_written += 1
+
+    # ------------------------------------------------------------------
+    def _periodic_loop(self) -> None:  # pragma: no cover - timing thread
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.snapshot_open_sessions()
+            except Exception:
+                pass  # a snapshot pass must never kill the timer
+
+    def snapshot_open_sessions(self) -> int:
+        """One periodic pass: snapshot every open session whose epoch
+        advanced since its last write.  Sessions mid-update (compute
+        lock held) are skipped — their commit will snapshot anyway, and
+        a mid-GA RNG state must never reach the store."""
+        written = 0
+        with self.sessions._lock:
+            open_sessions = list(self.sessions._sessions.values())
+        for session in open_sessions:
+            if not session.compute_lock.acquire(blocking=False):
+                continue
+            try:
+                with session.lock:
+                    epoch = session.partitioner.epoch
+                    with self._lock:
+                        if self._last_epoch.get(session.id) == epoch:
+                            continue
+                    state = capture_session_state(session)
+                try:
+                    data = pickle.dumps(
+                        state, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    self._write(session.id, data, epoch)
+                except Exception:
+                    with self._lock:
+                        self.write_failures += 1
+                    continue
+                # same close-race guard as commit(): a close that beat
+                # this write already deleted the file — never leave a
+                # stale snapshot that would resurrect a closed session
+                try:
+                    self.sessions.get(session.id)
+                except ServiceError:
+                    self.forget(session.id)
+                    continue
+                written += 1
+            finally:
+                session.compute_lock.release()
+        return written
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._timer is not None:
+            self._timer.join(timeout=5.0)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "dir": str(self.store.root),
+                "snapshots_written": self.snapshots_written,
+                "write_failures": self.write_failures,
+                "restored": self.restored,
+                "restore_failures": self.restore_failures,
+                "interval_s": self.interval_s,
+            }

@@ -18,6 +18,10 @@ Two execution modes share one winner rule:
 
 * **serial** (default) — legs run one after another in fixed order,
   with the budget checked between legs and between DKNUX generations.
+  The iterative baseline legs (KL, RSB) additionally check a deadline
+  *inside* their own sweeps, so a binding budget cancels them mid-run
+  instead of letting one monolithic leg overshoot the whole budget; a
+  non-binding budget leaves their results bit-identical.
 * **racing** (``racing=True``) — every leg runs concurrently on its
   own thread (the numpy kernels release the GIL, so the legs genuinely
   overlap); wall-clock drops from the *sum* of leg times toward the
@@ -93,8 +97,18 @@ def _run_budgeted_dknux(
 
 
 def _baseline_legs(
-    graph: CSRGraph, n_parts: int, seed: int
+    graph: CSRGraph,
+    n_parts: int,
+    seed: int,
+    remaining: Optional[Callable[[], float]] = None,
 ) -> list[tuple[str, Callable[[], Partition]]]:
+    """Leg list in the fixed order.  The iterative legs (KL, RSB)
+    receive a per-call deadline derived from ``remaining`` at the
+    moment the leg starts, so a binding budget cancels them *mid-run*
+    (per-sweep checks inside each method) instead of letting a
+    monolithic leg overshoot the budget; when the budget never binds
+    the deadline is ``None`` and the legs are bit-identical to their
+    unbudgeted runs."""
     from ..baselines import (
         greedy_partition,
         ibp_partition,
@@ -104,15 +118,28 @@ def _baseline_legs(
         rsb_partition,
     )
 
+    def leg_deadline() -> Optional[float]:
+        if remaining is None:
+            return None
+        left = remaining()
+        return None if left == float("inf") else time.perf_counter() + left
+
     legs: list[tuple[str, Callable[[], Partition]]] = [
         ("greedy", lambda: greedy_partition(graph, n_parts, seed=seed)),
         ("rgb", lambda: rgb_partition(graph, n_parts)),
-        ("kl", lambda: recursive_kl_partition(graph, n_parts, seed=seed)),
+        (
+            "kl",
+            lambda: recursive_kl_partition(
+                graph, n_parts, seed=seed, deadline=leg_deadline()
+            ),
+        ),
     ]
     if graph.coords is not None:
         legs.append(("rcb", lambda: rcb_partition(graph, n_parts)))
         legs.append(("ibp", lambda: ibp_partition(graph, n_parts)))
-    legs.append(("rsb", lambda: rsb_partition(graph, n_parts)))
+    legs.append(
+        ("rsb", lambda: rsb_partition(graph, n_parts, deadline=leg_deadline()))
+    )
     return legs
 
 
@@ -168,7 +195,7 @@ def run_portfolio(
             return float("inf")
         return time_budget - (time.perf_counter() - t_start)
 
-    baselines = _baseline_legs(graph, n_parts, seed)
+    baselines = _baseline_legs(graph, n_parts, seed, remaining)
     overrides = dict(PORTFOLIO_GA_DEFAULTS)
     if ga:
         overrides.update(ga)

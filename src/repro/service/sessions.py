@@ -122,6 +122,7 @@ class SessionManager:
         self._counter = itertools.count()
         self.opened = 0
         self.closed = 0
+        self.restored = 0
         self.total_updates = 0
 
     # ------------------------------------------------------------------
@@ -178,6 +179,31 @@ class SessionManager:
             self._sessions[session_id] = session
             self.opened += 1
         return session
+
+    def restore(self, session: Session) -> None:
+        """Re-register a session restored from a failover snapshot under
+        its **original id** (see :mod:`repro.service.persistence`), so
+        routing state held outside this process — the sharded front's
+        session→shard map, a client's stored session id — stays valid
+        across a crash/restart."""
+        with self._lock:
+            if session.id in self._sessions:
+                raise ServiceError(
+                    f"session {session.id!r} is already open; refusing to "
+                    "overwrite live state with a snapshot"
+                )
+            if len(self._sessions) >= self.max_sessions:
+                raise ServiceError(
+                    f"session limit reached ({self.max_sessions} open)"
+                )
+            self._sessions[session.id] = session
+            self.restored += 1
+
+    def ids(self) -> list[str]:
+        """Ids of the currently open sessions (a routing front attaching
+        to a running shard uses this to rebuild its session→shard map)."""
+        with self._lock:
+            return sorted(self._sessions)
 
     def get(self, session_id: str) -> Session:
         with self._lock:
@@ -275,5 +301,6 @@ class SessionManager:
                 "open": len(self._sessions),
                 "opened": self.opened,
                 "closed": self.closed,
+                "restored": self.restored,
                 "updates": self.total_updates,
             }

@@ -1,4 +1,4 @@
-"""Digest-sharded multi-process serving.
+"""Digest-sharded multi-process serving with supervision and failover.
 
 One Python process can only scale the serving tier so far: worker
 threads overlap the GIL-releasing kernels, but every request still
@@ -8,8 +8,8 @@ independent :class:`~repro.service.core.PartitionService` (its own
 caches, pinned executors, and sessions), behind a thin front that
 routes every request by **graph digest**::
 
-    request ──digest──→ shard = blake2b(digest) % N ──pipe──→ worker
-                                                       process N
+    request ──digest──→ shard = blake2b(digest) % N ──transport──→ shard
+                                                                  worker
 
 Routing by content digest is what keeps the per-shard caches as
 effective as a single process's: a given graph always lands on the
@@ -18,25 +18,44 @@ concentrate there instead of being diluted across workers.  Sessions
 are routed by the digest of their opening graph and then stick to
 their shard by session id.
 
-Transport is one duplex :func:`multiprocessing.Pipe` per shard with
-request multiplexing: the front tags each request with a sequence id,
-a per-shard reader thread dispatches replies to waiting callers, and
-the shard worker executes requests on a small thread pool over its
-service — so concurrent requests to the *same* shard overlap exactly
-as they would against a single-process service, and requests to
-different shards run on different cores outright.
+Transport (PR 5) is one duplex :class:`~repro.service.transport.
+ShardTransport` per shard with request multiplexing: the front tags
+each request with a sequence id, a per-shard reader thread dispatches
+replies to waiting callers, and the shard worker executes requests on
+a small thread pool over its service.  Two transports share that
+protocol — the **pipe** lane to local child processes (PR 4's fast
+path, pickled messages) and the **socket** lane (length-prefixed JSON
+frames) to shard servers anywhere (``serve --shard-listen`` /
+``--attach-shard``), so a fleet can span machines without changing a
+caller.
+
+Fault tolerance (PR 5): every shard lives in a supervised slot with
+health tracking.  A shard death (reader-thread EOF, send failure) fails
+all in-flight requests for that shard *fast* with
+:class:`~repro.errors.ShardDiedError` — nobody blocks on a corpse —
+and then:
+
+* **local shards** are restarted automatically (bounded by
+  ``restart_limit``) with the *same* slot index, so the digest→shard
+  mapping is preserved deterministically; the replacement process
+  restores the dead shard's sessions from its snapshot store
+  (:mod:`repro.service.persistence`) before taking traffic, so
+  ``update_session`` resumes bit-identically from the last committed
+  epoch instead of erroring;
+* **attached (remote) shards** are reconnected lazily on the next call
+  for their slot — the shard server itself outlives the front and kept
+  its state all along.
 
 Determinism: every shard executes the identical
 :class:`PartitionService` code, so sharded answers are bit-identical
-to single-process answers for the same requests — the shard layout
-changes which process computes, never what is computed (enforced by
-``tests/test_sharding.py`` and gated in CI by ``bench_service.py``).
+to single-process answers for the same requests — the shard layout,
+the transport, and a crash-free restart change which process computes,
+never what is computed (enforced by ``tests/test_sharding.py`` and
+gated in CI by ``bench_service.py``).
 
-Composition note: shard workers run with ``process_workers=0`` — a
-shard *is* a process, and daemonic shard workers may not spawn child
-processes.  The process-pool execution lane
-(:mod:`repro.service.procexec`) is the single-process alternative;
-sharding is the multi-process one.
+Composition note: local shard workers run with ``process_workers=0`` —
+a shard *is* a process, and daemonic shard workers may not spawn child
+processes.  A standalone :class:`ShardServer` has no such constraint.
 """
 
 from __future__ import annotations
@@ -44,17 +63,31 @@ from __future__ import annotations
 import hashlib
 import itertools
 import multiprocessing
+import os
+import tempfile
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
-from ..errors import ServiceError
+from ..errors import ServiceError, ShardDiedError
 from ..graphs.csr import CSRGraph
 from .cache import graph_digest
 from .config import ServiceConfig
 from .models import JobResult, UpdateRequest
+from .transport import (
+    SHUTDOWN,
+    PipeTransport,
+    ShardListener,
+    ShardTransport,
+    connect_shard,
+)
 
-__all__ = ["ShardedPartitionService", "shard_for_digest"]
+__all__ = [
+    "ShardedPartitionService",
+    "ShardServer",
+    "shard_for_digest",
+]
 
 
 def shard_for_digest(digest: str, n_shards: int) -> int:
@@ -67,36 +100,39 @@ def shard_for_digest(digest: str, n_shards: int) -> int:
 
 
 # ----------------------------------------------------------------------
-# shard worker process
+# shard worker side
 # ----------------------------------------------------------------------
 
-_SHUTDOWN = "__shutdown__"
-
-
 def _safe_exception(exc: BaseException) -> Exception:
-    """An exception that survives pickling (fallback: ServiceError)."""
+    """An exception that survives a pickle **round-trip** (fallback:
+    ServiceError).
+
+    Checking only that the exception pickles is not enough: an
+    exception whose ``__init__`` signature diverges from its pickled
+    args (e.g. extra required parameters) dumps fine on the shard and
+    then explodes in ``pickle.loads`` on the front, killing the reply
+    dispatch for a perfectly healthy shard.  So the round-trip runs
+    *here*, shard-side, and the reconstructed object must come back as
+    the same type; any failure or type mismatch degrades to a plain
+    :class:`ServiceError` carrying the original type and message.
+    """
     import pickle
 
     try:
-        pickle.loads(pickle.dumps(exc))
-        return exc if isinstance(exc, Exception) else ServiceError(repr(exc))
+        clone = pickle.loads(pickle.dumps(exc))
+        if type(clone) is type(exc) and isinstance(exc, Exception):
+            return exc
     except Exception:
-        return ServiceError(f"{type(exc).__name__}: {exc}")
+        pass
+    return ServiceError(f"{type(exc).__name__}: {exc}")
 
 
-def _shard_main(conn, config: ServiceConfig) -> None:  # pragma: no cover
-    """Entry point of one shard worker process.
-
-    Runs a full PartitionService and answers ``(req_id, verb, args)``
-    messages with ``(req_id, ok, payload)``; requests execute on a
-    small thread pool so same-shard traffic overlaps.  (Covered by the
-    subprocess-driving tests in ``tests/test_sharding.py``, which
-    coverage cannot see.)
+def _serve_shard(transport: ShardTransport, service) -> None:
+    """Answer ``(req_id, verb, args)`` messages over one transport until
+    EOF or :data:`SHUTDOWN`; requests execute on a small thread pool so
+    same-shard traffic overlaps.  Shared by the local pipe worker and
+    every :class:`ShardServer` connection.
     """
-    from .core import PartitionService
-
-    service = PartitionService(config=config)
-    send_lock = threading.Lock()
 
     def handle(req_id: int, verb: str, args: tuple) -> None:
         try:
@@ -112,27 +148,28 @@ def _shard_main(conn, config: ServiceConfig) -> None:  # pragma: no cover
                 out = service.close_session(args[0])
             elif verb == "stats":
                 out = service.stats()
+            elif verb == "list_sessions":
+                out = service.sessions.ids()
             else:
                 raise ServiceError(f"unknown shard verb {verb!r}")
             reply = (req_id, True, out)
         except BaseException as exc:
             reply = (req_id, False, _safe_exception(exc))
-        with send_lock:
+        try:
+            transport.send(reply)
+        except Exception as exc:
+            # a reply that cannot serialize must still be answered, or
+            # the front's call would wait forever — fall back to an
+            # error reply; if even that fails the channel is dead and
+            # the front's reader EOF flushes every waiter
             try:
-                conn.send(reply)
-            except Exception as exc:
-                # a reply that cannot serialize must still be answered,
-                # or the parent's call would wait forever — fall back to
-                # an error reply; if even that fails the pipe is dead
-                # and the parent's reader EOF flushes every waiter
-                try:
-                    conn.send((
-                        req_id,
-                        False,
-                        ServiceError(f"shard reply failed to send: {exc!r}"),
-                    ))
-                except Exception:
-                    pass
+                transport.send((
+                    req_id,
+                    False,
+                    ServiceError(f"shard reply failed to send: {exc!r}"),
+                ))
+            except Exception:
+                pass
 
     # two lanes: data verbs (GA work, may block for seconds) and
     # control verbs (stats / close_session, expected to answer fast).
@@ -140,7 +177,8 @@ def _shard_main(conn, config: ServiceConfig) -> None:  # pragma: no cover
     # close behind GA runs — the very blocking the overlapped-session
     # work removed from the single-process path.
     pool = ThreadPoolExecutor(
-        max_workers=config.n_workers + 2, thread_name_prefix="shard-req"
+        max_workers=service.config.n_workers + 2,
+        thread_name_prefix="shard-req",
     )
     control = ThreadPoolExecutor(
         max_workers=2, thread_name_prefix="shard-ctl"
@@ -148,26 +186,157 @@ def _shard_main(conn, config: ServiceConfig) -> None:  # pragma: no cover
     try:
         while True:
             try:
-                msg = conn.recv()
+                msg = transport.recv()
             except (EOFError, OSError):
-                break  # parent died: exit with it
-            if msg == _SHUTDOWN:
+                break  # peer died or detached
+            if msg == SHUTDOWN:
                 break
             req_id, verb, args = msg
-            lane = control if verb in ("stats", "close_session") else pool
+            lane = (
+                control
+                if verb in ("stats", "close_session", "list_sessions")
+                else pool
+            )
             lane.submit(handle, req_id, verb, args)
     finally:
         pool.shutdown(wait=True)
         control.shutdown(wait=True)
+        transport.close()
+
+
+def _shard_main(conn, config: ServiceConfig) -> None:  # pragma: no cover
+    """Entry point of one local shard worker process.  (Covered by the
+    subprocess-driving tests in ``tests/test_sharding.py``, which
+    coverage cannot see.)"""
+    from .core import PartitionService
+
+    service = PartitionService(config=config)
+    try:
+        _serve_shard(PipeTransport(conn), service)
+    finally:
         service.close()
+
+
+class ShardServer:
+    """A standalone, socket-reachable shard (``serve --shard-listen``).
+
+    Runs one full :class:`~repro.service.core.PartitionService` and
+    answers the shard RPC over :class:`~repro.service.transport.
+    SocketTransport` connections — the remote end of
+    ``ShardedPartitionService(attach=[...])``.  The server outlives any
+    front: a front disconnect merely ends that connection, state (
+    caches, sessions, snapshots) stays warm for the next attach, and an
+    attaching front rebuilds its session→shard routing from the
+    server's open sessions (the ``list_sessions`` verb), so sessions
+    opened through a previous front remain addressable.
+    Keyword arguments are :class:`ServiceConfig` overrides; unlike
+    local pipe shards, a shard server is a first-class process and may
+    use ``process_workers``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServiceConfig] = None,
+        **overrides,
+    ) -> None:
+        from .core import PartitionService
+
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            config = config.with_updates(**overrides)
+        self.config = config
+        self.service = PartitionService(config=config)
         try:
-            conn.close()
-        except Exception:
-            pass
+            self.listener = ShardListener(host, port)
+        except OSError:
+            # bind failure must not leak the started service's workers
+            self.service.close()
+            raise
+        self.address = self.listener.address
+        self._lock = threading.Lock()
+        self._transports: list[ShardTransport] = []
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    def serve_forever(self) -> None:
+        """Accept fronts until :meth:`close`; one thread per connection
+        (they share the one service, so two fronts see one cache)."""
+        while True:
+            try:
+                transport = self.listener.accept()
+            except OSError:
+                break  # listener closed
+            with self._lock:
+                if self._closed:
+                    transport.close()
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(transport,),
+                    name="shard-conn",
+                    daemon=True,
+                )
+                self._transports.append(transport)
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, transport: ShardTransport) -> None:
+        """One connection's serving loop, self-pruning on exit — a
+        long-lived server fronted by reconnecting fleets must not
+        accumulate every dead connection's transport and thread."""
+        try:
+            _serve_shard(transport, self.service)
+        finally:
+            with self._lock:
+                try:
+                    self._transports.remove(transport)
+                except ValueError:
+                    pass
+                try:
+                    self._threads.remove(threading.current_thread())
+                except ValueError:
+                    pass
+
+    def start(self) -> "ShardServer":
+        """Serve in a background daemon thread (tests, embedding)."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, name="shard-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            transports = list(self._transports)
+            threads = list(self._threads)
+        self.listener.close()
+        for transport in transports:
+            transport.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self.service.close()
+
+    def __enter__(self) -> "ShardServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ShardServer(address={self.address!r})"
 
 
 # ----------------------------------------------------------------------
-# parent-side shard handle
+# front-side shard handle + supervision
 # ----------------------------------------------------------------------
 
 class _Reply:
@@ -180,13 +349,21 @@ class _Reply:
 
 
 class _ShardHandle:
-    """Parent-side endpoint of one shard: multiplexed request/reply."""
+    """Front-side endpoint of one shard: multiplexed request/reply over
+    a :class:`ShardTransport`; ``process`` is set for local shards."""
 
-    def __init__(self, index: int, process, conn) -> None:
+    def __init__(
+        self,
+        index: int,
+        transport: ShardTransport,
+        process=None,
+        on_death=None,
+    ) -> None:
         self.index = index
         self.process = process
-        self.conn = conn
-        self._send_lock = threading.Lock()
+        self.transport = transport
+        self.closing = False  # intentional shutdown: no death handling
+        self._on_death = on_death
         self._pending_lock = threading.Lock()
         self._pending: dict[int, _Reply] = {}
         self._counter = itertools.count()
@@ -196,20 +373,44 @@ class _ShardHandle:
         )
         self._reader.start()
 
+    @property
+    def alive(self) -> bool:
+        with self._pending_lock:
+            return self._alive
+
     def call(self, verb: str, *args):
         reply = _Reply()
         req_id = next(self._counter)
         with self._pending_lock:
             if not self._alive:
-                raise ServiceError(f"shard {self.index} is not running")
+                raise ShardDiedError(f"shard {self.index} is not running")
             self._pending[req_id] = reply
         try:
-            with self._send_lock:
-                self.conn.send((req_id, verb, args))
-        except (OSError, ValueError) as exc:
+            # transports serialize send internally; no handle-level lock
+            self.transport.send((req_id, verb, args))
+        except (OSError, ValueError, EOFError) as exc:
             with self._pending_lock:
                 self._pending.pop(req_id, None)
-            raise ServiceError(f"shard {self.index} unreachable: {exc}") from exc
+            # a failed send means the channel is broken: close it so the
+            # reader wakes with EOF and the death path runs exactly once
+            self.transport.close()
+            raise ShardDiedError(
+                f"shard {self.index} unreachable: {exc}"
+            ) from exc
+        except ServiceError:
+            # codec rejection (oversized frame, unencodable value):
+            # the channel is intact — both codecs fail before writing a
+            # byte — so only this request fails; drop its pending entry
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            raise
+        except Exception as exc:  # e.g. pickle errors on the pipe lane
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            raise ServiceError(
+                f"request to shard {self.index} failed to serialize: "
+                f"{exc!r}"
+            ) from exc
         reply.done.wait()
         if not reply.ok:
             raise reply.payload
@@ -218,7 +419,7 @@ class _ShardHandle:
     def _read_loop(self) -> None:
         try:
             while True:
-                req_id, ok, payload = self.conn.recv()
+                req_id, ok, payload = self.transport.recv()
                 with self._pending_lock:
                     reply = self._pending.pop(req_id, None)
                 if reply is None:
@@ -228,31 +429,56 @@ class _ShardHandle:
                 reply.done.set()
         except (EOFError, OSError):
             pass
+        except ServiceError:
+            pass  # malformed frame from a corrupt peer: treat as death
         finally:
+            # whatever ended the loop (EOF, OSError, malformed frame),
+            # the channel is done: close it so the peer's connection
+            # loop sees EOF too instead of blocking in recv forever
+            self.transport.close()
+            # shard death: fail every in-flight caller *fast* — a caller
+            # must never block forever on a request the dead shard will
+            # not answer — then hand the slot to the supervisor
             with self._pending_lock:
                 self._alive = False
                 pending, self._pending = self._pending, {}
             for reply in pending.values():
                 reply.ok = False
-                reply.payload = ServiceError(
-                    f"shard {self.index} exited with requests in flight"
+                reply.payload = ShardDiedError(
+                    f"shard {self.index} died with the request in flight"
                 )
                 reply.done.set()
+            if self._on_death is not None and not self.closing:
+                self._on_death(self)
 
     def shutdown(self, timeout: float = 10.0) -> None:
-        try:
-            with self._send_lock:
-                self.conn.send(_SHUTDOWN)
-        except (OSError, ValueError):
-            pass
-        self.process.join(timeout)
-        if self.process.is_alive():  # pragma: no cover - stuck worker
-            self.process.terminate()
+        self.closing = True
+        if self.process is not None:
+            try:
+                self.transport.send(SHUTDOWN)
+            except (OSError, ValueError, EOFError):
+                pass
             self.process.join(timeout)
-        try:
-            self.conn.close()
-        except Exception:
-            pass
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.terminate()
+                self.process.join(timeout)
+        self.transport.close()
+
+
+class _ShardSlot:
+    """Supervised seat of one shard index in the fleet."""
+
+    __slots__ = (
+        "index", "handle", "state", "restarts", "address", "restart_thread",
+    )
+
+    def __init__(self, index: int, address: Optional[str] = None) -> None:
+        self.index = index
+        self.handle: Optional[_ShardHandle] = None
+        self.state = "starting"  # "up" | "restarting" | "down"
+        self.restarts = 0
+        self.address = address  # attach address for remote shards
+        self.restart_thread: Optional[threading.Thread] = None
 
 
 # ----------------------------------------------------------------------
@@ -260,7 +486,7 @@ class _ShardHandle:
 # ----------------------------------------------------------------------
 
 class ShardedPartitionService:
-    """Digest-sharded, shared-nothing serving front.
+    """Digest-sharded, shared-nothing serving front with supervision.
 
     Implements the same verbs as :class:`PartitionService` (``submit``,
     ``submit_many``, ``open_session``, ``update_session``,
@@ -269,52 +495,330 @@ class ShardedPartitionService:
     interchangeably.  Keyword arguments are
     :class:`~repro.service.config.ServiceConfig` overrides applied to
     every shard.
+
+    Parameters
+    ----------
+    n_shards:
+        Local shard worker processes to spawn (ignored when ``attach``
+        is given).
+    attach:
+        Addresses (``"HOST:PORT"``) of running :class:`ShardServer`\\ s
+        to attach instead of spawning local workers; the fleet width is
+        ``len(attach)`` and digest routing is identical to a local
+        fleet of the same width.
+    auto_restart:
+        Restart a dead *local* shard in place (same slot → same digest
+        routing), restoring its sessions from the per-shard snapshot
+        store before it takes traffic.  Attached shards are never
+        restarted — they are reconnected on the next call instead.
+    restart_limit:
+        Ceiling on automatic restarts per slot (crash-loop guard).
+    restart_wait_s:
+        How long a caller waits for an in-progress restart/reconnect
+        before failing with :class:`ShardDiedError`.
     """
 
     def __init__(
         self,
-        n_shards: int = 2,
+        n_shards: Optional[int] = None,
         config: Optional[ServiceConfig] = None,
+        attach: Optional[Sequence[str]] = None,
+        auto_restart: bool = True,
+        restart_limit: int = 3,
+        restart_wait_s: float = 30.0,
         **overrides,
     ) -> None:
-        if n_shards < 1:
-            raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
         if config is None:
             config = ServiceConfig(**overrides)
         elif overrides:
             config = config.with_updates(**overrides)
-        if config.process_workers:
-            # a shard is already a process; daemonic shard workers may
-            # not spawn children (see the module docstring)
-            config = config.with_updates(process_workers=0)
-        self.n_shards = int(n_shards)
-        self.config = config
-        ctx = multiprocessing.get_context()
-        self._shards: list[_ShardHandle] = []
-        try:
-            for i in range(self.n_shards):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                process = ctx.Process(
-                    target=_shard_main,
-                    args=(child_conn, config),
-                    name=f"repro-shard-{i}",
-                    daemon=True,
+        self._local = attach is None
+        if self._local:
+            n_shards = 2 if n_shards is None else int(n_shards)
+            if n_shards < 1:
+                raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+            self.n_shards = n_shards
+            if config.process_workers:
+                # a shard is already a process; daemonic shard workers
+                # may not spawn children (see the module docstring)
+                config = config.with_updates(process_workers=0)
+        else:
+            attach = list(attach)
+            if not attach:
+                raise ServiceError("attach needs at least one address")
+            if n_shards is not None and n_shards != len(attach):
+                raise ServiceError(
+                    f"n_shards={n_shards} conflicts with {len(attach)} "
+                    "attached shard addresses (omit n_shards with attach)"
                 )
-                process.start()
-                child_conn.close()
-                self._shards.append(_ShardHandle(i, process, parent_conn))
-        except BaseException:
-            # a partial fleet must not outlive a failed constructor
-            for handle in self._shards:
-                handle.shutdown()
-            raise
+            if config != ServiceConfig():
+                # remote workers run their own configs; silently
+                # accepting overrides here would let callers believe
+                # settings took effect that never left this process
+                raise ServiceError(
+                    "attach mode takes no service config overrides — "
+                    "configure each shard server (serve --shard-listen) "
+                    "instead"
+                )
+            self.n_shards = len(attach)
+        self.config = config
+        self._auto_restart = bool(auto_restart)
+        self._restart_limit = int(restart_limit)
+        self._restart_wait_s = float(restart_wait_s)
+        # per-shard snapshot directories: the restart re-warm reads the
+        # dead shard's store, so the store must outlive the shard — a
+        # private temp dir unless the config names a durable one
+        self._tmpdir = None
+        self._snapshot_base: Optional[str] = None
+        if self._local:
+            if config.snapshot_dir:
+                self._snapshot_base = config.snapshot_dir
+            elif auto_restart:
+                self._tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-shard-snapshots-",
+                    ignore_cleanup_errors=True,
+                )
+                self._snapshot_base = self._tmpdir.name
+            # else: no restarts and no durable dir — snapshots could
+            # never be read back, so don't pay for writing them
+        self._mp_ctx = multiprocessing.get_context()
+        self._fleet_lock = threading.Lock()
+        self._fleet_cond = threading.Condition(self._fleet_lock)
         self._session_lock = threading.Lock()
         self._session_shard: dict[str, int] = {}
         self._closed = False
+        self._slots: list[_ShardSlot] = [
+            _ShardSlot(i, address=None if self._local else attach[i])
+            for i in range(self.n_shards)
+        ]
+        try:
+            for slot in self._slots:
+                slot.handle = (
+                    self._spawn_local(slot.index)
+                    if self._local
+                    else self._connect_remote(slot)
+                )
+                slot.state = "up"
+            # shards may already hold live sessions — a shard server
+            # outliving its previous front, or a local shard restored
+            # from a durable snapshot store.  Rebuild the session→shard
+            # routing map so those sessions remain addressable through
+            # this front instead of answering "unknown session".
+            for slot in self._slots:
+                for session_id in slot.handle.call("list_sessions"):
+                    self._session_shard[session_id] = slot.index
+        except BaseException:
+            # a partial fleet must not outlive a failed constructor
+            for slot in self._slots:
+                if slot.handle is not None:
+                    slot.handle.shutdown()
+            if self._tmpdir is not None:
+                self._tmpdir.cleanup()
+            raise
+
+    # ------------------------------------------------------------------
+    # fleet plumbing
+    # ------------------------------------------------------------------
+    def _shard_config(self, index: int) -> ServiceConfig:
+        if self._snapshot_base is None:
+            return self.config
+        return self.config.with_updates(
+            snapshot_dir=os.path.join(self._snapshot_base, f"shard-{index}")
+        )
+
+    def _spawn_local(self, index: int, ctx=None) -> _ShardHandle:
+        ctx = self._mp_ctx if ctx is None else ctx
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_shard_main,
+            args=(child_conn, self._shard_config(index)),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _ShardHandle(
+            index,
+            PipeTransport(parent_conn),
+            process=process,
+            on_death=self._on_shard_death,
+        )
+
+    def _connect_remote(self, slot: _ShardSlot) -> _ShardHandle:
+        try:
+            transport = connect_shard(slot.address)
+        except OSError as exc:
+            raise ShardDiedError(
+                f"cannot attach shard {slot.index} at {slot.address}: {exc}"
+            ) from exc
+        return _ShardHandle(
+            slot.index, transport, on_death=self._on_shard_death
+        )
+
+    def _on_shard_death(self, handle: _ShardHandle) -> None:
+        """Reader-thread callback: a shard's channel just died."""
+        with self._fleet_lock:
+            slot = self._slots[handle.index]
+            if self._closed or slot.handle is not handle:
+                return  # stale handle (already replaced) or shutting down
+            slot.handle = None
+            self._begin_restart_locked(slot)
+        if handle.process is not None:
+            handle.process.join(timeout=5.0)
+
+    def _begin_restart_locked(self, slot: _ShardSlot) -> None:
+        """Kick off (or give up on) a slot restart; fleet lock held."""
+        if (
+            self._local
+            and self._auto_restart
+            and slot.restarts < self._restart_limit
+        ):
+            slot.state = "restarting"
+            slot.restart_thread = threading.Thread(
+                target=self._restart_slot,
+                args=(slot,),
+                name=f"shard-{slot.index}-restart",
+                daemon=True,
+            )
+            slot.restart_thread.start()
+        else:
+            slot.state = "down"
+            self._fleet_cond.notify_all()
+
+    def _restart_slot(self, slot: _ShardSlot) -> None:
+        """Supervisor: replace a dead local shard in its own slot.
+
+        The replacement keeps the slot index — digest→shard routing is
+        a pure function of (digest, n_shards), so re-routing after a
+        restart is deterministic by construction — and its service
+        restores the dead shard's snapshot store before the new pipe
+        serves a single request.
+        """
+        try:
+            # restart with the *spawn* context: the constructor forks
+            # before any caller threads exist, but a supervised restart
+            # runs while HTTP handlers, other shard readers, and GA
+            # workers are live — forking there can hand the child a
+            # lock some other thread held at fork time (import, BLAS,
+            # allocator) and hang it.  A spawned child starts clean;
+            # the answer bits do not depend on the start method.
+            handle = self._spawn_local(
+                slot.index, ctx=multiprocessing.get_context("spawn")
+            )
+        except BaseException:
+            with self._fleet_lock:
+                slot.state = "down"
+                self._fleet_cond.notify_all()
+            return
+        with self._fleet_lock:
+            if self._closed:
+                slot.state = "down"
+            elif not handle.alive:
+                # the replacement died before it could be installed (a
+                # crash loop: startup OOM, bad snapshot dir, ...).  Its
+                # on_death callback saw a foreign handle in the slot and
+                # stood down, so re-engage the supervisor here — count
+                # the attempt and retry while budget remains, otherwise
+                # the slot would wedge as "up" around a corpse.
+                slot.restarts += 1
+                self._begin_restart_locked(slot)
+            else:
+                slot.handle = handle
+                slot.state = "up"
+                slot.restarts += 1
+            self._fleet_cond.notify_all()
+        if self._closed:  # lost the race with close(): tidy up
+            handle.shutdown()
+
+    def _shard_handle(self, index: int, wait: bool = True) -> _ShardHandle:
+        """The live handle for a slot, waiting out an in-progress
+        restart (bounded by ``restart_wait_s``) and lazily reconnecting
+        attached shards.  ``wait=False`` never blocks and never
+        reconnects: a slot that is not up raises immediately (the
+        stats path, which must answer mid-crash)."""
+        deadline = time.monotonic() + self._restart_wait_s
+        reconnect = None
+        with self._fleet_lock:
+            while True:
+                self._check_open()
+                slot = self._slots[index]
+                if slot.state == "up" and slot.handle is not None:
+                    return slot.handle
+                if not wait:
+                    raise ShardDiedError(
+                        f"shard {index} is {slot.state}"
+                    )
+                if slot.state in ("restarting", "starting"):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ShardDiedError(
+                            f"shard {index} still restarting after "
+                            f"{self._restart_wait_s:.1f}s"
+                        )
+                    self._fleet_cond.wait(remaining)
+                    continue
+                # down
+                if not self._local:
+                    slot.state = "restarting"  # claim the reconnect
+                    reconnect = slot
+                    break
+                raise ShardDiedError(
+                    f"shard {index} is down "
+                    f"(after {slot.restarts} restart(s))"
+                )
+        # remote reconnect, outside the fleet lock
+        try:
+            handle = self._connect_remote(reconnect)
+        except ShardDiedError:
+            with self._fleet_lock:
+                reconnect.state = "down"
+                self._fleet_cond.notify_all()
+            raise
+        with self._fleet_lock:
+            if self._closed:
+                handle.shutdown()
+                self._check_open()
+            if not handle.alive:
+                # connection dropped before install (server bounced it):
+                # leave the slot down so the next call retries, and fail
+                # this caller instead of installing a corpse as "up"
+                reconnect.state = "down"
+                self._fleet_cond.notify_all()
+                raise ShardDiedError(
+                    f"shard {index} at {reconnect.address} dropped the "
+                    "connection during attach"
+                )
+            reconnect.handle = handle
+            reconnect.state = "up"
+            reconnect.restarts += 1
+            self._fleet_cond.notify_all()
+        return handle
+
+    def _call(self, shard: int, verb: str, *args):
+        return self._shard_handle(shard).call(verb, *args)
+
+    def shard_health(self) -> list[dict]:
+        """Per-shard supervision state (also embedded in :meth:`stats`)."""
+        with self._fleet_lock:
+            return [
+                {
+                    "shard": slot.index,
+                    "state": slot.state,
+                    "restarts": slot.restarts,
+                    "transport": "pipe" if self._local else "socket",
+                    **(
+                        {"address": slot.address}
+                        if slot.address is not None
+                        else {}
+                    ),
+                }
+                for slot in self._slots
+            ]
 
     # ------------------------------------------------------------------
     def shard_of(self, graph: CSRGraph) -> int:
-        """The shard a graph's traffic routes to (stable across runs)."""
+        """The shard a graph's traffic routes to (stable across runs
+        *and* across shard restarts)."""
         return shard_for_digest(graph_digest(graph), self.n_shards)
 
     def _mark(self, result: JobResult, shard: int) -> JobResult:
@@ -325,7 +829,7 @@ class ShardedPartitionService:
     def submit(self, request) -> JobResult:
         self._check_open()
         shard = self.shard_of(request.graph)
-        return self._mark(self._shards[shard].call("submit", request), shard)
+        return self._mark(self._call(shard, "submit", request), shard)
 
     def submit_many(self, requests: Sequence) -> list[JobResult]:
         """Batch submission: the batch splits by shard, each sub-batch
@@ -339,7 +843,7 @@ class ShardedPartitionService:
 
         def run_shard(shard: int, members: list[int]) -> None:
             batch = [requests[i] for i in members]
-            out = self._shards[shard].call("submit_many", batch)
+            out = self._call(shard, "submit_many", batch)
             for i, result in zip(members, out):
                 results[i] = self._mark(result, shard)
 
@@ -359,9 +863,7 @@ class ShardedPartitionService:
     def open_session(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
         self._check_open()
         shard = self.shard_of(graph)
-        result = self._shards[shard].call(
-            "open_session", graph, int(n_parts), kwargs
-        )
+        result = self._call(shard, "open_session", graph, int(n_parts), kwargs)
         with self._session_lock:
             self._session_shard[result.session_id] = shard
         return self._mark(result, shard)
@@ -370,13 +872,13 @@ class ShardedPartitionService:
         self._check_open()
         shard = self._session_route(request.session_id)
         return self._mark(
-            self._shards[shard].call("update_session", request), shard
+            self._call(shard, "update_session", request), shard
         )
 
     def close_session(self, session_id: str) -> dict:
         self._check_open()
         shard = self._session_route(session_id)
-        summary = self._shards[shard].call("close_session", session_id)
+        summary = self._call(shard, "close_session", session_id)
         with self._session_lock:
             self._session_shard.pop(session_id, None)
         return summary
@@ -385,10 +887,23 @@ class ShardedPartitionService:
         self._check_open()
         with self._session_lock:
             routed = len(self._session_shard)
+        health = self.shard_health()
+        shards = []
+        for entry in health:
+            # never enter the restart wait (or a reconnect) from stats:
+            # an operator polling the front mid-crash must get an
+            # answer now, with the affected shard reported unavailable,
+            # not a response stalled for up to restart_wait_s per shard
+            try:
+                handle = self._shard_handle(entry["shard"], wait=False)
+                shards.append(handle.call("stats"))
+            except ShardDiedError as exc:
+                shards.append({"unavailable": str(exc)})
         return {
             "n_shards": self.n_shards,
             "sessions_routed": routed,
-            "shards": [handle.call("stats") for handle in self._shards],
+            "health": health,
+            "shards": shards,
         }
 
     def _session_route(self, session_id: str) -> int:
@@ -400,11 +915,29 @@ class ShardedPartitionService:
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for handle in self._shards:
+        with self._fleet_lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = [s.handle for s in self._slots if s.handle is not None]
+            for handle in handles:
+                handle.closing = True
+            restarts = [
+                s.restart_thread
+                for s in self._slots
+                if s.restart_thread is not None
+            ]
+            self._fleet_cond.notify_all()
+        # wait out in-flight restarts first: a replacement shard spawned
+        # mid-close must be fully shut down (the restart thread does it
+        # once it sees _closed) before the snapshot tempdir is removed,
+        # or the child would recreate directories under our feet
+        for thread in restarts:
+            thread.join(timeout=60.0)
+        for handle in handles:
             handle.shutdown()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
 
     def __enter__(self) -> "ShardedPartitionService":
         return self

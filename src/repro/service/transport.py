@@ -1,0 +1,349 @@
+"""Shard transports: local pipes and remote sockets behind one interface.
+
+The sharded front (:mod:`repro.service.sharding`) multiplexes request
+messages ``(req_id, verb, args)`` and replies ``(req_id, ok, payload)``
+over one duplex channel per shard.  This module abstracts that channel
+as :class:`ShardTransport` with two implementations:
+
+* :class:`PipeTransport` — the local fast lane: a
+  :func:`multiprocessing.Pipe` connection to a child shard process,
+  messages travel pickled (PR 4's original transport, unchanged bytes).
+* :class:`SocketTransport` — the remote lane: a TCP socket carrying
+  **length-prefixed JSON frames**.  Each frame is one message; every
+  value inside it travels in the same lossless JSON payload forms the
+  HTTP endpoint speaks (:mod:`repro.service.models` ``to_payload`` /
+  ``from_payload``, :func:`~repro.service.models.graph_to_wire`), so a
+  socket-attached shard answers bit-identical results to a local one —
+  JSON round-trips IEEE doubles and int64 labels exactly.  Errors cross
+  as ``{type, message}`` data (:func:`~repro.service.models.
+  error_to_wire`), never as pickled objects: attaching a remote shard
+  must not give it arbitrary-code-execution over the front.
+
+Framing is a 4-byte big-endian unsigned length followed by the UTF-8
+JSON body, capped at :data:`MAX_FRAME_BYTES`; a peer that disappears
+surfaces as :class:`EOFError`/:class:`OSError` from :meth:`recv`, which
+is exactly what the front's per-shard reader thread treats as shard
+death.  :class:`ShardListener` is the accept side used by the
+standalone shard server (``repro-partition serve --shard-listen``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Optional, Union
+
+from ..errors import ServiceError
+from ..graphs.csr import CSRGraph
+from .models import (
+    JobResult,
+    PartitionRequest,
+    RefineRequest,
+    UpdateRequest,
+    error_from_wire,
+    error_to_wire,
+    graph_from_wire,
+    graph_to_wire,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "SHUTDOWN",
+    "ShardTransport",
+    "PipeTransport",
+    "SocketTransport",
+    "ShardListener",
+    "connect_shard",
+    "parse_address",
+    "encode_message",
+    "decode_message",
+]
+
+#: one frame = one message; 256 MiB bounds a hostile or corrupt length
+#: prefix while leaving ample room for the largest mesh payloads
+MAX_FRAME_BYTES = 256 << 20
+
+#: control message ending a shard's serving loop (local shards only —
+#: a front never shuts a remote shard server down by disconnecting)
+SHUTDOWN = "__shutdown__"
+
+_REQUEST_KINDS = {
+    PartitionRequest.kind: PartitionRequest,
+    RefineRequest.kind: RefineRequest,
+    UpdateRequest.kind: UpdateRequest,
+}
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"HOST:PORT"`` → ``(host, port)`` with a precise error."""
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ServiceError(
+            f"shard address must be HOST:PORT, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ServiceError(
+            f"shard address port must be an integer, got {address!r}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# message codec (socket lane)
+# ----------------------------------------------------------------------
+
+def _encode_value(value) -> dict:
+    if isinstance(value, (PartitionRequest, RefineRequest, UpdateRequest)):
+        return {"t": "req", "v": value.to_payload()}
+    if isinstance(value, CSRGraph):
+        return {"t": "graph", "v": graph_to_wire(value)}
+    if isinstance(value, JobResult):
+        return {"t": "result", "v": value.to_payload()}
+    if isinstance(value, BaseException):
+        return {"t": "error", "v": error_to_wire(value)}
+    if isinstance(value, (list, tuple)):
+        return {"t": "list", "v": [_encode_value(item) for item in value]}
+    return {"t": "val", "v": value}
+
+
+def _decode_value(obj):
+    try:
+        tag, value = obj["t"], obj["v"]
+    except (TypeError, KeyError):
+        raise ServiceError(f"malformed shard wire value: {obj!r}") from None
+    if tag == "req":
+        cls = _REQUEST_KINDS.get(value.get("kind") if isinstance(value, dict) else None)
+        if cls is None:
+            raise ServiceError(
+                f"unknown request kind in shard message: {value!r}"
+            )
+        return cls.from_payload(value)
+    if tag == "graph":
+        return graph_from_wire(value)
+    if tag == "result":
+        return JobResult.from_payload(value)
+    if tag == "error":
+        return error_from_wire(value)
+    if tag == "list":
+        return [_decode_value(item) for item in value]
+    if tag == "val":
+        return value
+    raise ServiceError(f"unknown shard wire tag {tag!r}")
+
+
+def encode_message(message) -> bytes:
+    """One multiplexer message → one JSON frame body.
+
+    Accepts the three shapes the shard protocol uses: the
+    :data:`SHUTDOWN` control string, request tuples ``(req_id, verb,
+    args)``, and reply tuples ``(req_id, ok, payload)``.
+    """
+    if message == SHUTDOWN:
+        obj = {"ctl": "shutdown"}
+    elif isinstance(message, tuple) and len(message) == 3:
+        req_id, second, third = message
+        if isinstance(second, str):  # request: (req_id, verb, args)
+            obj = {
+                "id": int(req_id),
+                "verb": second,
+                "args": [_encode_value(arg) for arg in third],
+            }
+        else:  # reply: (req_id, ok, payload)
+            obj = {
+                "id": int(req_id),
+                "ok": bool(second),
+                "payload": _encode_value(third),
+            }
+    else:
+        raise ServiceError(f"cannot encode shard message: {message!r}")
+    return json.dumps(obj, separators=(",", ":")).encode()
+
+
+def decode_message(data: bytes):
+    """Inverse of :func:`encode_message` (malformed frames raise
+    :class:`ServiceError`, never crash the reader)."""
+    try:
+        obj = json.loads(data.decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServiceError(f"malformed shard frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServiceError("shard frame must be a JSON object")
+    if obj.get("ctl") == "shutdown":
+        return SHUTDOWN
+    try:
+        if "verb" in obj:
+            return (
+                int(obj["id"]),
+                str(obj["verb"]),
+                tuple(_decode_value(arg) for arg in obj.get("args", [])),
+            )
+        if "ok" in obj:
+            return (
+                int(obj["id"]),
+                bool(obj["ok"]),
+                _decode_value(obj["payload"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        # the contract above: malformed frames surface as ServiceError,
+        # never as a bare exception that kills the reader thread
+        raise ServiceError(f"malformed shard frame: {exc!r}") from exc
+    raise ServiceError(f"unrecognized shard frame: {data[:80]!r}")
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+
+class ShardTransport:
+    """One duplex message channel between the front and a shard.
+
+    ``send``/``recv`` move whole multiplexer messages; :meth:`recv`
+    raises :class:`EOFError` or :class:`OSError` when the peer is gone
+    (the reader thread's shard-death signal), and :meth:`close` must be
+    safe to call from another thread to unblock a parked :meth:`recv`.
+    """
+
+    def send(self, message) -> None:
+        raise NotImplementedError
+
+    def recv(self):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class PipeTransport(ShardTransport):
+    """The local fast lane: a multiprocessing pipe, pickled messages.
+
+    ``send`` is serialized internally — Connection.send is not safe
+    under concurrent writers, and the shard worker replies from
+    multiple handler threads."""
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self._send_lock = threading.Lock()
+
+    def send(self, message) -> None:
+        with self._send_lock:
+            self.conn.send(message)
+
+    def recv(self):
+        return self.conn.recv()
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return "PipeTransport()"
+
+
+class SocketTransport(ShardTransport):
+    """The remote lane: length-prefixed JSON frames over a socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP socket pairs
+            pass
+
+    def send(self, message) -> None:
+        body = encode_message(message)
+        if len(body) > MAX_FRAME_BYTES:
+            raise ServiceError(
+                f"shard frame of {len(body)} bytes exceeds "
+                f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+            )
+        frame = struct.pack(">I", len(body)) + body
+        with self._send_lock:
+            self.sock.sendall(frame)
+
+    def recv(self):
+        header = self._recv_exact(4)
+        (length,) = struct.unpack(">I", header)
+        if length > MAX_FRAME_BYTES:
+            raise ServiceError(
+                f"incoming shard frame of {length} bytes exceeds "
+                f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+            )
+        return decode_message(self._recv_exact(length))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self.sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise EOFError("shard socket closed")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    def __repr__(self) -> str:
+        try:
+            peer = self.sock.getpeername()
+        except OSError:
+            peer = "closed"
+        return f"SocketTransport(peer={peer})"
+
+
+def connect_shard(
+    address: Union[str, tuple[str, int]], timeout: Optional[float] = 10.0
+) -> SocketTransport:
+    """Connect to a listening shard server; returns a ready transport.
+
+    ``address`` is ``"HOST:PORT"`` or a ``(host, port)`` pair.  The
+    connect honors ``timeout``; the established socket then blocks
+    indefinitely (request latency is the service's business, not the
+    transport's).
+    """
+    host, port = (
+        parse_address(address) if isinstance(address, str) else address
+    )
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return SocketTransport(sock)
+
+
+class ShardListener:
+    """Accept side of the socket transport (the shard server's door)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind((host, port))
+        self.sock.listen()
+        self.host, self.port = self.sock.getsockname()[:2]
+        self.address = f"{self.host}:{self.port}"
+
+    def accept(self) -> SocketTransport:
+        """Block for one front connection (OSError once closed)."""
+        conn, _ = self.sock.accept()
+        return SocketTransport(conn)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    def __repr__(self) -> str:
+        return f"ShardListener(address={self.address!r})"

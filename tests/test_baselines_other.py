@@ -119,6 +119,31 @@ class TestKL:
         with pytest.raises(PartitionError):
             recursive_kl_partition(mesh60, 61)
 
+    def test_deadline_nonbinding_bit_identical(self, mesh120):
+        """A deadline that never binds changes nothing — same labels,
+        same RNG consumption (the racing portfolio's contract)."""
+        import time
+
+        plain = recursive_kl_partition(mesh120, 4, seed=0)
+        budgeted = recursive_kl_partition(
+            mesh120, 4, seed=0, deadline=time.perf_counter() + 1e6
+        )
+        assert np.array_equal(plain.assignment, budgeted.assignment)
+
+    def test_deadline_binding_cancels_midrun(self, mesh120):
+        """An already-passed deadline skips all refinement sweeps but
+        still returns a valid balanced k-way partition promptly."""
+        import time
+
+        t0 = time.perf_counter()
+        p = recursive_kl_partition(mesh120, 8, seed=0, deadline=t0)
+        elapsed = time.perf_counter() - t0
+        check_partition(p)
+        require_all_parts_nonempty(p)
+        unrefined = recursive_kl_partition(mesh120, 8, seed=0)
+        assert elapsed < 1.0  # no KL sweeps ran
+        assert p.cut_size >= unrefined.cut_size  # refinement was skipped
+
 
 class TestFM:
     def test_refine_improves_or_keeps(self, mesh120, rng):

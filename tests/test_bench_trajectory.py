@@ -79,6 +79,26 @@ class TestTrajectory:
         # kernel rows from the second snapshot still render
         assert "batch_part_loads" in out.stdout
 
+    def test_failover_section_rendered(self, tmp_path):
+        """The failover smoke numbers (PR 5) render as their own
+        section alongside the serving one."""
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        snap_a = {"serving": {"sharded_speedup_x": 2.4}, "ok": True}
+        snap_b = {
+            "serving": {"sharded_speedup_x": 2.9},
+            "failover": {"lost_answers": 0, "restart_s": 1.25,
+                         "resumed_identical": 1},
+            "ok": True,
+        }
+        a.write_text(json.dumps(snap_a))
+        b.write_text(json.dumps(snap_b))
+        out = run_cli(f"pr4:{a}", f"pr5:{b}")
+        assert out.returncode == 0, out.stderr
+        assert "| failover metric | pr4 | pr5 |" in out.stdout
+        assert "lost_answers | — | 0" in out.stdout
+        assert "restart_s | — | 1.25" in out.stdout
+
     def test_out_file_written(self, tmp_path):
         a = tmp_path / "a.json"
         a.write_text(json.dumps(snapshot(1.0, 50.0)))

@@ -550,7 +550,8 @@ class TestSessions:
             assert outcomes["b"]["n_updates"] == 2
             assert outcomes["a"]["session_id"] != outcomes["b"]["session_id"]
             assert svc.sessions.stats() == {
-                "open": 0, "opened": 2, "closed": 2, "updates": 4
+                "open": 0, "opened": 2, "closed": 2, "restored": 0,
+                "updates": 4,
             }
 
 
@@ -654,6 +655,25 @@ class TestPortfolio:
         )
         assert best.assignment.shape == (graph.n_nodes,)
         assert method  # some leg (or the fallback) won
+
+    def test_binding_budget_cancels_iterative_legs_midrun(self, graph):
+        """PR 5 satellite: a tight budget no longer lets the monolithic
+        KL/RSB legs overshoot — their per-sweep deadline checks cut
+        them, so the whole serial portfolio lands near the budget."""
+        import time
+
+        from repro.service import run_portfolio
+
+        t0 = time.perf_counter()
+        best, method, _, table = run_portfolio(
+            graph, 8, seed=0, time_budget=0.05, ga=GA, racing=False
+        )
+        elapsed = time.perf_counter() - t0
+        assert best.assignment.shape == (graph.n_nodes,)
+        # generous cap: without mid-leg cancellation a single KL/RSB
+        # leg at k=8 can run far past a 50 ms budget on its own
+        assert elapsed < 5.0
+        assert [row["method"] for row in table]  # the table still reports
 
     def test_engine_abort_callback(self, graph):
         """abort=True stops the run immediately with stopped_by="aborted";

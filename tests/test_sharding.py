@@ -1,15 +1,21 @@
-"""Tests for the process-parallel serving tier (PR 4).
+"""Tests for the process-parallel serving tier (PR 4/5).
 
 Covers: digest→shard routing stability, sharded vs single-process
 bit-identity on a replayed mixed trace, the process-pool execution
 lane (cost-model routing, graph shipping, bit-identity with the
-thread lane), and the sharded front's lifecycle/error behavior.
+thread lane), the sharded front's lifecycle/error behavior, and (PR 5)
+the fault-tolerant fleet: socket-vs-pipe transport equivalence,
+shard-death fail-fast, supervised restart with session failover
+bit-identity, and the exception round-trip hardening.
 """
+
+import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ShardDiedError
 from repro.experiments import replay_trace, service_trace
 from repro.graphs import mesh_graph
 from repro.incremental.updates import insert_local_nodes
@@ -18,6 +24,7 @@ from repro.service import (
     PartitionService,
     ServiceClient,
     ServiceConfig,
+    ShardServer,
     ShardedPartitionService,
     UpdateRequest,
     graph_digest,
@@ -176,6 +183,400 @@ class TestShardedService:
             server.service.close()
             server.shutdown()
             server.server_close()
+
+
+# ----------------------------------------------------------------------
+# socket transport (PR 5)
+# ----------------------------------------------------------------------
+
+class TestSocketTransport:
+    def test_message_codec_roundtrip(self, graph):
+        """The length-prefixed JSON codec round-trips the multiplexer
+        message shapes losslessly (requests, results, errors)."""
+        from repro.service.transport import decode_message, encode_message
+
+        req = PartitionRequest(graph, 4, seed=3, ga=GA)
+        msg = decode_message(encode_message((7, "submit", (req,))))
+        assert msg[0] == 7 and msg[1] == "submit"
+        back = msg[2][0]
+        assert back.graph == graph
+        assert (back.n_parts, back.seed, back.ga) == (4, 3, GA)
+
+        with PartitionService(n_workers=1) as svc:
+            result = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+        rid, ok, payload = decode_message(encode_message((9, True, result)))
+        assert (rid, ok) == (9, True)
+        assert np.array_equal(payload.assignment, result.assignment)
+        assert payload.cut_size == result.cut_size
+        assert payload.fitness == result.fitness
+
+        rid, ok, payload = decode_message(
+            encode_message((1, False, ShardDiedError("gone")))
+        )
+        assert not ok
+        assert isinstance(payload, ShardDiedError)
+        assert "gone" in str(payload)
+
+    def test_unknown_error_type_degrades_to_service_error(self):
+        from repro.service.models import error_from_wire
+
+        exc = error_from_wire({"type": "WeirdVendorError", "message": "x"})
+        assert type(exc) is ServiceError
+        assert "WeirdVendorError" in str(exc)
+
+    def test_parse_address(self):
+        from repro.service import parse_address
+
+        assert parse_address("10.0.0.5:4001") == ("10.0.0.5", 4001)
+        with pytest.raises(ServiceError):
+            parse_address("no-port")
+        with pytest.raises(ServiceError):
+            parse_address("host:abc")
+
+    def test_socket_vs_pipe_trace_bit_identical(self):
+        """Transport equivalence: the same mixed trace answers with
+        bit-identical assignments over socket-attached shard servers
+        and over local pipe shards."""
+        trace = service_trace(n_requests=8, seed=5, n_parts=4, ga=GA)
+        servers = [ShardServer(n_workers=2).start() for _ in range(2)]
+        try:
+            front = ShardedPartitionService(
+                attach=[s.address for s in servers]
+            )
+            with ServiceClient(service=front) as client:
+                socket_results = replay_trace(client, trace)
+            front.close()
+            with ServiceClient(shards=2, n_workers=2) as client:
+                pipe_results = replay_trace(client, trace)
+        finally:
+            for server in servers:
+                server.close()
+        assert len(socket_results) == len(pipe_results)
+        for (op_a, res_a), (op_b, res_b) in zip(socket_results, pipe_results):
+            assert op_a == op_b
+            if op_a["op"] in ("partition", "open", "update"):
+                assert np.array_equal(res_a.assignment, res_b.assignment)
+                assert res_a.cut_size == res_b.cut_size
+                assert res_a.fitness == res_b.fitness
+
+    def test_shard_server_outlives_front(self, graph):
+        """Detaching a front is not a shard death: the server keeps its
+        caches and sessions, and a re-attached front sees the caches
+        warm and rebuilds its session routing (list_sessions) so the
+        old front's sessions remain addressable."""
+        with ShardServer(n_workers=1) as server:
+            server.start()
+            front = ShardedPartitionService(attach=[server.address])
+            r1 = front.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            opened = front.open_session(graph, 4, seed=0, ga=GA)
+            front.close()
+            front = ShardedPartitionService(attach=[server.address])
+            r2 = front.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert r2.cache_hit  # the server-side cache survived
+            assert np.array_equal(r1.assignment, r2.assignment)
+            # the session opened through the previous front still routes
+            update = insert_local_nodes(graph, 5, seed=7).graph
+            got = front.update_session(
+                UpdateRequest(opened.session_id, update)
+            )
+            assert got.session_id == opened.session_id
+            summary = front.close_session(opened.session_id)
+            assert summary["n_updates"] == 1
+            front.close()
+
+    def test_attach_rejects_unreachable_address(self):
+        with pytest.raises(ShardDiedError, match="cannot attach"):
+            ShardedPartitionService(attach=["127.0.0.1:1"])
+
+    def test_attach_validation(self):
+        """An empty attach list must not silently fall back to local
+        shards, and an n_shards that disagrees with the attach list is
+        an error, not a guess."""
+        with pytest.raises(ServiceError, match="at least one"):
+            ShardedPartitionService(attach=[])
+        with pytest.raises(ServiceError, match="conflicts"):
+            ShardedPartitionService(
+                n_shards=3, attach=["127.0.0.1:1", "127.0.0.1:2"]
+            )
+        # config overrides cannot reach remote workers — reject rather
+        # than let the caller believe they took effect
+        with pytest.raises(ServiceError, match="no service config"):
+            ShardedPartitionService(attach=["127.0.0.1:1"], n_workers=4)
+
+    def test_client_rejects_shards_plus_attach(self):
+        with pytest.raises(ServiceError, match="not both"):
+            ServiceClient(shards=2, attach=["127.0.0.1:4001"])
+
+
+# ----------------------------------------------------------------------
+# failover: shard death, restart, session persistence (PR 5)
+# ----------------------------------------------------------------------
+
+def _wait_for(predicate, timeout=30.0, interval=0.05) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestFailover:
+    def test_shard_death_fails_pending_fast(self, graph):
+        """The satellite bugfix: killing a shard mid-request must fail
+        the waiting caller promptly with ShardDiedError — not leave it
+        blocked forever on a reply that will never come."""
+        with ShardedPartitionService(
+            n_shards=2, n_workers=1, auto_restart=False
+        ) as svc:
+            shard = svc.shard_of(graph)
+            caught: dict = {}
+
+            def slow_call():
+                try:
+                    svc.submit(PartitionRequest(
+                        graph, 4, seed=0,
+                        ga=dict(population_size=64, max_generations=2000,
+                                patience=None),
+                    ))
+                except Exception as exc:  # noqa: BLE001 - recorded for assert
+                    caught["exc"] = exc
+
+            thread = threading.Thread(target=slow_call)
+            thread.start()
+            handle = svc._slots[shard].handle
+            assert _wait_for(lambda: bool(handle._pending))
+            handle.process.kill()
+            thread.join(timeout=15.0)
+            assert not thread.is_alive(), "caller still blocked after death"
+            assert isinstance(caught["exc"], ShardDiedError)
+            # without auto-restart the slot stays down and fails fast
+            assert svc.shard_health()[shard]["state"] == "down"
+            with pytest.raises(ShardDiedError):
+                svc.submit(PartitionRequest(graph, 4, method="greedy"))
+
+    def test_restarted_shard_serves_same_digests(self, graph):
+        """Supervised restart: the replacement takes the dead shard's
+        slot, so digest routing is unchanged and answers stay
+        bit-identical to a single-process service."""
+        with PartitionService(n_workers=1) as single:
+            ref = single.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            shard = svc.shard_of(graph)
+            before = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            svc._slots[shard].handle.process.kill()
+            assert _wait_for(
+                lambda: svc.shard_health()[shard]["state"] == "up"
+                and svc.shard_health()[shard]["restarts"] == 1
+            )
+            after = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert after.shard == before.shard == shard
+            assert np.array_equal(after.assignment, ref.assignment)
+            assert np.array_equal(before.assignment, ref.assignment)
+            health = svc.shard_health()[shard]
+            assert health["restarts"] == 1 and health["state"] == "up"
+
+    def test_session_failover_bit_identical_to_uninterrupted(self, graph):
+        """The acceptance contract: a session restored from its
+        snapshot after shard death continues with assignments
+        bit-identical to an uninterrupted run at the same epochs."""
+        updates = []
+        g = graph
+        for step in range(3):
+            g = insert_local_nodes(g, 5, seed=100 + step).graph
+            updates.append(g)
+
+        with PartitionService(n_workers=1) as ref_svc:
+            opened = ref_svc.open_session(graph, 4, seed=0, ga=GA)
+            ref = [
+                ref_svc.update_session(UpdateRequest(opened.session_id, g))
+                for g in updates
+            ]
+
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            shard = svc.shard_of(graph)
+            opened = svc.open_session(graph, 4, seed=0, ga=GA)
+            assert opened.shard == shard
+            first = svc.update_session(
+                UpdateRequest(opened.session_id, updates[0])
+            )
+            assert np.array_equal(first.assignment, ref[0].assignment)
+            # crash the session's shard between epochs
+            svc._slots[shard].handle.process.kill()
+            assert _wait_for(
+                lambda: svc.shard_health()[shard]["state"] == "up"
+                and svc.shard_health()[shard]["restarts"] == 1
+            )
+            # the restored session resumes at the committed epoch —
+            # same session id, bit-identical continuation
+            for g, expected in zip(updates[1:], ref[1:]):
+                got = svc.update_session(UpdateRequest(opened.session_id, g))
+                assert got.session_id == opened.session_id
+                assert np.array_equal(got.assignment, expected.assignment)
+                assert got.cut_size == expected.cut_size
+                assert got.fitness == expected.fitness
+            summary = svc.close_session(opened.session_id)
+            assert summary["n_updates"] == 3
+
+    def test_restart_limit_bounds_crash_loop(self, graph):
+        """The supervisor restarts at most restart_limit times; beyond
+        that the slot goes down and callers fail fast instead of the
+        fleet thrashing forever."""
+        with ShardedPartitionService(
+            n_shards=1, n_workers=1, restart_limit=2
+        ) as svc:
+            for expected in (1, 2):
+                svc._slots[0].handle.process.kill()
+                assert _wait_for(
+                    lambda: svc.shard_health()[0]["state"] == "up"
+                    and svc.shard_health()[0]["restarts"] == expected
+                ), f"restart {expected} did not happen"
+            svc._slots[0].handle.process.kill()
+            assert _wait_for(
+                lambda: svc.shard_health()[0]["state"] == "down"
+            )
+            with pytest.raises(ShardDiedError):
+                svc.submit(PartitionRequest(graph, 4, method="greedy"))
+
+    def test_http_shard_death_answers_503(self, graph):
+        """At the HTTP boundary a dead shard is the *service's* fault:
+        503 (retryable), never 400 — clients must be able to tell
+        'retry once the shard is back' from 'fix your request'."""
+        from repro.service import HTTPServiceClient, serve
+
+        svc = ShardedPartitionService(
+            n_shards=2, n_workers=1, auto_restart=False
+        )
+        server = serve(port=0, background=True, service=svc)
+        host, port = server.server_address
+        client = HTTPServiceClient(f"http://{host}:{port}", timeout=60.0)
+        try:
+            shard = svc.shard_of(graph)
+            svc._slots[shard].handle.process.kill()
+            assert _wait_for(
+                lambda: svc.shard_health()[shard]["state"] == "down"
+            )
+            with pytest.raises(ServiceError, match="HTTP 503"):
+                client.partition(graph, 4, method="greedy")
+        finally:
+            svc.close()
+            server.shutdown()
+            server.server_close()
+
+    def test_snapshot_restore_preserves_session_state(self, graph):
+        """Unit-level: a PartitionService built over the same snapshot
+        dir restores open sessions (same id, same epoch) and a restored
+        session's next update is bit-identical."""
+        import tempfile
+
+        update = insert_local_nodes(graph, 5, seed=9).graph
+        with tempfile.TemporaryDirectory() as tmp:
+            with PartitionService(n_workers=1, snapshot_dir=tmp) as svc:
+                opened = svc.open_session(graph, 4, seed=0, ga=GA)
+                sid = opened.session_id
+                assert svc.persistence.stats()["snapshots_written"] == 1
+            # "crash": the service is gone, the store survives
+            with PartitionService(n_workers=1, snapshot_dir=tmp) as revived:
+                assert revived.sessions.stats()["restored"] == 1
+                got = revived.update_session(UpdateRequest(sid, update))
+            with PartitionService(n_workers=1) as ref_svc:
+                ref_open = ref_svc.open_session(graph, 4, seed=0, ga=GA)
+                ref = ref_svc.update_session(
+                    UpdateRequest(ref_open.session_id, update)
+                )
+            assert np.array_equal(opened.assignment, ref_open.assignment)
+            assert np.array_equal(got.assignment, ref.assignment)
+
+    def test_closed_session_snapshot_is_forgotten(self, graph):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            with PartitionService(n_workers=1, snapshot_dir=tmp) as svc:
+                opened = svc.open_session(graph, 4, seed=0, ga=GA)
+                assert svc.persistence.store.list_ids() == [opened.session_id]
+                svc.close_session(opened.session_id)
+                assert svc.persistence.store.list_ids() == []
+            with PartitionService(n_workers=1, snapshot_dir=tmp) as revived:
+                assert revived.sessions.stats()["restored"] == 0
+
+    def test_corrupt_snapshot_is_skipped(self, graph):
+        import tempfile
+        from pathlib import Path
+
+        from repro.service.persistence import SNAPSHOT_SUFFIX
+
+        with tempfile.TemporaryDirectory() as tmp:
+            Path(tmp, f"s9-bad{SNAPSHOT_SUFFIX}").write_bytes(b"not pickle")
+            with PartitionService(n_workers=1, snapshot_dir=tmp) as svc:
+                assert svc.persistence.stats()["restore_failures"] == 1
+                assert svc.sessions.stats()["restored"] == 0
+                # the service still works
+                r = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+                assert r.assignment.shape == (graph.n_nodes,)
+
+    def test_periodic_snapshot_pass_skips_busy_sessions(self, graph):
+        """A periodic pass only stores committed, quiescent state: a
+        session whose compute lock is held is skipped."""
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            with PartitionService(n_workers=1, snapshot_dir=tmp) as svc:
+                opened = svc.open_session(graph, 4, seed=0, ga=GA)
+                session = svc.sessions.get(opened.session_id)
+                # epoch unchanged since the on-commit write: nothing new
+                assert svc.persistence.snapshot_open_sessions() == 0
+                session.partitioner._epoch += 1  # simulate progress
+                with session.compute_lock:  # simulate a GA mid-flight
+                    assert svc.persistence.snapshot_open_sessions() == 0
+                assert svc.persistence.snapshot_open_sessions() == 1
+                session.partitioner._epoch -= 1
+
+
+# ----------------------------------------------------------------------
+# exception round-trip hardening (PR 5 satellite)
+# ----------------------------------------------------------------------
+
+class _PicklesButWontUnpickle(Exception):
+    """Dumps fine; loads raises TypeError (two required init args)."""
+
+    def __init__(self, a, b):
+        super().__init__(f"{a}:{b}")
+
+
+class _WontPickle(Exception):
+    def __reduce__(self):
+        raise RuntimeError("nope")
+
+
+class TestSafeException:
+    def test_round_trippable_exception_passes_through(self):
+        from repro.service.sharding import _safe_exception
+
+        exc = ServiceError("boom")
+        assert _safe_exception(exc) is exc
+
+    def test_unpicklable_exception_falls_back(self):
+        from repro.service.sharding import _safe_exception
+
+        out = _safe_exception(_WontPickle("x"))
+        assert type(out) is ServiceError
+        assert "_WontPickle" in str(out)
+
+    def test_pickles_but_wont_unpickle_falls_back(self):
+        """The satellite bugfix: an exception that *dumps* but cannot be
+        reconstructed front-side must be converted shard-side, not
+        allowed to detonate in the front's reply dispatch."""
+        import pickle
+
+        from repro.service.sharding import _safe_exception
+
+        exc = _PicklesButWontUnpickle("a", "b")
+        data = pickle.dumps(exc)  # dumps fine...
+        with pytest.raises(TypeError):
+            pickle.loads(data)  # ...loads does not
+        out = _safe_exception(exc)
+        assert type(out) is ServiceError
+        assert "_PicklesButWontUnpickle" in str(out) and "a:b" in str(out)
 
 
 # ----------------------------------------------------------------------

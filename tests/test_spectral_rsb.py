@@ -143,6 +143,29 @@ class TestRSB:
         p = rsb_partition(CSRGraph(0, [], []), 3)
         assert p.assignment.size == 0
 
+    def test_deadline_nonbinding_bit_identical(self, mesh120):
+        """A deadline that never binds changes nothing (the racing
+        portfolio's contract for its iterative baseline legs)."""
+        import time
+
+        plain = rsb_partition(mesh120, 4)
+        budgeted = rsb_partition(
+            mesh120, 4, deadline=time.perf_counter() + 1e6
+        )
+        assert np.array_equal(plain.assignment, budgeted.assignment)
+
+    def test_deadline_binding_skips_eigensolves(self, mesh120):
+        """Once the deadline passes, remaining levels split by index —
+        valid, prompt, and with every part non-empty."""
+        import time
+
+        t0 = time.perf_counter()
+        p = rsb_partition(mesh120, 8, deadline=t0)
+        elapsed = time.perf_counter() - t0
+        check_partition(p)
+        require_all_parts_nonempty(p)
+        assert elapsed < 1.0  # no eigensolves ran
+
     def test_disconnected_graph_handled(self):
         g = CSRGraph(6, [0, 1, 3, 4], [1, 2, 4, 5])  # two triangles paths
         p = rsb_partition(g, 2)
