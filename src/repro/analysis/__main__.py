@@ -1,0 +1,139 @@
+"""``python -m repro.analysis`` — the invariant-lint CLI.
+
+Exit status: 0 when no unsuppressed findings survive filtering (or
+``--gate`` is off), 1 when the gate fails, 2 on usage/parse errors.
+
+Examples
+--------
+Gate the library (CI's configuration)::
+
+    PYTHONPATH=src python -m repro.analysis src --gate --json report.json
+
+Report-only over scripts, tolerating existing debt::
+
+    PYTHONPATH=src python -m repro.analysis benchmarks examples \
+        --baseline analysis-baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .framework import (
+    apply_baseline,
+    default_config,
+    load_baseline,
+    registered_rules,
+    run_analysis,
+    write_baseline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="invariant lint for the repro codebase "
+        "(determinism, lock discipline, wire hygiene)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 if any unsuppressed finding remains",
+    )
+    parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the JSON report to PATH ('-' or bare flag: stdout)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="tolerate findings whose fingerprints appear in this file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="record current unsuppressed findings as tolerated debt",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human-readable report on stdout",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, fn in sorted(registered_rules().items()):
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{rule_id}: {doc[0] if doc else ''}".rstrip(": "))
+        print("LOCK-HELD-BLOCKING: lock held across a blocking call")
+        print("LOCK-ORDER-CYCLE: cycle in the lock-acquisition graph")
+        print("SUPPRESS-NO-REASON: suppression comment without a reason")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    report = run_analysis(args.paths, config=default_config(), rules=rules)
+
+    gating = report.unsuppressed
+    if args.baseline:
+        try:
+            gating = apply_baseline(report, load_baseline(args.baseline))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.write_baseline:
+        n = write_baseline(report, args.write_baseline)
+        print(f"baseline: recorded {n} fingerprint(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+
+    if args.json is not None:
+        payload = report.to_json()
+        payload["summary"]["gating"] = len(gating)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+
+    if not args.quiet and args.json != "-":
+        print(report.render_text())
+        if args.baseline and len(gating) != len(report.unsuppressed):
+            print(
+                f"baseline: {len(report.unsuppressed) - len(gating)} "
+                "finding(s) tolerated"
+            )
+
+    if report.parse_errors:
+        return 2
+    if args.gate and gating:
+        print(
+            f"gate: FAILED — {len(gating)} unsuppressed finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.gate:
+        print("gate: OK — zero unsuppressed findings", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

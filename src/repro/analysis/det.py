@@ -1,0 +1,316 @@
+"""DET rules: determinism hazards.
+
+The repo's headline guarantee is bit-identical answers across serving
+topologies, which only holds if every source of nondeterminism is
+funneled through explicitly seeded :class:`numpy.random.Generator`
+state.  These rules ban the three leak paths we have actually had to
+hunt by hand:
+
+* ``DET-GLOBAL-RNG`` — calls into process-global RNG state
+  (``np.random.<dist>()`` without a ``Generator``, ``random.*``,
+  ``random.seed``) and bare ``import random``.
+* ``DET-WALLCLOCK`` — wall-clock reads (``time.time``,
+  ``perf_counter`` …) flowing into *results* (returned values or
+  non-timing-named state) instead of budgets/metrics.
+* ``DET-SET-ORDER`` — iterating a set/frozenset (or materializing one
+  into an ordered container) where the order feeds downstream compute;
+  CPython set order varies with insertion history and hash
+  randomization.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from .framework import AnalysisConfig, FileContext, Finding, rule
+
+__all__ = ["DET_GLOBAL_RNG", "DET_WALLCLOCK", "DET_SET_ORDER"]
+
+DET_GLOBAL_RNG = "DET-GLOBAL-RNG"
+DET_WALLCLOCK = "DET-WALLCLOCK"
+DET_SET_ORDER = "DET-SET-ORDER"
+
+#: np.random attributes that are *not* global-state draws
+_NP_RANDOM_OK = {"Generator", "default_rng", "SeedSequence", "BitGenerator",
+                 "PCG64", "Philox", "SFC64", "MT19937"}
+
+#: wall-clock reads (time.X / datetime.datetime.now / np.datetime64('now'))
+_WALLCLOCK_ATTRS = {"time", "perf_counter", "monotonic", "process_time",
+                    "thread_time", "time_ns", "perf_counter_ns",
+                    "monotonic_ns"}
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for nested attributes, '' otherwise."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ----------------------------------------------------------------------
+# DET-GLOBAL-RNG
+# ----------------------------------------------------------------------
+
+@rule(DET_GLOBAL_RNG)
+def check_global_rng(
+    ctx: FileContext, config: AnalysisConfig
+) -> Iterator[Finding]:
+    """global / unseeded RNG use breaks replayability"""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    yield ctx.finding(
+                        DET_GLOBAL_RNG, node,
+                        "bare 'import random' — stdlib random is "
+                        "process-global state; use a seeded "
+                        "np.random.Generator",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield ctx.finding(
+                    DET_GLOBAL_RNG, node,
+                    "'from random import ...' — stdlib random is "
+                    "process-global state; use a seeded "
+                    "np.random.Generator",
+                )
+        elif isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            # np.random.shuffle(...) / numpy.random.standard_normal(...)
+            if (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and parts[0] in ("np", "numpy")
+                and parts[-1] not in _NP_RANDOM_OK
+            ):
+                yield ctx.finding(
+                    DET_GLOBAL_RNG, node,
+                    f"'{name}()' draws from numpy's process-global RNG; "
+                    "thread a seeded np.random.Generator instead",
+                )
+            # random.seed() / random.random() on the stdlib module
+            elif parts[0] == "random" and len(parts) == 2:
+                yield ctx.finding(
+                    DET_GLOBAL_RNG, node,
+                    f"'{name}()' uses stdlib process-global RNG; "
+                    "thread a seeded np.random.Generator instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET-WALLCLOCK
+# ----------------------------------------------------------------------
+
+def _is_wallclock_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _dotted(node.func)
+    parts = name.split(".")
+    if len(parts) == 2 and parts[0] == "time" and parts[1] in _WALLCLOCK_ATTRS:
+        return True
+    if name.endswith("datetime.now") or name.endswith("datetime.utcnow"):
+        return True
+    return False
+
+
+#: calls the clock taint flows *through* (pure converters); any other
+#: call result is presumed a metrics/formatting transform and opaque
+_TRANSPARENT_CALLS = {"float", "int", "round", "abs", "min", "max", "sum"}
+
+
+def _contains_wallclock(node: ast.AST, tainted: set) -> bool:
+    if _is_wallclock_call(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Call):
+        base = _dotted(node.func).split(".")[-1]
+        if base in _TRANSPARENT_CALLS:
+            return any(_contains_wallclock(a, tainted) for a in node.args)
+        # opaque: f(clock) returns metrics, not the clock itself — the
+        # seed-argument check below looks inside RNG calls explicitly
+        return False
+    return any(
+        _contains_wallclock(child, tainted)
+        for child in ast.iter_child_nodes(node)
+    )
+
+
+def _target_names(target: ast.AST):
+    """``(kind, name)`` pairs a store target binds: ``("name", x)`` for
+    plain locals (taintable), ``("attr", a)`` for attribute stores."""
+    if isinstance(target, ast.Name):
+        yield ("name", target.id)
+    elif isinstance(target, ast.Attribute):
+        yield ("attr", target.attr)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for el in target.elts:
+            yield from _target_names(el)
+    elif isinstance(target, (ast.Subscript, ast.Starred)):
+        yield from _target_names(target.value)
+
+
+def _walk_own(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function/module body without descending into nested
+    function or class definitions (they get their own visit)."""
+    for child in ast.iter_child_nodes(fn):
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                    ast.Lambda)
+        ):
+            continue
+        yield from _walk_own(child)
+
+
+@rule(DET_WALLCLOCK)
+def check_wallclock(
+    ctx: FileContext, config: AnalysisConfig
+) -> Iterator[Finding]:
+    """wall-clock value flows into results or seeds"""
+    timing_re = re.compile(config.timing_name_re, re.IGNORECASE)
+
+    def timing_named(name: str) -> bool:
+        return bool(timing_re.search(name))
+
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        fn_is_timing = timing_named(fn.name)
+        tainted: set = set()
+        for node in _walk_own(fn):
+            if isinstance(node, ast.Assign):
+                if not _contains_wallclock(node.value, tainted):
+                    continue
+                for target in node.targets:
+                    for kind, name in _target_names(target):
+                        if timing_named(name):
+                            continue
+                        if kind == "name":
+                            tainted.add(name)
+                        where = (
+                            f"assigned to '{name}'"
+                            if kind == "name"
+                            else f"stored on attribute '{name}'"
+                        )
+                        yield ctx.finding(
+                            DET_WALLCLOCK, node,
+                            f"wall-clock value {where} — name it as "
+                            "timing (t0/latency/deadline/..._s) or keep "
+                            "clocks out of results",
+                        )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if fn_is_timing:
+                    continue
+                if _contains_wallclock(node.value, tainted):
+                    yield ctx.finding(
+                        DET_WALLCLOCK, node,
+                        f"'{fn.name}' returns a wall-clock-derived value "
+                        "but is not named as a timing helper — clocks "
+                        "belong in budgets/metrics, not results",
+                    )
+            elif isinstance(node, ast.Call):
+                # seeding RNG state from the clock is the cardinal sin
+                name = _dotted(node.func)
+                seedish = name.endswith("default_rng") or name.endswith(".seed")
+                args = list(node.args) + [kw.value for kw in node.keywords]
+                if seedish and any(
+                    _contains_wallclock(a, tainted) for a in args
+                ):
+                    yield ctx.finding(
+                        DET_WALLCLOCK, node,
+                        "RNG seeded from the wall clock — seeds must be "
+                        "explicit and recorded",
+                    )
+
+
+# ----------------------------------------------------------------------
+# DET-SET-ORDER
+# ----------------------------------------------------------------------
+
+#: materializers that freeze an iteration order into an ordered result
+_ORDERING_SINKS = {"list", "tuple", "enumerate", "array", "asarray",
+                   "fromiter", "concatenate", "stack"}
+
+
+def _is_unordered_expr(node: ast.AST, tainted: set) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in tainted:
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        base = name.split(".")[-1]
+        if base in ("set", "frozenset"):
+            return True
+        # set ops on tainted operands: s.union(...), s.difference(...)
+        if base in ("union", "intersection", "difference",
+                    "symmetric_difference") and isinstance(
+                        node.func, ast.Attribute):
+            return _is_unordered_expr(node.func.value, tainted)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_unordered_expr(node.left, tainted) or _is_unordered_expr(
+            node.right, tainted
+        )
+    return False
+
+
+@rule(DET_SET_ORDER)
+def check_set_order(
+    ctx: FileContext, config: AnalysisConfig
+) -> Iterator[Finding]:
+    """iteration order of an unordered set can reach output"""
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(
+            fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ):
+            continue
+        tainted: set = set()
+        for node in _walk_own(fn):
+            if isinstance(node, ast.Assign):
+                if _is_unordered_expr(node.value, tainted):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tainted.add(target.id)
+                elif isinstance(node.value, ast.Call):
+                    # sorted(s) etc. launders the taint
+                    pass
+            elif isinstance(node, ast.For):
+                if _is_unordered_expr(node.iter, tainted):
+                    yield ctx.finding(
+                        DET_SET_ORDER, node,
+                        "iterating a set — order varies across runs; "
+                        "wrap in sorted(...) before the order can feed "
+                        "numeric state",
+                    )
+            elif isinstance(node, ast.comprehension):
+                if _is_unordered_expr(node.iter, tainted):
+                    yield ctx.finding(
+                        DET_SET_ORDER, getattr(node.iter, "lineno", 1),
+                        "comprehension over a set — order varies across "
+                        "runs; wrap in sorted(...) if order matters "
+                        "downstream",
+                    )
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                base = name.split(".")[-1]
+                if base in _ORDERING_SINKS and node.args:
+                    if _is_unordered_expr(node.args[0], tainted):
+                        yield ctx.finding(
+                            DET_SET_ORDER, node,
+                            f"'{base}(...)' materializes a set's "
+                            "iteration order — wrap the argument in "
+                            "sorted(...)",
+                        )

@@ -1,0 +1,79 @@
+"""General hygiene rules.
+
+``BROAD-EXCEPT`` — ``except:`` / ``except Exception:`` /
+``except BaseException:`` swallow programming errors (including the
+``ServiceError`` contract violations every other layer relies on
+surfacing).  Handlers whose body *ends by re-raising* are exempt —
+that's the narrow-and-convert pattern (catch broad, wrap in a typed
+error, raise) this repo uses at process boundaries.  Deliberate
+swallowers must carry ``# repro: allow[BROAD-EXCEPT] — <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import AnalysisConfig, FileContext, Finding, rule
+
+__all__ = ["BROAD_EXCEPT"]
+
+BROAD_EXCEPT = "BROAD-EXCEPT"
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    node = handler.type
+    if isinstance(node, ast.Attribute):  # builtins.Exception
+        return node.attr in _BROAD_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(
+            _is_broad(ast.ExceptHandler(type=el, name=None, body=[]))
+            for el in node.elts
+        )
+    return False
+
+
+def _ends_in_raise(body: list) -> bool:
+    """True when every terminating path of the handler re-raises."""
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, ast.Raise):
+        return True
+    if isinstance(last, ast.If):
+        return (
+            _ends_in_raise(last.body)
+            and bool(last.orelse)
+            and _ends_in_raise(last.orelse)
+        )
+    return False
+
+
+@rule(BROAD_EXCEPT)
+def check_broad_except(
+    ctx: FileContext, config: AnalysisConfig
+) -> Iterator[Finding]:
+    """broad exception handler swallows programming errors"""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node):
+            continue
+        if _ends_in_raise(node.body):
+            continue  # catch-and-convert: the error still surfaces
+        label = (
+            "bare except"
+            if node.type is None
+            else f"except {ast.unparse(node.type)}"
+        )
+        yield ctx.finding(
+            BROAD_EXCEPT, node,
+            f"{label}: swallows programming errors — narrow it, or "
+            "justify with # repro: allow[BROAD-EXCEPT] — <reason>",
+        )

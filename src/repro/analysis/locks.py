@@ -1,0 +1,798 @@
+"""LOCK rules: lock-acquisition graph extraction and discipline checks.
+
+The service tier holds two invariants by hand, established in PR 4/5:
+
+1. **No lock is held across a blocking call** — a GA run, a transport
+   ``send``/``recv``, ``pickle.dumps`` of a mesh — except the session
+   ``compute_lock``, whose entire job is serializing that blocking work
+   (:attr:`AnalysisConfig.compute_locks`).
+2. **Lock acquisition order is a DAG** — the overlapped-update path
+   nests ``Session.compute_lock → Session.lock →
+   SessionManager._lock``; any code path nesting in the other
+   direction is a deadlock waiting for load.
+
+This pass machine-checks both.  It is deliberately *intraprocedural
+plus summaries*: each function is walked once to collect its direct
+lock acquisitions, direct blocking calls, and resolved callees; a
+fixed-point pass propagates ``acquires``/``blocking`` through the call
+graph; a final walk tracks the held-lock stack through each function
+and emits:
+
+* ``LOCK-HELD-BLOCKING`` — a non-compute lock held at a blocking call
+  (direct, or into a callee whose summary blocks).
+* ``LOCK-ORDER-CYCLE`` — a strongly connected component in the
+  extracted acquisition graph.
+
+Lock identity is nominal: ``self.X = threading.Lock()`` in class ``C``
+defines node ``C.X``.  Receiver types are resolved heuristically —
+``self`` → enclosing class, local ``x = ClassName(...)``, instance
+attributes recorded from ``self.y = ClassName(...)``, snake-case
+variable → CamelCase class, and unique-attribute fallback — and
+anything unresolvable is *skipped*, not guessed: a missed edge is
+acceptable, a fabricated one is not.  ``@property`` methods are indexed
+so attribute reads like ``handle.alive`` (which acquires
+``_ShardHandle._pending_lock``) count as calls.  ``threading.
+Condition(lock)`` associates the condition with its lock; ``cond.
+wait()`` is exempt with respect to that lock (wait releases it).
+
+The extracted :class:`LockGraph` (with per-node definition sites) is
+what the runtime witness (:mod:`repro.analysis.runtime`) validates
+observed acquisition order against.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .framework import (
+    AnalysisConfig,
+    AnalysisReport,
+    FileContext,
+    Finding,
+    default_config,
+    project_rule,
+)
+
+__all__ = [
+    "LOCK_HELD_BLOCKING",
+    "LOCK_ORDER_CYCLE",
+    "BLOCKING_MATCHERS",
+    "LockGraph",
+    "LockNode",
+    "extract_lock_graph",
+]
+
+LOCK_HELD_BLOCKING = "LOCK-HELD-BLOCKING"
+LOCK_ORDER_CYCLE = "LOCK-ORDER-CYCLE"
+
+#: (method/attr name, receiver-text hint regex) — a call ``recv.name(...)``
+#: is considered blocking when the receiver's source text matches the hint
+BLOCKING_MATCHERS: tuple = (
+    ("run", r"engine"),
+    ("run_pending", r"."),
+    ("partition_initial", r"."),
+    ("update", r"partitioner"),
+    ("dumps", r"pickle"),
+    ("loads", r"pickle"),
+    ("send", r"transport|conn|pipe|sock"),
+    ("sendall", r"sock|conn"),
+    ("recv", r"transport|conn|pipe|sock"),
+    ("result", r"fut|pool|submit"),
+    ("join", r"thread|proc|timer|reader|restart|worker|pool"),
+    ("wait", r"."),  # condition exemption applies, see _process_call
+    ("sleep", r"^time$"),
+    ("accept", r"listener|sock"),
+    ("get", r"queue|_q$"),
+)
+
+#: names too generic for the unique-definition fallback
+_COMMON_NAMES = frozenset(
+    "run send recv close get put update submit wait start stop join result "
+    "acquire acquire_timeout release append add items values keys pop copy "
+    "open read write flush clear".split()
+)
+
+_LOCK_FACTORIES = {"Lock": "lock", "RLock": "rlock"}
+
+
+def _dotted(node: ast.AST) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _receiver_text(node: ast.AST) -> str:
+    text = _dotted(node)
+    if text:
+        return text
+    try:
+        return ast.unparse(node)
+    except (ValueError, RecursionError):  # pragma: no cover - exotic nodes
+        return ""
+
+
+def _snake_to_camel(name: str) -> str:
+    return "".join(part.capitalize() for part in name.strip("_").split("_"))
+
+
+# ----------------------------------------------------------------------
+# graph model
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class LockNode:
+    """One named lock with its definition site."""
+
+    name: str
+    kind: str  # "lock" | "rlock" | "condition"
+    path: str
+    line: int
+
+
+@dataclasses.dataclass
+class LockGraph:
+    """The statically extracted acquisition graph."""
+
+    nodes: dict = dataclasses.field(default_factory=dict)  # name -> LockNode
+    #: (outer, inner) -> [(path, line), ...] acquisition sites
+    edges: dict = dataclasses.field(default_factory=dict)
+    cycles: list = dataclasses.field(default_factory=list)
+
+    def add_node(self, node: LockNode) -> None:
+        self.nodes.setdefault(node.name, node)
+
+    def add_edge(self, outer: str, inner: str, path: str, line: int) -> None:
+        self.edges.setdefault((outer, inner), []).append((path, line))
+
+    def has_edge(self, outer: str, inner: str) -> bool:
+        return (outer, inner) in self.edges
+
+    def node_at(self, path: str, line: int) -> Optional[LockNode]:
+        """The lock defined at a given source location (the runtime
+        witness keys observed locks by creation site)."""
+        norm = str(Path(path).resolve())
+        for node in self.nodes.values():
+            if node.line == line and str(Path(node.path).resolve()) == norm:
+                return node
+        return None
+
+    def find_cycles(self) -> list:
+        """Strongly connected components of size > 1, plus self-loops
+        on non-reentrant locks."""
+        adjacency: dict = {}
+        for (outer, inner), _sites in self.edges.items():
+            adjacency.setdefault(outer, set()).add(inner)
+        index_of: dict = {}
+        lowlink: dict = {}
+        on_stack: set = set()
+        stack: list = []
+        sccs: list = []
+        counter = [0]
+
+        def strongconnect(v: str) -> None:
+            index_of[v] = lowlink[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in adjacency.get(v, ()):
+                if w not in index_of:
+                    strongconnect(w)
+                    lowlink[v] = min(lowlink[v], lowlink[w])
+                elif w in on_stack:
+                    lowlink[v] = min(lowlink[v], index_of[w])
+            if lowlink[v] == index_of[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+        vertices = set(adjacency)
+        for targets in adjacency.values():
+            vertices.update(targets)
+        for v in sorted(vertices):
+            if v not in index_of:
+                strongconnect(v)
+        for (outer, inner) in self.edges:
+            if outer == inner:
+                node = self.nodes.get(outer)
+                if node is None or node.kind != "rlock":
+                    sccs.append([outer])
+        self.cycles = sccs
+        return sccs
+
+    def to_json(self) -> dict:
+        return {
+            "nodes": [
+                {
+                    "name": n.name,
+                    "kind": n.kind,
+                    "path": n.path,
+                    "line": n.line,
+                }
+                for n in sorted(self.nodes.values(), key=lambda n: n.name)
+            ],
+            "edges": [
+                {
+                    "outer": outer,
+                    "inner": inner,
+                    "sites": [{"path": p, "line": l} for p, l in sites],
+                }
+                for (outer, inner), sites in sorted(self.edges.items())
+            ],
+            "cycles": self.cycles,
+        }
+
+
+# ----------------------------------------------------------------------
+# index: classes, methods, locks, properties
+# ----------------------------------------------------------------------
+
+class _ClassInfo:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.methods: dict = {}      # method name -> qname
+        self.properties: set = set()
+        self.attr_types: dict = {}   # self.X = ClassName(...) -> ClassName
+        self.lock_attrs: dict = {}   # attr -> lock node name
+        self.cond_attrs: dict = {}   # attr -> associated lock node name
+
+
+class _Func:
+    def __init__(self, qname, node, ctx, class_name):
+        self.qname = qname
+        self.node = node
+        self.ctx = ctx
+        self.class_name = class_name
+        # summary (filled by the fixed point)
+        self.direct_acquires: set = set()
+        self.direct_blocking: list = []   # descriptions
+        self.callees: set = set()
+        self.acquires: set = set()
+        self.blocking: list = []
+
+
+class _Index:
+    def __init__(self) -> None:
+        self.classes: dict = {}
+        self.funcs: dict = {}            # qname -> _Func
+        self.methods_by_name: dict = {}  # bare name -> [qname]
+        self.props_by_name: dict = {}    # property name -> [class name]
+        self.lock_attr_owners: dict = {} # attr -> [node names]
+
+    # -- construction --------------------------------------------------
+    def build(self, contexts: Iterable[FileContext], graph: LockGraph) -> None:
+        for ctx in contexts:
+            stem = Path(ctx.path).stem
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    self._index_class(node, ctx, graph)
+            for stmt in ctx.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{stem}.{stmt.name}"
+                    self.funcs[qname] = _Func(qname, stmt, ctx, None)
+                    self.methods_by_name.setdefault(stmt.name, []).append(qname)
+                elif isinstance(stmt, ast.Assign):
+                    self._maybe_module_lock(stmt, stem, ctx, graph)
+
+    def _index_class(self, cls: ast.ClassDef, ctx: FileContext,
+                     graph: LockGraph) -> None:
+        info = self.classes.setdefault(cls.name, _ClassInfo(cls.name))
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            qname = f"{cls.name}.{item.name}"
+            info.methods[item.name] = qname
+            self.funcs[qname] = _Func(qname, item, ctx, cls.name)
+            self.methods_by_name.setdefault(item.name, []).append(qname)
+            for deco in item.decorator_list:
+                deco_name = _dotted(deco) or (
+                    deco.id if isinstance(deco, ast.Name) else ""
+                )
+                if deco_name.split(".")[-1] in ("property", "cached_property"):
+                    info.properties.add(item.name)
+                    self.props_by_name.setdefault(item.name, []).append(cls.name)
+            # scan the method body for self.X = ... definitions
+            for node in ast.walk(item):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self._record_self_assign(
+                            info, target.attr, node, ctx, graph
+                        )
+
+    def _record_self_assign(self, info: _ClassInfo, attr: str,
+                            node: ast.Assign, ctx: FileContext,
+                            graph: LockGraph) -> None:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        callee = _dotted(value.func)
+        base = callee.split(".")[-1]
+        if base in _LOCK_FACTORIES:
+            name = f"{info.name}.{attr}"
+            info.lock_attrs[attr] = name
+            self.lock_attr_owners.setdefault(attr, []).append(name)
+            graph.add_node(
+                LockNode(name, _LOCK_FACTORIES[base], ctx.path, node.lineno)
+            )
+        elif base == "Condition":
+            if value.args:
+                # Condition(existing_lock): alias onto that lock node
+                inner = value.args[0]
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id == "self"
+                    and inner.attr in info.lock_attrs
+                ):
+                    info.cond_attrs[attr] = info.lock_attrs[inner.attr]
+                    return
+            name = f"{info.name}.{attr}"
+            info.cond_attrs[attr] = name
+            graph.add_node(LockNode(name, "condition", ctx.path, node.lineno))
+        elif base and base[0].isupper():
+            info.attr_types[attr] = base
+
+    def _maybe_module_lock(self, stmt: ast.Assign, stem: str,
+                           ctx: FileContext, graph: LockGraph) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            return
+        base = _dotted(value.func).split(".")[-1]
+        if base in _LOCK_FACTORIES:
+            name = f"{stem}:{stmt.targets[0].id}"
+            graph.add_node(
+                LockNode(name, _LOCK_FACTORIES[base], ctx.path, stmt.lineno)
+            )
+
+    # -- resolution ----------------------------------------------------
+    def resolve_type(self, expr: ast.AST, env: "_Env") -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return env.class_name
+            if expr.id in env.locals_types:
+                return env.locals_types[expr.id]
+            camel = _snake_to_camel(expr.id)
+            if camel in self.classes:
+                return camel
+            return None
+        if isinstance(expr, ast.Attribute):
+            owner = self.resolve_type(expr.value, env)
+            if owner is not None:
+                info = self.classes.get(owner)
+                if info is not None and expr.attr in info.attr_types:
+                    return info.attr_types[expr.attr]
+            return None
+        if isinstance(expr, ast.Call):
+            base = _dotted(expr.func).split(".")[-1]
+            if base in self.classes:
+                return base
+        return None
+
+    def resolve_lock(self, expr: ast.AST, env: "_Env") -> Optional[str]:
+        """The lock node a ``with``/``acquire`` expression names, if we
+        can tell; None means "unknown — do not track"."""
+        if isinstance(expr, ast.Name):
+            return env.local_locks.get(expr.id)
+        if not isinstance(expr, ast.Attribute):
+            return None
+        owner = self.resolve_type(expr.value, env)
+        if owner is not None:
+            info = self.classes.get(owner)
+            if info is not None:
+                if expr.attr in info.lock_attrs:
+                    return info.lock_attrs[expr.attr]
+                if expr.attr in info.cond_attrs:
+                    return info.cond_attrs[expr.attr]
+        # unique-attribute fallback: only one class defines this lock attr
+        owners = self.lock_attr_owners.get(expr.attr, [])
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+    def resolve_condition(self, expr: ast.AST, env: "_Env") -> Optional[str]:
+        """The lock associated with a condition-variable expression."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        owner = self.resolve_type(expr.value, env)
+        if owner is not None:
+            info = self.classes.get(owner)
+            if info is not None and expr.attr in info.cond_attrs:
+                return info.cond_attrs[expr.attr]
+        candidates = {
+            info.cond_attrs[expr.attr]
+            for info in self.classes.values()
+            if expr.attr in info.cond_attrs
+        }
+        if len(candidates) == 1:
+            return candidates.pop()
+        return None
+
+    def resolve_callee(self, func: ast.AST, env: "_Env") -> Optional[str]:
+        if isinstance(func, ast.Name):
+            qname = env.module_funcs.get(func.id)
+            if qname is not None:
+                return qname
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = self.resolve_type(func.value, env)
+        if owner is not None:
+            info = self.classes.get(owner)
+            if info is not None and func.attr in info.methods:
+                return info.methods[func.attr]
+        if func.attr in _COMMON_NAMES:
+            return None
+        qnames = self.methods_by_name.get(func.attr, [])
+        if len(qnames) == 1:
+            return qnames[0]
+        return None
+
+    def resolve_property(self, attr: ast.Attribute,
+                         env: "_Env") -> Optional[str]:
+        """``obj.attr`` read where ``attr`` is a known @property →
+        the property method's qname."""
+        owners = self.props_by_name.get(attr.attr)
+        if not owners:
+            return None
+        owner = self.resolve_type(attr.value, env)
+        if owner in owners:
+            return self.classes[owner].methods[attr.attr]
+        if len(owners) == 1:
+            return self.classes[owners[0]].methods[attr.attr]
+        return None
+
+
+class _Env:
+    """Per-function resolution environment."""
+
+    def __init__(self, fn: _Func, index: _Index) -> None:
+        self.class_name = fn.class_name
+        self.locals_types: dict = {}
+        self.local_locks: dict = {}
+        stem = Path(fn.ctx.path).stem
+        self.module_funcs = {
+            name.split(".", 1)[1]: name
+            for name, other in index.funcs.items()
+            if other.class_name is None and name.startswith(stem + ".")
+        }
+
+
+# ----------------------------------------------------------------------
+# per-function walking
+# ----------------------------------------------------------------------
+
+class _FunctionWalker:
+    """One walk of one function body, in source order, tracking the
+    held-lock stack.  Used twice: a summary pass (``emit=False``) and a
+    reporting pass (``emit=True``)."""
+
+    def __init__(self, fn: _Func, index: _Index, config: AnalysisConfig,
+                 graph: LockGraph, emit: bool,
+                 findings: Optional[list] = None) -> None:
+        self.fn = fn
+        self.index = index
+        self.config = config
+        self.graph = graph
+        self.emit = emit
+        self.findings = findings if findings is not None else []
+        self.env = _Env(fn, index)
+        self.held: list = []  # lock node names, outermost first
+
+    # -- helpers -------------------------------------------------------
+    def _held_relevant(self, exempt: Optional[str] = None) -> list:
+        return [
+            h
+            for h in self.held
+            if h not in self.config.compute_locks and h != exempt
+        ]
+
+    def _acquire(self, lock: str, line: int) -> None:
+        for h in self.held:
+            if self.emit and h != lock:
+                self.graph.add_edge(h, lock, self.fn.ctx.path, line)
+            if self.emit and h == lock:
+                self.graph.add_edge(h, lock, self.fn.ctx.path, line)
+        self.fn.direct_acquires.add(lock)
+        self.held.append(lock)
+
+    def _release(self, lock: str) -> None:
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i] == lock:
+                del self.held[i]
+                return
+
+    def _report_blocking(self, line: int, desc: str) -> None:
+        if not self.emit:
+            return
+        ctx = self.fn.ctx
+        held = ", ".join(self._held_relevant())
+        self.findings.append(
+            ctx.finding(
+                LOCK_HELD_BLOCKING, line,
+                f"{held} held across blocking {desc} in {self.fn.qname}",
+            )
+        )
+
+    # -- expression processing -----------------------------------------
+    def _iter_calls(self, expr: ast.AST):
+        """Calls and property reads in an expression, without descending
+        into nested function/lambda bodies."""
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def process_expr(self, expr: Optional[ast.AST]) -> None:
+        if expr is None:
+            return
+        for node in self._iter_calls(expr):
+            if isinstance(node, ast.Call):
+                self._process_call(node)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                self._process_property_read(node)
+
+    def _process_property_read(self, attr: ast.Attribute) -> None:
+        qname = self.index.resolve_property(attr, self.env)
+        if qname is None:
+            return
+        self._apply_callee_summary(qname, attr.lineno, f"@property {attr.attr}")
+
+    def _process_call(self, call: ast.Call) -> None:
+        func = call.func
+        line = call.lineno
+        # explicit acquire()/release()
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "acquire", "release"
+        ):
+            lock = self.index.resolve_lock(func.value, self.env)
+            if lock is not None:
+                if func.attr == "acquire":
+                    self._acquire(lock, line)
+                else:
+                    self._release(lock)
+            return
+        # direct blocking matchers
+        if isinstance(func, ast.Attribute):
+            recv_text = _receiver_text(func.value).lower()
+            for name, hint in BLOCKING_MATCHERS:
+                if func.attr != name:
+                    continue
+                if not re.search(hint, recv_text):
+                    continue
+                exempt = None
+                if name == "wait":
+                    exempt = self.index.resolve_condition(func.value, self.env)
+                desc = f"{recv_text or '?'}.{name}()"
+                self.fn.direct_blocking.append(desc)
+                if self._held_relevant(exempt):
+                    self._report_blocking(line, desc)
+                break
+        # callee summaries
+        qname = self.index.resolve_callee(func, self.env)
+        if qname is not None and qname != self.fn.qname:
+            self.fn.callees.add(qname)
+            self._apply_callee_summary(qname, line, f"call {qname}()")
+
+    def _apply_callee_summary(self, qname: str, line: int,
+                              what: str) -> None:
+        callee = self.index.funcs.get(qname)
+        if callee is None:
+            return
+        if callee.blocking and self._held_relevant():
+            self._report_blocking(
+                line, f"{what} [blocks on {callee.blocking[0]}]"
+            )
+        if self.emit:
+            for inner in callee.acquires:
+                for h in self.held:
+                    if h != inner:
+                        self.graph.add_edge(h, inner, self.fn.ctx.path, line)
+
+    # -- statement walking ---------------------------------------------
+    def walk(self) -> None:
+        self._exec_block(self.fn.node.body)
+
+    def _exec_block(self, stmts: list) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.With):
+            acquired = []
+            for item in stmt.items:
+                expr = item.context_expr
+                self.process_expr(expr)
+                lock = self.index.resolve_lock(expr, self.env)
+                if lock is not None:
+                    self._acquire(lock, stmt.lineno)
+                    acquired.append(lock)
+            self._exec_block(stmt.body)
+            for lock in reversed(acquired):
+                self._release(lock)
+        elif isinstance(stmt, ast.Assign):
+            self.process_expr(stmt.value)
+            self._track_assign(stmt)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            self.process_expr(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.process_expr(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self.process_expr(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.process_expr(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self.process_expr(stmt.iter)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            self.process_expr(stmt.exc)
+            self.process_expr(stmt.cause)
+        elif isinstance(stmt, (ast.Assert, ast.Delete)):
+            for value in ast.iter_child_nodes(stmt):
+                self.process_expr(value)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            pass  # nested definitions get their own walk
+        # remaining simple statements carry no calls we track
+
+    def _track_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return
+        name = stmt.targets[0].id
+        value = stmt.value
+        # lock alias: x = self._lock  /  x = threading.Lock()
+        if isinstance(value, ast.Call):
+            base = _dotted(value.func).split(".")[-1]
+            if base in _LOCK_FACTORIES:
+                node_name = f"{self.fn.qname}.{name}"
+                self.graph.add_node(
+                    LockNode(
+                        node_name,
+                        _LOCK_FACTORIES[base],
+                        self.fn.ctx.path,
+                        stmt.lineno,
+                    )
+                )
+                self.env.local_locks[name] = node_name
+                return
+            type_name = self.index.resolve_type(value, self.env)
+            if type_name is not None:
+                self.env.locals_types[name] = type_name
+            return
+        lock = self.index.resolve_lock(value, self.env)
+        if lock is not None:
+            self.env.local_locks[name] = lock
+            return
+        type_name = self.index.resolve_type(value, self.env)
+        if type_name is not None:
+            self.env.locals_types[name] = type_name
+
+
+# ----------------------------------------------------------------------
+# the project pass
+# ----------------------------------------------------------------------
+
+def _build(contexts: list, config: AnalysisConfig):
+    graph = LockGraph()
+    index = _Index()
+    index.build(contexts, graph)
+
+    # pass 1: direct effects (+ locals/type tracking happens per walk)
+    for fn in index.funcs.values():
+        fn.direct_acquires.clear()
+        fn.direct_blocking.clear()
+        fn.callees.clear()
+        _FunctionWalker(fn, index, config, graph, emit=False).walk()
+
+    # pass 2: fixed-point propagation of acquires/blocking
+    for fn in index.funcs.values():
+        fn.acquires = set(fn.direct_acquires)
+        fn.blocking = list(fn.direct_blocking)
+    for _ in range(len(index.funcs)):
+        changed = False
+        for fn in index.funcs.values():
+            for callee_name in fn.callees:
+                callee = index.funcs.get(callee_name)
+                if callee is None:
+                    continue
+                if not fn.acquires.issuperset(callee.acquires):
+                    fn.acquires |= callee.acquires
+                    changed = True
+                if callee.blocking and not fn.blocking:
+                    fn.blocking = [
+                        f"{callee_name}: {callee.blocking[0]}"
+                    ]
+                    changed = True
+        if not changed:
+            break
+    return graph, index
+
+
+@project_rule("locks")
+def analyze_locks(contexts: list, config: AnalysisConfig,
+                  report: AnalysisReport) -> None:
+    if not contexts:
+        return
+    graph, index = _build(contexts, config)
+
+    # pass 3: report — held-stack tracking with final summaries
+    findings: list = []
+    for fn in index.funcs.values():
+        fn.direct_acquires = set()
+        fn.direct_blocking = []
+        walker = _FunctionWalker(
+            fn, index, config, graph, emit=True, findings=findings
+        )
+        walker.walk()
+
+    for cycle in graph.find_cycles():
+        anchor = graph.nodes.get(cycle[0])
+        ctx = next(
+            (c for c in contexts if anchor is not None and c.path == anchor.path),
+            contexts[0],
+        )
+        line = anchor.line if anchor is not None else 1
+        findings.append(
+            ctx.finding(
+                LOCK_ORDER_CYCLE, line,
+                "lock-order cycle: " + " -> ".join(cycle + [cycle[0]]),
+            )
+        )
+
+    for finding in findings:
+        ctx = report._contexts.get(finding.path)
+        if ctx is not None and not config.rule_enabled(
+            finding.rule, finding.path
+        ):
+            continue
+        report.findings.append(finding)
+    report.lock_graph = graph
+
+
+def extract_lock_graph(
+    paths: Iterable[str], config: Optional[AnalysisConfig] = None
+) -> LockGraph:
+    """Standalone lock-graph extraction (what the runtime witness and
+    the tests consume)."""
+    from .framework import run_analysis
+
+    report = run_analysis(paths, config=config or default_config(), rules=[])
+    return report.lock_graph

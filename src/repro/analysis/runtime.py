@@ -1,0 +1,282 @@
+"""Runtime lock-order witness: validate the static lock graph against
+what the code actually does under test.
+
+:class:`LockWitness` monkeypatches the ``threading.Lock`` /
+``threading.RLock`` factories so every lock *created in repro source*
+while the witness is active is wrapped in a recorder.  Each wrapped
+lock is named by its **creation site** ``(file, line)`` — exactly the
+definition site the static analyzer records per
+:class:`~repro.analysis.locks.LockNode` — so observed behavior and the
+extracted graph share a key.  Locks created by the stdlib (Condition
+and Event internals, executors) have a ``threading.py`` creation frame
+and are left untouched.
+
+While active, the witness keeps a per-thread stack of held wrapped
+locks and records a directed edge ``outer → inner`` whenever a lock is
+acquired with others held.  Afterwards:
+
+* :meth:`assert_subgraph_of` — every observed edge must exist in the
+  statically extracted :class:`LockGraph` (the analyzer never
+  under-approximates reality on the exercised paths).
+* :meth:`assert_never_held_during` — a given lock was never held while
+  a probed function ran; :func:`probe` wraps e.g.
+  ``IncrementalGAPartitioner.run_pending`` so tests can assert the
+  session *state* lock is never held across a GA run on the overlapped
+  path.
+
+The witness only observes same-process locks — shard *processes* have
+their own interpreters — so tests drive the in-process service when
+they want witness coverage.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+__all__ = ["LockWitness", "WitnessViolation"]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class WitnessViolation(AssertionError):
+    """An observed acquisition contradicts the claimed discipline."""
+
+
+class _WrappedLock:
+    """A recording proxy around a real lock primitive."""
+
+    def __init__(self, real, site: tuple, witness: "LockWitness") -> None:
+        self._real = real
+        self._site = site
+        self._witness = witness
+
+    # context manager + primitive protocol (Condition-compatible)
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        ok = self._real.acquire(blocking, timeout)
+        if ok:
+            self._witness._on_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._witness._on_release(self)
+        self._real.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __repr__(self) -> str:
+        return f"WrappedLock({self._site[0]}:{self._site[1]})"
+
+
+class LockWitness:
+    """Context manager that records lock-acquisition order.
+
+    Parameters
+    ----------
+    source_prefixes:
+        Only locks whose creation frame lives under one of these path
+        prefixes are wrapped (default: the ``repro`` package source
+        tree).  Everything else — stdlib, test scaffolding — passes
+        through unwrapped.
+    """
+
+    def __init__(self, source_prefixes: Optional[Iterable[str]] = None) -> None:
+        if source_prefixes is None:
+            source_prefixes = [str(Path(__file__).resolve().parent.parent)]
+        self.prefixes = [str(Path(p).resolve()) for p in source_prefixes]
+        #: observed (outer_site, inner_site) -> count
+        self.edges: dict = {}
+        #: creation site -> number of locks created there
+        self.created: dict = {}
+        self._tls = threading.local()
+        self._active = False
+        self._probes: list = []
+        self._probe_events: list = []
+        # NOTE deliberately lock-free: recording uses only GIL-atomic
+        # dict/list operations.  The witness runs around code that may
+        # *fork* (the sharded fleet's constructor); a recorder mutex
+        # held by any thread at fork time would deadlock the child's
+        # first wrapped acquire.  A racy lost count is harmless — edge
+        # *presence* is what the assertions consume, and two threads
+        # first-inserting the same key both write it.
+
+    # -- factory patching ----------------------------------------------
+    def _creation_site(self) -> Optional[tuple]:
+        """The immediate caller of ``threading.Lock()``.
+
+        Only the direct creation frame counts: a lock created *by the
+        stdlib on behalf of* repro code (a Future's internal Condition,
+        an executor's queue) is stdlib state and must stay unwrapped —
+        Condition's no-arg RLock in particular relies on the real
+        RLock's ``_is_owned``.
+        """
+        import sys
+
+        frame = sys._getframe(2)
+        filename = str(Path(frame.f_code.co_filename).resolve())
+        if any(filename.startswith(p) for p in self.prefixes):
+            return (filename, frame.f_lineno)
+        return None
+
+    def _make_lock(self):
+        site = self._creation_site()
+        real = _REAL_LOCK()
+        if site is None:
+            return real
+        self.created[site] = self.created.get(site, 0) + 1
+        return _WrappedLock(real, site, self)
+
+    def _make_rlock(self):
+        site = self._creation_site()
+        real = _REAL_RLOCK()
+        if site is None:
+            return real
+        self.created[site] = self.created.get(site, 0) + 1
+        return _WrappedLock(real, site, self)
+
+    # -- recording -----------------------------------------------------
+    def _held_stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _on_acquire(self, lock: _WrappedLock) -> None:
+        stack = self._held_stack()
+        for held in stack:
+            if held is lock:
+                continue
+            edge = (held._site, lock._site)
+            self.edges[edge] = self.edges.get(edge, 0) + 1
+        for probe_name, _fn in self._active_probes():
+            self._probe_events.append(
+                ("acquire-under-probe", probe_name, lock._site)
+            )
+        stack.append(lock)
+
+    def _on_release(self, lock: _WrappedLock) -> None:
+        stack = self._held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    def _active_probes(self) -> list:
+        return getattr(self._tls, "probes", [])
+
+    # -- probes --------------------------------------------------------
+    def probe(self, owner, attr: str) -> None:
+        """Wrap ``owner.attr`` (an unbound function) so the witness can
+        tell which locks are held *on the calling thread* while it runs.
+        Restored on exit."""
+        original = getattr(owner, attr)
+        witness = self
+        name = f"{getattr(owner, '__name__', owner)}.{attr}"
+
+        def wrapper(*args, **kwargs):
+            held = [lock._site for lock in witness._held_stack()]
+            witness._probe_events.append(("probe-run", name, tuple(held)))
+            probes = getattr(witness._tls, "probes", None)
+            if probes is None:
+                probes = witness._tls.probes = []
+            probes.append((name, original))
+            try:
+                return original(*args, **kwargs)
+            finally:
+                probes.pop()
+
+        self._probes.append((owner, attr, original))
+        setattr(owner, attr, wrapper)
+
+    def probe_runs(self, name_suffix: str) -> list:
+        """Held-lock snapshots for every run of a probed function."""
+        return [
+            held
+            for kind, name, held in list(self._probe_events)
+            if kind == "probe-run" and name.endswith(name_suffix)
+        ]
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "LockWitness":
+        if self._active:  # pragma: no cover - defensive
+            raise RuntimeError("LockWitness is not reentrant")
+        self._active = True
+        threading.Lock = self._make_lock
+        threading.RLock = self._make_rlock
+        return self
+
+    def __exit__(self, *exc) -> None:
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        for owner, attr, original in reversed(self._probes):
+            setattr(owner, attr, original)
+        self._probes.clear()
+        self._active = False
+
+    # -- assertions ----------------------------------------------------
+    def observed_edges(self) -> dict:
+        return dict(self.edges)
+
+    def _node_name(self, graph, site: tuple) -> str:
+        node = graph.node_at(site[0], site[1])
+        if node is not None:
+            return node.name
+        return f"{Path(site[0]).name}:{site[1]}"
+
+    def assert_subgraph_of(
+        self,
+        graph,
+        ignore: Optional[Callable[[tuple, tuple], bool]] = None,
+    ) -> list:
+        """Every observed edge must exist in the static graph.
+
+        Edges between locks the static pass has no node for (e.g.
+        test-local locks) are reported only when both endpoints map to
+        static nodes.  Returns the list of mapped observed edges, as
+        ``(outer_name, inner_name)`` pairs.
+        """
+        mapped = []
+        missing = []
+        for (outer_site, inner_site), count in self.observed_edges().items():
+            if ignore is not None and ignore(outer_site, inner_site):
+                continue
+            outer = graph.node_at(*outer_site)
+            inner = graph.node_at(*inner_site)
+            if outer is None or inner is None:
+                continue  # lock unknown to the static pass: not its claim
+            mapped.append((outer.name, inner.name))
+            if not graph.has_edge(outer.name, inner.name):
+                missing.append(
+                    f"{outer.name} -> {inner.name} (observed {count}x, "
+                    "absent from the static lock graph)"
+                )
+        if missing:
+            raise WitnessViolation(
+                "observed lock order is not a subgraph of the static "
+                "graph:\n  " + "\n  ".join(missing)
+            )
+        return mapped
+
+    def assert_never_held_during(self, graph, lock_name: str,
+                                 probe_suffix: str) -> int:
+        """Assert the named static lock was never held while a probed
+        function ran; returns how many probe runs were checked."""
+        runs = self.probe_runs(probe_suffix)
+        for held in runs:
+            names = [self._node_name(graph, site) for site in held]
+            if lock_name in names:
+                raise WitnessViolation(
+                    f"{lock_name} held during {probe_suffix} "
+                    f"(held stack: {names})"
+                )
+        return len(runs)

@@ -50,7 +50,7 @@ def _sparse_fiedler(graph: CSRGraph, seed: Optional[int]) -> tuple[float, np.nda
             which="LM",
             v0=rng.standard_normal(n),
         )
-    except Exception:
+    except (RuntimeError, ValueError):  # ArpackError is a RuntimeError
         try:
             vals, vecs = spla.eigsh(
                 lap.astype(np.float64), k=2, which="SM",

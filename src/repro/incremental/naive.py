@@ -44,7 +44,8 @@ def naive_incremental_partition(
         # weight (most informed decision first)
         best_node = -1
         best_support = -1.0
-        for node in pending:
+        # sorted: the greedy tie-break must not depend on set order
+        for node in sorted(pending):
             nbrs = new_graph.neighbors(node)
             wts = new_graph.neighbor_weights(node)
             support = float(wts[labels[nbrs] >= 0].sum())

@@ -146,7 +146,7 @@ class HTTPServiceClient:
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode()).get("error", str(exc))
-            except Exception:
+            except (OSError, ValueError, AttributeError):
                 message = str(exc)
             raise ServiceError(
                 f"{path} failed with HTTP {exc.code}: {message}"

@@ -159,6 +159,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
         except BrokenPipeError:
             pass
+        # repro: allow[BROAD-EXCEPT] — the 500 boundary: a handler bug must
+        # answer JSON, not kill the client's connection
         except Exception as exc:  # pragma: no cover - defensive boundary
             self._send_json(500, {"error": f"internal error: {exc}"})
 

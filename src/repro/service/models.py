@@ -95,6 +95,8 @@ def error_from_wire(obj: dict) -> Exception:
     if isinstance(cls, type) and issubclass(cls, errors.ReproError):
         try:
             return cls(message)
+        # repro: allow[BROAD-EXCEPT] — an exotic ReproError constructor must
+        # degrade to ServiceError below, not crash reply decoding
         except Exception:  # pragma: no cover - exotic constructor
             pass
     if name and name != "ServiceError":

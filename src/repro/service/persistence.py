@@ -180,6 +180,8 @@ class SessionPersistence:
             try:
                 session = restore_session(self.store.load(session_id))
                 self.sessions.restore(session)
+            # repro: allow[BROAD-EXCEPT] — a corrupt/stale snapshot must not
+            # keep a restarting shard from serving; counted in restore_failures
             except Exception:
                 with self._lock:
                     self.restore_failures += 1
@@ -211,6 +213,9 @@ class SessionPersistence:
                 epoch = session.partitioner.epoch
             data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
             self._write(session.id, data, epoch)
+        # repro: allow[BROAD-EXCEPT] — commit never raises: the update already
+        # committed in-memory, so failure degrades durability (write_failures),
+        # never the answer (see docstring for the bit-identity argument)
         except Exception:
             with self._lock:
                 self.write_failures += 1
@@ -241,8 +246,10 @@ class SessionPersistence:
         while not self._stop.wait(self.interval_s):
             try:
                 self.snapshot_open_sessions()
+            # repro: allow[BROAD-EXCEPT] — a snapshot pass must never kill
+            # the periodic timer thread
             except Exception:
-                pass  # a snapshot pass must never kill the timer
+                pass
 
     def snapshot_open_sessions(self) -> int:
         """One periodic pass: snapshot every open session whose epoch
@@ -267,6 +274,9 @@ class SessionPersistence:
                         state, protocol=pickle.HIGHEST_PROTOCOL
                     )
                     self._write(session.id, data, epoch)
+                # repro: allow[BROAD-EXCEPT] — a per-session write failure
+                # degrades durability for that session only; counted, pass
+                # continues
                 except Exception:
                     with self._lock:
                         self.write_failures += 1

@@ -94,6 +94,9 @@ class Session:
         worker slot pinned to the session, not on the request thread)."""
         t0 = time.perf_counter()
         with self.compute_lock, self.lock:
+            # repro: allow[LOCK-HELD-BLOCKING] — the first GA runs under the
+            # state lock by design: the session publishes nothing before its
+            # initial partition exists, so nobody can contend
             partition = self.partitioner.partition_initial()
         self.total_ga_seconds += time.perf_counter() - t0
         return partition
@@ -223,6 +226,9 @@ class SessionManager:
             # have removed the session between get() and here, and an
             # update must not "succeed" against a closed session
             self._check_registered(session_id, session)
+            # repro: allow[LOCK-HELD-BLOCKING] — the serial-lock path's
+            # documented contract: the state lock is held for the whole GA
+            # run, so a concurrent close waits (PR 3 semantics)
             partition = session.partitioner.update(new_graph)
             session.n_updates += 1
         with self._lock:
@@ -250,6 +256,8 @@ class SessionManager:
                 if session.partitioner.partition is None:
                     # first contact — an initial partition cannot
                     # overlap with anything; behave like the serial path
+                    # repro: allow[LOCK-HELD-BLOCKING] — nothing is published
+                    # before the first partition, so nobody can contend
                     partition = session.partitioner.update(new_graph)
                     session.n_updates += 1
                     return self._finish_update(session, t0, partition)

@@ -122,6 +122,8 @@ def _safe_exception(exc: BaseException) -> Exception:
         clone = pickle.loads(pickle.dumps(exc))
         if type(clone) is type(exc) and isinstance(exc, Exception):
             return exc
+    # repro: allow[BROAD-EXCEPT] — any round-trip failure means the
+    # exception is unsafe to ship; degrade to ServiceError below
     except Exception:
         pass
     return ServiceError(f"{type(exc).__name__}: {exc}")
@@ -153,10 +155,14 @@ def _serve_shard(transport: ShardTransport, service) -> None:
             else:
                 raise ServiceError(f"unknown shard verb {verb!r}")
             reply = (req_id, True, out)
+        # repro: allow[BROAD-EXCEPT] — the serving loop answers every
+        # request: handler errors become error replies, never a dead channel
         except BaseException as exc:
             reply = (req_id, False, _safe_exception(exc))
         try:
             transport.send(reply)
+        # repro: allow[BROAD-EXCEPT] — a reply that cannot serialize must
+        # still be answered, or the front's call would wait forever
         except Exception as exc:
             # a reply that cannot serialize must still be answered, or
             # the front's call would wait forever — fall back to an
@@ -168,6 +174,9 @@ def _serve_shard(transport: ShardTransport, service) -> None:
                     False,
                     ServiceError(f"shard reply failed to send: {exc!r}"),
                 ))
+            # repro: allow[BROAD-EXCEPT] — last resort: if even the error
+            # reply fails the channel is dead and the reader's EOF flushes
+            # every waiter
             except Exception:
                 pass
 
@@ -705,6 +714,8 @@ class ShardedPartitionService:
             handle = self._spawn_local(
                 slot.index, ctx=multiprocessing.get_context("spawn")
             )
+        # repro: allow[BROAD-EXCEPT] — a failed restart attempt must never
+        # crash the restart thread: mark the slot down so waiters fail fast
         except BaseException:
             with self._fleet_lock:
                 slot.state = "down"

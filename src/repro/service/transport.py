@@ -229,6 +229,9 @@ class PipeTransport(ShardTransport):
 
     def send(self, message) -> None:
         with self._send_lock:
+            # repro: allow[LOCK-HELD-BLOCKING] — holding the send lock across
+            # the write IS the serialization: whole frames must hit the pipe
+            # atomically, and the lock guards nothing else
             self.conn.send(message)
 
     def recv(self):
@@ -237,7 +240,7 @@ class PipeTransport(ShardTransport):
     def close(self) -> None:
         try:
             self.conn.close()
-        except Exception:
+        except OSError:
             pass
 
     def __repr__(self) -> str:
@@ -264,6 +267,9 @@ class SocketTransport(ShardTransport):
             )
         frame = struct.pack(">I", len(body)) + body
         with self._send_lock:
+            # repro: allow[LOCK-HELD-BLOCKING] — holding the send lock across
+            # sendall IS the serialization: whole frames must hit the socket
+            # atomically, and the lock guards nothing else
             self.sock.sendall(frame)
 
     def recv(self):

@@ -1,0 +1,121 @@
+"""Tests for GA convergence analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ga import (
+    DKNUX,
+    Fitness1,
+    GAConfig,
+    GAEngine,
+    GAHistory,
+    aggregate_histories,
+    generations_to_reach,
+    normalized_auc,
+    repeat_runs,
+)
+from repro.graphs import mesh_graph
+
+
+def _history(values):
+    h = GAHistory()
+    for v in values:
+        h.record(np.array([v]), best_cut=1, best_worst_cut=1, evaluations=1)
+    return h
+
+
+class TestAggregate:
+    def test_mean_min_max(self):
+        summary = aggregate_histories(
+            [_history([-4, -2]), _history([-2, -1])]
+        )
+        assert summary.mean.tolist() == [-3.0, -1.5]
+        assert summary.min.tolist() == [-4.0, -2.0]
+        assert summary.max.tolist() == [-2.0, -1.0]
+        assert summary.n_runs == 2
+        assert summary.final_best == -1.0
+
+    def test_ragged_truncated_to_common_prefix(self):
+        summary = aggregate_histories(
+            [_history([-3, -2, -1]), _history([-4, -3])]
+        )
+        assert summary.n_generations == 2
+
+    def test_std_zero_for_identical_runs(self):
+        summary = aggregate_histories([_history([-2, -1])] * 3)
+        assert np.all(summary.std == 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            aggregate_histories([])
+        with pytest.raises(ConfigError):
+            aggregate_histories([GAHistory()])
+
+
+class TestSpeedMetrics:
+    def test_generations_to_reach(self):
+        h = _history([-10, -5, -2, -2, -1])
+        assert generations_to_reach(h, -5) == 1
+        assert generations_to_reach(h, -1) == 4
+        assert generations_to_reach(h, 0) is None
+
+    def test_normalized_auc_monotone_comparison(self):
+        fast = _history([-10, -1, -1, -1])
+        slow = _history([-10, -9, -8, -1])
+        assert normalized_auc(fast) > normalized_auc(slow)
+
+    def test_normalized_auc_flat_curve(self):
+        assert normalized_auc(_history([-3, -3, -3])) == 1.0
+
+    def test_normalized_auc_range(self):
+        h = _history([-10, -7, -4, -1])
+        assert 0.0 <= normalized_auc(h) <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            normalized_auc(GAHistory())
+
+
+class TestRepeatRuns:
+    def test_runs_and_aggregates(self):
+        g = mesh_graph(30, seed=61)
+        fit = Fitness1(g, 2)
+
+        def factory(seed):
+            return GAEngine(
+                g,
+                fit,
+                DKNUX(g, 2),
+                GAConfig(population_size=12, max_generations=8),
+                seed=seed,
+            )
+
+        results, summary = repeat_runs(factory, 3, base_seed=5)
+        assert len(results) == 3
+        assert summary.n_runs == 3
+        assert summary.n_generations == 9  # initial + 8
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigError):
+            repeat_runs(lambda s: None, 0)
+
+    def test_dknux_auc_beats_two_point(self):
+        """Quantified version of the paper's speed claim."""
+        from repro.ga import TwoPointCrossover
+
+        g = mesh_graph(60, seed=62)
+        fit = Fitness1(g, 4)
+        cfg = GAConfig(population_size=24, max_generations=25)
+
+        def dknux_factory(seed):
+            return GAEngine(g, fit, DKNUX(g, 4), cfg, seed=seed)
+
+        def twopt_factory(seed):
+            return GAEngine(g, fit, TwoPointCrossover(), cfg, seed=seed)
+
+        d_results, _ = repeat_runs(dknux_factory, 2, base_seed=1)
+        t_results, _ = repeat_runs(twopt_factory, 2, base_seed=1)
+        d_final = np.mean([r.best_fitness for r in d_results])
+        t_final = np.mean([r.best_fitness for r in t_results])
+        assert d_final > t_final

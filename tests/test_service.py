@@ -10,14 +10,17 @@ HTTP smoke test replaying a workloads-derived mixed trace.
 
 import json
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import partition_graph
+from repro.analysis import LockWitness, WitnessViolation, extract_lock_graph
 from repro.errors import GraphFormatError, ServiceError
 from repro.ga.config import GAConfig
 from repro.graphs import mesh_graph
+from repro.incremental.partitioner import IncrementalGAPartitioner
 from repro.incremental.updates import insert_local_nodes
 from repro.service import (
     DEFAULT_GA_OVERRIDES,
@@ -44,6 +47,16 @@ GA = dict(population_size=12, max_generations=6, patience=3)
 @pytest.fixture
 def graph():
     return mesh_graph(48, seed=3)
+
+
+@pytest.fixture(scope="module")
+def lock_graph():
+    """The statically extracted lock graph for the repro package — the
+    claim the runtime witness checks observed behavior against."""
+    import repro
+
+    src = Path(repro.__file__).resolve().parent
+    return extract_lock_graph([str(src)])
 
 
 @pytest.fixture
@@ -428,10 +441,16 @@ class TestSessions:
         agreement = float(np.mean(old == new))
         assert agreement > 0.5
 
-    def test_overlapped_updates_match_serial_lock_path(self, graph):
+    def test_overlapped_updates_match_serial_lock_path(self, graph, lock_graph):
         """The PR-4 acceptance contract: the overlapped update path
         (short state lock, GA outside it) produces bit-identical
-        assignments to the serial-lock path on the same update trace."""
+        assignments to the serial-lock path on the same update trace.
+
+        Both drives run under the lock-order witness: every observed
+        acquisition order must appear in the static lock graph, the
+        overlapped path must never hold the session state lock across a
+        GA run, and the serial path must (the positive control that the
+        witness actually sees through ``run_pending``)."""
         updates = []
         current = graph
         for step in range(3):
@@ -440,38 +459,73 @@ class TestSessions:
 
         def drive(overlap: bool):
             outs = []
-            with PartitionService(n_workers=1, overlap_updates=overlap) as svc:
-                opened = svc.open_session(graph, 4, seed=0, ga=GA)
-                outs.append(opened.assignment)
-                for g in updates:
-                    result = svc.update_session(
-                        UpdateRequest(opened.session_id, g)
-                    )
-                    outs.append(result.assignment)
-                svc.close_session(opened.session_id)
-            return outs
+            with LockWitness() as witness:
+                witness.probe(IncrementalGAPartitioner, "run_pending")
+                with PartitionService(
+                    n_workers=1, overlap_updates=overlap
+                ) as svc:
+                    opened = svc.open_session(graph, 4, seed=0, ga=GA)
+                    outs.append(opened.assignment)
+                    for g in updates:
+                        result = svc.update_session(
+                            UpdateRequest(opened.session_id, g)
+                        )
+                        outs.append(result.assignment)
+                    svc.close_session(opened.session_id)
+            return outs, witness
 
-        serial = drive(overlap=False)
-        overlapped = drive(overlap=True)
+        serial, w_serial = drive(overlap=False)
+        overlapped, w_over = drive(overlap=True)
         for a, b in zip(serial, overlapped):
             assert np.array_equal(a, b)
 
-    def test_overlapped_manager_paths_are_equivalent(self, graph):
-        """SessionManager.update vs update_overlapped, driven directly."""
+        # observed acquisition order ⊆ statically extracted lock graph
+        w_serial.assert_subgraph_of(lock_graph)
+        w_over.assert_subgraph_of(lock_graph)
+        # overlapped: the state lock is never held across a GA run
+        checked = w_over.assert_never_held_during(
+            lock_graph, "Session.lock", "run_pending"
+        )
+        assert checked == len(updates)
+        # serial positive control: the same probe *does* see the state
+        # lock held there, so a silent witness is a broken witness
+        with pytest.raises(WitnessViolation):
+            w_serial.assert_never_held_during(
+                lock_graph, "Session.lock", "run_pending"
+            )
+
+    def test_overlapped_manager_paths_are_equivalent(self, graph, lock_graph):
+        """SessionManager.update vs update_overlapped, driven directly,
+        each under the lock-order witness: the overlapped path runs the
+        GA with the state lock free, the serial path with it held."""
         from repro.service import SessionManager
 
         update = insert_local_nodes(graph, 6, seed=9)
         results = {}
         for name in ("serial", "overlapped"):
-            manager = SessionManager()
-            session = manager.open(graph, 4, seed=3, ga=GA)
-            session.partition_initial()
-            if name == "serial":
-                _, part = manager.update(session.id, update.graph)
-            else:
-                _, part = manager.update_overlapped(session.id, update.graph)
+            with LockWitness() as witness:
+                witness.probe(IncrementalGAPartitioner, "run_pending")
+                manager = SessionManager()
+                session = manager.open(graph, 4, seed=3, ga=GA)
+                session.partition_initial()
+                if name == "serial":
+                    _, part = manager.update(session.id, update.graph)
+                else:
+                    _, part = manager.update_overlapped(
+                        session.id, update.graph
+                    )
             results[name] = part.assignment
             assert session.n_updates == 1
+            witness.assert_subgraph_of(lock_graph)
+            if name == "serial":
+                with pytest.raises(WitnessViolation):
+                    witness.assert_never_held_during(
+                        lock_graph, "Session.lock", "run_pending"
+                    )
+            else:
+                assert witness.assert_never_held_during(
+                    lock_graph, "Session.lock", "run_pending"
+                ) == 1
         assert np.array_equal(results["serial"], results["overlapped"])
 
     def test_close_wins_over_inflight_overlapped_update(self, graph):

@@ -11,11 +11,14 @@ bit-identity, and the exception round-trip hardening.
 
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.analysis import LockWitness, extract_lock_graph
 from repro.errors import ServiceError, ShardDiedError
+from repro.incremental.partitioner import IncrementalGAPartitioner
 from repro.experiments import replay_trace, service_trace
 from repro.graphs import mesh_graph
 from repro.incremental.updates import insert_local_nodes
@@ -38,6 +41,16 @@ GA = dict(population_size=12, max_generations=6, patience=3)
 @pytest.fixture
 def graph():
     return mesh_graph(48, seed=3)
+
+
+@pytest.fixture(scope="module")
+def lock_graph():
+    """Statically extracted lock graph (``repro.analysis``) — the claim
+    the runtime witness checks the failover suite against."""
+    import repro
+
+    src = Path(repro.__file__).resolve().parent
+    return extract_lock_graph([str(src)])
 
 
 # ----------------------------------------------------------------------
@@ -376,47 +389,75 @@ class TestFailover:
             health = svc.shard_health()[shard]
             assert health["restarts"] == 1 and health["state"] == "up"
 
-    def test_session_failover_bit_identical_to_uninterrupted(self, graph):
+    def test_session_failover_bit_identical_to_uninterrupted(
+        self, graph, lock_graph
+    ):
         """The acceptance contract: a session restored from its
         snapshot after shard death continues with assignments
-        bit-identical to an uninterrupted run at the same epochs."""
+        bit-identical to an uninterrupted run at the same epochs.
+
+        The whole run executes under the lock-order witness: the
+        in-process reference service exercises the session locks, the
+        sharded front its fleet/pending locks (the shard *children* are
+        separate processes, invisible by design).  Every observed
+        acquisition order must be in the static lock graph, the
+        compute-lock → state-lock edge must actually be observed, and
+        the state lock must never be held across a GA run."""
         updates = []
         g = graph
         for step in range(3):
             g = insert_local_nodes(g, 5, seed=100 + step).graph
             updates.append(g)
 
-        with PartitionService(n_workers=1) as ref_svc:
-            opened = ref_svc.open_session(graph, 4, seed=0, ga=GA)
-            ref = [
-                ref_svc.update_session(UpdateRequest(opened.session_id, g))
-                for g in updates
-            ]
+        with LockWitness() as witness:
+            witness.probe(IncrementalGAPartitioner, "run_pending")
 
-        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
-            shard = svc.shard_of(graph)
-            opened = svc.open_session(graph, 4, seed=0, ga=GA)
-            assert opened.shard == shard
-            first = svc.update_session(
-                UpdateRequest(opened.session_id, updates[0])
-            )
-            assert np.array_equal(first.assignment, ref[0].assignment)
-            # crash the session's shard between epochs
-            svc._slots[shard].handle.process.kill()
-            assert _wait_for(
-                lambda: svc.shard_health()[shard]["state"] == "up"
-                and svc.shard_health()[shard]["restarts"] == 1
-            )
-            # the restored session resumes at the committed epoch —
-            # same session id, bit-identical continuation
-            for g, expected in zip(updates[1:], ref[1:]):
-                got = svc.update_session(UpdateRequest(opened.session_id, g))
-                assert got.session_id == opened.session_id
-                assert np.array_equal(got.assignment, expected.assignment)
-                assert got.cut_size == expected.cut_size
-                assert got.fitness == expected.fitness
-            summary = svc.close_session(opened.session_id)
-            assert summary["n_updates"] == 3
+            with PartitionService(n_workers=1) as ref_svc:
+                opened = ref_svc.open_session(graph, 4, seed=0, ga=GA)
+                ref = [
+                    ref_svc.update_session(UpdateRequest(opened.session_id, g))
+                    for g in updates
+                ]
+
+            with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+                shard = svc.shard_of(graph)
+                opened = svc.open_session(graph, 4, seed=0, ga=GA)
+                assert opened.shard == shard
+                first = svc.update_session(
+                    UpdateRequest(opened.session_id, updates[0])
+                )
+                assert np.array_equal(first.assignment, ref[0].assignment)
+                # crash the session's shard between epochs
+                svc._slots[shard].handle.process.kill()
+                assert _wait_for(
+                    lambda: svc.shard_health()[shard]["state"] == "up"
+                    and svc.shard_health()[shard]["restarts"] == 1
+                )
+                # the restored session resumes at the committed epoch —
+                # same session id, bit-identical continuation
+                for g, expected in zip(updates[1:], ref[1:]):
+                    got = svc.update_session(
+                        UpdateRequest(opened.session_id, g)
+                    )
+                    assert got.session_id == opened.session_id
+                    assert np.array_equal(got.assignment, expected.assignment)
+                    assert got.cut_size == expected.cut_size
+                    assert got.fitness == expected.fitness
+                summary = svc.close_session(opened.session_id)
+                assert summary["n_updates"] == 3
+
+        # witness: observed order ⊆ static graph, and the edge the
+        # static analyzer claims between the session's locks was really
+        # exercised (the in-process ref run's initial partition + every
+        # overlapped ingestion acquire state under compute)
+        mapped = witness.assert_subgraph_of(lock_graph)
+        assert ("Session.compute_lock", "Session.lock") in mapped
+        # the state lock is never observed held across a GA run (ref
+        # service defaults to the overlapped path)
+        runs = witness.assert_never_held_during(
+            lock_graph, "Session.lock", "run_pending"
+        )
+        assert runs >= len(updates)
 
     def test_restart_limit_bounds_crash_loop(self, graph):
         """The supervisor restarts at most restart_limit times; beyond
