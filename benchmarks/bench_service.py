@@ -37,10 +37,17 @@ Four phases, all deterministic:
    snapshot bit-identically; and the warm-cache speedup is retained
    after restart (a repeated request on the restarted shard hits the
    cache again).
-5. **Report** — everything lands in ``SERVICE_metrics.json`` next to
-   ``BENCH_metrics.json`` (with flat ``serving`` + ``failover``
-   sections that ``bench_trajectory.py`` renders across commits) so CI
-   archives the serving trajectory alongside the kernel trajectory.
+5. **Observability overhead** (PR 6) — the cache-hit replay is run
+   twice, tracing off and on (ring + JSONL sink); answers must stay
+   bit-identical and per-request overhead must clear the
+   ``--max-trace-overhead-pct`` gate; p50/p95/p99 come from the
+   unified metrics registry and a span sample is kept as
+   ``SERVICE_trace_sample.jsonl``.
+6. **Report** — everything lands in ``SERVICE_metrics.json`` next to
+   ``BENCH_metrics.json`` (with flat ``serving`` + ``failover`` +
+   ``observability`` sections that ``bench_trajectory.py`` renders
+   across commits) so CI archives the serving trajectory alongside the
+   kernel trajectory.
 
 Usage::
 
@@ -301,6 +308,82 @@ def phase_scaling(
     }
 
 
+def phase_observability(
+    repeats: int, trace_path: Path, max_overhead_pct: float
+) -> dict:
+    """Tracing + metrics overhead on cache-hit traffic (PR 6).
+
+    Replays ``repeats`` identical requests against a warmed service
+    twice — tracing off, then tracing on (ring + JSONL sink) — and
+    gates the per-request overhead.  Cache hits are the worst case for
+    instrumentation: the request does almost no work, so the span
+    bookkeeping is the largest relative cost it will ever be.  The gate
+    passes when overhead is within ``max_overhead_pct`` *or* under an
+    absolute 50 µs/request floor (relative noise on a ~100 µs path is
+    scheduler jitter, not instrumentation).  Answers must be
+    bit-identical with tracing on; p50/p95/p99 come from the unified
+    metrics registry (``/v1/metrics`` percentiles, not wall-clock
+    re-derivation); a sample of the JSONL trace is kept as an artifact.
+    """
+    ga = dict(TRACE_GA_DEFAULTS)
+    base = paper_mesh(SESSION_BASE)
+
+    def replay(**service_kwargs):
+        with PartitionService(n_workers=2, **service_kwargs) as service:
+            first = service.submit(
+                PartitionRequest(base, N_PARTS, seed=0, ga=ga)
+            )
+            rounds = []
+            for _ in range(3):
+                t0 = time.perf_counter()
+                results = [
+                    service.submit(
+                        PartitionRequest(base, N_PARTS, seed=0, ga=ga)
+                    )
+                    for _ in range(repeats)
+                ]
+                rounds.append(time.perf_counter() - t0)
+            metrics = service.metrics()
+        per_request = float(np.median(rounds)) / repeats
+        return first, results, per_request, metrics
+
+    plain_first, plain, plain_s, _ = replay()
+    trace_first, traced, traced_s, metrics = replay(
+        trace_enabled=True, trace_jsonl=str(trace_path)
+    )
+
+    identical = np.array_equal(
+        plain_first.assignment, trace_first.assignment
+    ) and all(
+        np.array_equal(a.assignment, b.assignment)
+        and a.cut_size == b.cut_size
+        for a, b in zip(plain, traced)
+    )
+    overhead_s = traced_s - plain_s
+    overhead_pct = overhead_s / max(plain_s, 1e-9) * 100.0
+    within = overhead_pct <= max_overhead_pct or overhead_s <= 50e-6
+    latency = metrics.get("latency_ms", {}).get("partition", {})
+    trace_lines = 0
+    if trace_path.exists():
+        with open(trace_path) as fh:
+            trace_lines = sum(1 for _ in fh)
+    return {
+        "repeats": repeats,
+        "identical_with_tracing": bool(identical),
+        "plain_us_per_request": round(plain_s * 1e6, 2),
+        "traced_us_per_request": round(traced_s * 1e6, 2),
+        "overhead_us_per_request": round(overhead_s * 1e6, 2),
+        "overhead_pct": round(overhead_pct, 2),
+        "overhead_within_gate": bool(within),
+        "max_overhead_pct": max_overhead_pct,
+        "registry_p50_ms": latency.get("p50_ms"),
+        "registry_p95_ms": latency.get("p95_ms"),
+        "registry_p99_ms": latency.get("p99_ms"),
+        "trace_sample_lines": int(trace_lines),
+        "trace_sample": str(trace_path),
+    }
+
+
 def _wait_for(predicate, timeout: float = 60.0) -> bool:
     deadline = time.time() + timeout
     while time.time() < deadline:
@@ -459,6 +542,13 @@ def main(argv=None) -> int:
     parser.add_argument("--min-shard-speedup", type=float, default=2.0,
                         help="sharded vs single-process throughput floor "
                              "(enforced only on machines with >= 4 cores)")
+    parser.add_argument("--obs-repeats", type=int, default=200,
+                        help="cache-hit requests per round in the "
+                             "observability overhead phase")
+    parser.add_argument("--max-trace-overhead-pct", type=float, default=5.0,
+                        help="ceiling for tracing overhead on cache-hit "
+                             "traffic (an absolute 50 µs/request floor "
+                             "absorbs sub-noise paths)")
     parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).parent / "SERVICE_metrics.json",
@@ -512,6 +602,24 @@ def main(argv=None) -> int:
             "(repeat was not a cache hit)"
         )
 
+    obs = phase_observability(
+        args.obs_repeats,
+        args.out.parent / "SERVICE_trace_sample.jsonl",
+        args.max_trace_overhead_pct,
+    )
+    if not obs["identical_with_tracing"]:
+        failures.append("answers changed with tracing enabled")
+    if not obs["overhead_within_gate"]:
+        failures.append(
+            f"tracing overhead {obs['overhead_pct']}% "
+            f"({obs['overhead_us_per_request']} µs/request) over the "
+            f"{args.max_trace_overhead_pct}% gate"
+        )
+    if obs["registry_p50_ms"] is None:
+        failures.append("metrics registry recorded no latency histogram")
+    if obs["trace_sample_lines"] < 1:
+        failures.append("tracing wrote no JSONL span records")
+
     scaling = phase_scaling(args.scaling_shards, args.scaling_requests)
     if not scaling["sharded_identical_to_single"]:
         failures.append(
@@ -549,6 +657,7 @@ def main(argv=None) -> int:
         "http_replay": http,
         "scaling": scaling,
         "failover_detail": failover,
+        "observability_detail": obs,
         # flat sections bench_trajectory.py renders across commits
         "serving": {
             "warm_cold_speedup_x": warm["aggregate_speedup"],
@@ -565,6 +674,13 @@ def main(argv=None) -> int:
             "post_restart_repeat_speedup_x": failover[
                 "post_restart_repeat_speedup"
             ],
+        },
+        "observability": {
+            "trace_overhead_pct": obs["overhead_pct"],
+            "trace_overhead_us": obs["overhead_us_per_request"],
+            "traced_identical": int(obs["identical_with_tracing"]),
+            "registry_p50_ms": obs["registry_p50_ms"],
+            "registry_p99_ms": obs["registry_p99_ms"],
         },
         "ok": not failures,
     }

@@ -135,8 +135,9 @@ def build_trajectory(snapshots: list[tuple[str, dict]]) -> str:
         lines.append(f"| {kernel} | " + " | ".join(cells) + f" | {delta_cell} |")
 
     # serving-layer sections (bench_service.py's flat dicts: `serving`
-    # throughput/latency numbers, `failover` crash-recovery numbers)
-    for section in ("serving", "failover"):
+    # throughput/latency numbers, `failover` crash-recovery numbers,
+    # `observability` tracing-overhead numbers)
+    for section in ("serving", "failover", "observability"):
         section_keys: list[str] = []
         for _, snap in snapshots:
             for name in snap.get(section, {}):

@@ -71,6 +71,7 @@ _SUPPRESS_RE = re.compile(
 DEFAULT_TIMING_NAME_RE = (
     r"(time|clock|second|latenc|elapsed|deadline|budget|remain|duration"
     r"|interval|timeout|created|expire|age|stamp|wall|percentile|stats"
+    r"|span|trace|probe|mark"
     r"|_at$|_s$|_ms$|_ns$|t\d+$|^now$|^start|_start|^end$|_end$|uptime)"
 )
 

@@ -9,6 +9,8 @@
     repro-partition serve [--host H] [--port P] [--workers N]
                           [--shards S] [--process-workers M]
                           [--attach-shard HOST:PORT ...] [--snapshot-dir D]
+                          [--trace] [--trace-sample R] [--trace-jsonl F]
+                          [--log-json]
     repro-partition serve --shard-listen HOST:PORT  (remote shard worker)
     repro-partition submit GRAPH.metis -k 8 [--url http://127.0.0.1:8157]
 
@@ -128,6 +130,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-interval", type=float, default=0.0,
         help="seconds between periodic session snapshot passes on top "
              "of the on-commit writes (0 = on-commit only)",
+    )
+    p_serve.add_argument(
+        "--trace", action="store_true",
+        help="record request spans (see README 'Observability'); on a "
+             "sharded front this traces end-to-end across shards",
+    )
+    p_serve.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of new traces to record (deterministic by "
+             "trace id; propagated contexts are always recorded)",
+    )
+    p_serve.add_argument(
+        "--trace-jsonl", default=None,
+        help="append finished spans as JSON lines to this file",
+    )
+    p_serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log records for shard lifecycle "
+             "events (restarts, fail-fast, snapshot writes) on stderr",
     )
 
     p_sub = sub.add_parser(
@@ -284,12 +305,23 @@ def _run_info(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
     from .service import serve
 
+    if args.log_json:
+        from .obs.logs import configure_logging
+
+        configure_logging()
+
+    trace_kwargs = dict(
+        trace_enabled=args.trace,
+        trace_sample=args.trace_sample,
+        trace_jsonl=args.trace_jsonl,
+    )
     kwargs = dict(
         n_workers=args.workers,
         cache_bytes=args.cache_mb << 20,
         process_workers=args.process_workers,
         racing_portfolio=args.racing_portfolio,
         snapshot_interval_s=args.snapshot_interval,
+        **trace_kwargs,
     )
     if args.process_threshold is not None:
         kwargs["process_threshold"] = args.process_threshold
@@ -367,7 +399,9 @@ def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
                 file=sys.stderr,
             )
             return 1
-        kwargs = {}
+        # tracing is front-local (the attach-check ignores it), so the
+        # flags survive the reset that strips worker-side knobs
+        kwargs = dict(trace_kwargs)
     if args.attach_shard:
         layout = f"{len(args.attach_shard)} attached shards"
     elif args.shards:

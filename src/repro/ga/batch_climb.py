@@ -54,6 +54,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..graphs.csr import CSRGraph
+from ..obs.hooks import kernel_probe
 from ..partition.metrics import (
     _chunk_step,
     batch_part_cuts,
@@ -87,6 +88,7 @@ def _boundary_mask(graph: CSRGraph, rows: np.ndarray) -> np.ndarray:
     return mask
 
 
+@kernel_probe("climb_batch")
 def climb_batch(
     graph: CSRGraph,
     fitness: FitnessFunction,

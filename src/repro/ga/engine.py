@@ -37,6 +37,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..graphs.csr import CSRGraph
+from ..obs.hooks import emit_generation
 from ..partition.metrics import batch_cut_size, batch_max_part_cut
 from ..partition.partition import Partition
 from ..rng import SeedLike, as_generator
@@ -262,6 +263,7 @@ class GAEngine:
         initial_population: Optional[np.ndarray] = None,
         deadline: Optional[float] = None,
         abort: Optional[Callable[[float], bool]] = None,
+        on_generation: Optional[Callable[..., None]] = None,
     ) -> GAResult:
         """Run to completion and return the best partition found.
 
@@ -284,6 +286,16 @@ class GAEngine:
         cancel a leg that can no longer beat the incumbent under the
         remaining budget; a callback that always returns False changes
         nothing.
+
+        ``on_generation`` is a progress callback invoked after every
+        recorded generation (the initial evaluation counts as
+        generation 0) with keyword arguments ``generation``,
+        ``best_cut``, ``best_worst_cut``, and ``evaluations``.  It is
+        observational-only: the engine ignores its return value and
+        shares no state with it.  Independently of the explicit
+        callback, the same event reaches any ambient
+        :func:`repro.obs.hooks.recording` recorder installed by the
+        serving layer — a single integer check when nothing records.
         """
         cfg = self.config
         history = GAHistory()
@@ -291,7 +303,10 @@ class GAEngine:
         evaluator.reset()
         population = self._initial_population(initial_population)
         fitness_values, evals = evaluator.evaluate(population)
-        self._record(history, population, fitness_values, evals)
+        self._progress(
+            on_generation, history,
+            self._record(history, population, fitness_values, evals),
+        )
 
         stopped_by = "max_generations"
         stale = 0
@@ -306,7 +321,10 @@ class GAEngine:
             population, fitness_values, evals = self.step(
                 population, fitness_values
             )
-            self._record(history, population, fitness_values, evals)
+            self._progress(
+                on_generation, history,
+                self._record(history, population, fitness_values, evals),
+            )
             if evaluator.best_fitness > best_fitness:
                 best_fitness = evaluator.best_fitness
                 stale = 0
@@ -347,14 +365,41 @@ class GAEngine:
         population: np.ndarray,
         fitness_values: np.ndarray,
         evaluations: int,
-    ) -> None:
+    ) -> tuple[float, float, int]:
         idx = int(np.argmax(fitness_values))
         best = population[idx][None, :]
+        best_cut = float(batch_cut_size(self.graph, best)[0])
+        best_worst_cut = float(
+            batch_max_part_cut(self.graph, best, self.n_parts)[0]
+        )
         history.record(
             fitness_values,
-            best_cut=float(batch_cut_size(self.graph, best)[0]),
-            best_worst_cut=float(
-                batch_max_part_cut(self.graph, best, self.n_parts)[0]
-            ),
+            best_cut=best_cut,
+            best_worst_cut=best_worst_cut,
             evaluations=evaluations,
         )
+        return best_cut, best_worst_cut, int(evaluations)
+
+    @staticmethod
+    def _progress(
+        on_generation: Optional[Callable[..., None]],
+        history: GAHistory,
+        recorded: tuple[float, float, int],
+    ) -> None:
+        """Fan one recorded generation out to the explicit callback and
+        the ambient obs recorder (values flow out, never back in)."""
+        best_cut, best_worst_cut, evaluations = recorded
+        generation = history.n_generations - 1
+        emit_generation(
+            generation=generation,
+            best_cut=best_cut,
+            best_worst_cut=best_worst_cut,
+            evaluations=evaluations,
+        )
+        if on_generation is not None:
+            on_generation(
+                generation=generation,
+                best_cut=best_cut,
+                best_worst_cut=best_worst_cut,
+                evaluations=evaluations,
+            )

@@ -1,0 +1,101 @@
+"""`repro.obs` — stdlib-first observability for the serving stack.
+
+Three pillars, all observational-only (nothing here may flow into
+results, seeds, or routing — the bit-identity tests assert it):
+
+* :mod:`repro.obs.trace` — explicit-context spans with
+  ``trace_id``/``span_id``/``parent_id``, monotonic durations, a
+  bounded ring buffer, and an optional JSONL sink.  Trace context
+  rides the JSON request payloads (``models.py``), the pipe/socket
+  shard frames (``transport.py``), and process-pool job shipping
+  (``procexec.py``), so one front-side tree stitches in worker spans
+  across process and socket boundaries.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms under one documented snapshot schema
+  (:data:`~repro.obs.metrics.METRICS_SCHEMA`), served as JSON and
+  Prometheus text by ``/v1/metrics`` and merged across shards by the
+  sharded front.
+* :mod:`repro.obs.hooks` — thread-scoped GA progress and kernel
+  probes: per-generation best-cut/evaluation spans from
+  :class:`~repro.ga.engine.GAEngine` and wall-time histograms around
+  the bincount kernels and ``climb_batch``, gated to a single integer
+  check when off.
+
+:mod:`repro.obs.logs` adds structured JSON log records for shard
+lifecycle events (restart, death, re-attach, snapshot write/restore),
+carrying ``trace_id`` when in a request context.
+
+The unified metric families exported by the service layer:
+
+========================================  =========  =======================
+name                                      type       labels
+========================================  =========  =======================
+repro_requests_total                      counter    endpoint
+repro_request_latency_ms                  histogram  endpoint
+repro_cache_hits_total / _misses_total /
+  _evictions_total                        counter    cache
+repro_cache_entries / _bytes /
+  _capacity_bytes                         gauge      cache
+repro_warm_seeds                          gauge      —
+repro_jobs_executed_total / _joined_
+  total / _process_total                  counter    —
+repro_groups_executed_total /
+  repro_group_members_total               counter    —
+repro_inflight_jobs                       gauge      —
+repro_sessions_open                       gauge      —
+repro_sessions_opened_total / _closed_
+  total / _restored_total                 counter    —
+repro_session_updates_total               counter    —
+repro_session_epoch_max                   gauge      —
+repro_snapshots_written_total /
+  _write_failures_total / _restored_
+  total / _restore_failures_total         counter    —
+repro_ga_generations_total                counter    —
+repro_kernel_ms                           histogram  kernel
+repro_trace_spans_total / _ingested_
+  total / _sink_errors_total              counter    —
+repro_shard_up                            gauge      shard
+repro_shard_deaths_total /
+  _restarts_total / _reattach_total       counter    shard
+repro_sessions_routed_total               counter    —
+========================================  =========  =======================
+"""
+
+from .hooks import (
+    ExecRecorder,
+    active_recorder,
+    emit_generation,
+    kernel_probe,
+    recording,
+)
+from .logs import JsonLogFormatter, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS_MS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    histogram_percentile,
+    merge_snapshots,
+    render_prometheus,
+)
+from .trace import NULL_SPAN, Span, Tracer, span_tree
+
+__all__ = [
+    "Span",
+    "NULL_SPAN",
+    "Tracer",
+    "span_tree",
+    "METRICS_SCHEMA",
+    "DEFAULT_BUCKETS_MS",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "render_prometheus",
+    "histogram_percentile",
+    "ExecRecorder",
+    "recording",
+    "emit_generation",
+    "kernel_probe",
+    "active_recorder",
+    "JsonLogFormatter",
+    "get_logger",
+    "configure_logging",
+]

@@ -1,0 +1,150 @@
+"""GA progress and kernel profiling hooks.
+
+The GA engine and the bincount/climb kernels sit far below the service
+layer and must not know about tracers or registries — and they must
+cost *nothing* when observability is off.  This module is the
+decoupler: the engine calls :func:`emit_generation` after every
+generation and probed kernels time themselves through
+:func:`kernel_probe`, both of which bail on a single module-global
+integer check unless a recorder is installed **on the current thread**
+via :func:`recording`.
+
+The thread-local scoping matters: the service pins each request's GA
+run to one worker thread, so a recorder installed around one request's
+execute never sees a neighbouring request's generations.
+
+Everything recorded here is observational (per-generation best-cut /
+evaluation counts as spans, kernel wall time as histograms); no value
+flows back into the GA.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "ExecRecorder",
+    "recording",
+    "emit_generation",
+    "kernel_probe",
+    "active_recorder",
+]
+
+_STATE = threading.local()
+_ACTIVE_LOCK = threading.Lock()
+#: count of live recorders across all threads — the fast-path gate;
+#: reads are lock-free (a stale read only skips/attempts a lookup)
+_ACTIVE = 0
+
+
+class ExecRecorder:
+    """Records one request's GA progress under a parent span.
+
+    Per-generation events become ``ga.generation`` child spans (the
+    duration is the gap since the previous event, i.e. the generation's
+    own wall time) and probed kernels land in the registry's
+    ``repro_kernel_ms`` histogram.
+    """
+
+    def __init__(self, tracer, parent, registry=None) -> None:
+        self.tracer = tracer
+        self.parent = parent
+        self.registry = registry
+        self._mark_s = time.perf_counter()
+        self.generations = 0
+
+    def generation(
+        self,
+        generation: int,
+        best_cut: float,
+        best_worst_cut: float,
+        evaluations: int,
+        stopped_by: Optional[str] = None,
+    ) -> None:
+        now_s = time.perf_counter()
+        gap_s = now_s - self._mark_s
+        self._mark_s = now_s
+        self.generations += 1
+        attrs = {
+            "generation": generation,
+            "best_cut": best_cut,
+            "best_worst_cut": best_worst_cut,
+            "evaluations": evaluations,
+        }
+        if stopped_by is not None:
+            attrs["stopped_by"] = stopped_by
+        if self.tracer is not None:
+            self.tracer.emit(
+                "ga.generation", parent=self.parent,
+                duration_s=gap_s, attrs=attrs,
+            )
+        if self.registry is not None:
+            self.registry.inc("repro_ga_generations_total")
+
+    def kernel(self, name: str, duration_s: float) -> None:
+        if self.registry is not None:
+            self.registry.observe(
+                "repro_kernel_ms", duration_s * 1e3, kernel=name
+            )
+
+
+def active_recorder() -> Optional[ExecRecorder]:
+    if not _ACTIVE:
+        return None
+    return getattr(_STATE, "recorder", None)
+
+
+@contextlib.contextmanager
+def recording(recorder: ExecRecorder):
+    """Install ``recorder`` for the current thread for the duration."""
+    global _ACTIVE
+    previous = getattr(_STATE, "recorder", None)
+    _STATE.recorder = recorder
+    with _ACTIVE_LOCK:
+        _ACTIVE += 1
+    try:
+        yield recorder
+    finally:
+        with _ACTIVE_LOCK:
+            _ACTIVE -= 1
+        _STATE.recorder = previous
+
+
+def emit_generation(
+    generation: int,
+    best_cut: float,
+    best_worst_cut: float,
+    evaluations: int,
+    stopped_by: Optional[str] = None,
+) -> None:
+    """Engine-side entry point; near-free when nothing records."""
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.generation(
+            generation, best_cut, best_worst_cut, evaluations,
+            stopped_by=stopped_by,
+        )
+
+
+def kernel_probe(name: str):
+    """Decorator timing a kernel into the active recorder's histogram;
+    one global-int check when observability is off."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            recorder = active_recorder()
+            if recorder is None:
+                return fn(*args, **kwargs)
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                recorder.kernel(name, time.perf_counter() - t0)
+        return wrapper
+
+    return decorate

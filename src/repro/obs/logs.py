@@ -1,0 +1,85 @@
+"""Structured JSON logging for shard-fleet lifecycle events.
+
+Shard restarts, ``ShardDiedError`` fail-fasts, socket re-attaches, and
+snapshot write/restore outcomes were silent (deliberately-swallowed
+exceptions) before this module.  They now emit stdlib ``logging``
+records under the ``"repro.*"`` logger hierarchy; by default a
+``NullHandler`` keeps library use quiet, and :func:`configure_logging`
+(used by the ``serve`` CLI) attaches a stderr handler whose formatter
+renders one JSON object per line::
+
+    {"ts": 1724....875, "level": "WARNING", "logger": "repro.sharding",
+     "event": "shard died", "shard": 1, "trace_id": "9f2c...", ...}
+
+Any ``extra={...}`` keys a call site passes land as top-level fields —
+that is how ``trace_id`` rides along when a lifecycle event happens in
+a request context.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional
+
+__all__ = ["JsonLogFormatter", "get_logger", "configure_logging"]
+
+ROOT_LOGGER = "repro"
+
+#: LogRecord's own attributes — everything else on the record dict is
+#: caller-supplied ``extra`` and becomes a JSON field
+_STD_KEYS = frozenset(
+    (
+        "name", "msg", "args", "levelname", "levelno", "pathname",
+        "filename", "module", "exc_info", "exc_text", "stack_info",
+        "lineno", "funcName", "created", "msecs", "relativeCreated",
+        "thread", "threadName", "processName", "process", "taskName",
+        "message", "asctime",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record; extras become top-level fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STD_KEYS and key not in payload:
+                payload[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            payload["exc"] = (
+                f"{type(record.exc_info[1]).__name__}: {record.exc_info[1]}"
+            )
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(suffix: str) -> logging.Logger:
+    """``get_logger("sharding")`` → the ``repro.sharding`` logger."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{suffix}")
+
+
+def configure_logging(
+    level: int = logging.INFO, stream=None
+) -> logging.Logger:
+    """Attach a JSON stderr handler to the ``repro`` logger hierarchy
+    (idempotent: reconfiguring replaces the handler, never stacks)."""
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    handler: logging.Handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
+# library default: quiet unless the embedding app configures handlers
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..errors import PartitionError
 from ..graphs.csr import CSRGraph
+from ..obs.hooks import kernel_probe
 
 __all__ = [
     "part_loads",
@@ -211,6 +212,7 @@ def _node_strengths(graph: CSRGraph) -> np.ndarray:
     return graph.node_strengths()
 
 
+@kernel_probe("batch_part_loads")
 def batch_part_loads(
     graph: CSRGraph,
     population: np.ndarray,
@@ -271,6 +273,7 @@ def batch_load_imbalance(
     return np.sum((loads - avg) ** 2, axis=1)
 
 
+@kernel_probe("batch_cut_size")
 def batch_cut_size(
     graph: CSRGraph,
     population: np.ndarray,
@@ -326,6 +329,7 @@ def batch_cut_size(
     return out
 
 
+@kernel_probe("batch_part_cuts")
 def batch_part_cuts(
     graph: CSRGraph,
     population: np.ndarray,

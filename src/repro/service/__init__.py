@@ -13,7 +13,10 @@ snapshots (:mod:`.persistence`), streaming incremental sessions with
 overlapped updates (:mod:`.sessions`), a method portfolio racer
 (:mod:`.portfolio`), and two frontends — a stdlib HTTP endpoint
 (:mod:`.http`, ``repro-partition serve``) and programmatic clients
-(:mod:`.client`).
+(:mod:`.client`).  Observability — distributed request tracing, the
+unified metrics registry behind ``/v1/metrics``, and structured shard
+lifecycle logs — lives in :mod:`repro.obs` and is threaded through
+every layer here.
 """
 
 from .models import (

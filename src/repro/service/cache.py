@@ -290,9 +290,10 @@ class ContentStore:
 
     def store_result(self, key: str, result: JobResult) -> None:
         # store a neutral copy: hit/latency flags describe the serving
-        # request, not the one that happened to populate the cache
+        # request, not the one that happened to populate the cache (and
+        # trace spans belong to the request that recorded them)
         neutral = result.replace(
-            cache_hit=False, coalesced=False, latency_s=0.0
+            cache_hit=False, coalesced=False, latency_s=0.0, spans=None
         )
         self.results.put(key, neutral, _result_nbytes(neutral))
 

@@ -109,6 +109,11 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.service.stats()
 
+    def metrics(self) -> dict:
+        """The unified :mod:`repro.obs` metrics snapshot (merged across
+        shards when the service is a sharded front)."""
+        return self.service.metrics()
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         if self._owns:
@@ -182,6 +187,20 @@ class HTTPServiceClient:
 
     def stats(self) -> dict:
         return self._call("/v1/stats")
+
+    def metrics(self) -> dict:
+        """``/v1/metrics`` as JSON (the unified snapshot schema)."""
+        return self._call("/v1/metrics")
+
+    def metrics_text(self) -> str:
+        """``/v1/metrics`` in Prometheus text exposition format."""
+        url = f"{self.base_url}/v1/metrics?format=prometheus"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode()
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach service at {url}: {exc}") from exc
 
     def healthy(self) -> bool:
         try:

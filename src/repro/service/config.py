@@ -17,7 +17,11 @@ from typing import Optional
 
 from ..errors import ServiceError
 
-__all__ = ["ServiceConfig", "DEFAULT_PROCESS_THRESHOLD"]
+__all__ = [
+    "ServiceConfig",
+    "DEFAULT_PROCESS_THRESHOLD",
+    "OBSERVABILITY_FIELDS",
+]
 
 #: Default floor of the process-routing cost model, in cost units of
 #: ``n_nodes × population_size × max_generations``.  Measured on the
@@ -84,6 +88,17 @@ class ServiceConfig:
         ``> 0`` adds a periodic snapshot pass at this cadence on top of
         the on-commit writes (sessions mid-update are skipped — only
         committed, quiescent state ever reaches the store).
+    trace_enabled:
+        Originate request trace spans (:mod:`repro.obs.trace`).
+        Observability settings never change answers — requests carrying
+        a remote trace context are stitched regardless of this flag.
+    trace_sample:
+        Fraction of *originated* traces recorded (deterministic,
+        hash-of-trace-id based; ``1.0`` traces everything).
+    trace_ring:
+        Size of the in-memory span ring buffer.
+    trace_jsonl:
+        Optional path appended with one JSON span record per line.
     """
 
     n_workers: int = 2
@@ -95,6 +110,10 @@ class ServiceConfig:
     overlap_updates: bool = True
     snapshot_dir: Optional[str] = None
     snapshot_interval_s: float = 0.0
+    trace_enabled: bool = False
+    trace_sample: float = 1.0
+    trace_ring: int = 2048
+    trace_jsonl: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -120,7 +139,33 @@ class ServiceConfig:
                 f"snapshot_interval_s must be >= 0, got "
                 f"{self.snapshot_interval_s}"
             )
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ServiceError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
+        if self.trace_ring < 1:
+            raise ServiceError(
+                f"trace_ring must be >= 1, got {self.trace_ring}"
+            )
 
     def with_updates(self, **kwargs) -> "ServiceConfig":
         """Functional update (the dataclass is frozen)."""
         return replace(self, **kwargs)
+
+    def without_observability(self) -> "ServiceConfig":
+        """Copy with observability fields at their defaults.  Tracing is
+        front/shard-local and never changes answers, so equality checks
+        that guard *execution* settings (e.g. attach-mode validation)
+        compare through this."""
+        return replace(
+            self,
+            **{name: getattr(_DEFAULTS, name) for name in OBSERVABILITY_FIELDS},
+        )
+
+
+#: the ServiceConfig fields that only affect observability
+OBSERVABILITY_FIELDS = (
+    "trace_enabled", "trace_sample", "trace_ring", "trace_jsonl",
+)
+
+_DEFAULTS = ServiceConfig()

@@ -50,6 +50,9 @@ from ..ga.batch_climb import climb_batch
 from ..ga.config import GAConfig
 from ..ga.fitness import make_fitness
 from ..graphs.csr import CSRGraph
+from ..obs.hooks import ExecRecorder, recording
+from ..obs.metrics import MetricsRegistry, histogram_percentile
+from ..obs.trace import NULL_SPAN, Tracer
 from ..partition.partition import Partition
 from .cache import ContentStore, request_key
 from .config import ServiceConfig
@@ -135,6 +138,16 @@ class PartitionService:
         self.sessions = SessionManager(config.max_sessions)
         self.latency = _LatencyWindow()
         self.session_latency = _LatencyWindow()
+        # observability plane (repro.obs): spans + the unified metrics
+        # registry.  Strictly observational — nothing recorded here may
+        # flow into results, seeds, or routing.
+        self.tracer = Tracer(
+            enabled=config.trace_enabled,
+            ring_size=config.trace_ring,
+            jsonl_path=config.trace_jsonl,
+            sample_rate=config.trace_sample,
+        )
+        self.registry = MetricsRegistry()
         # digests whose CSR arrays were shipped to each process slot —
         # later jobs for the pin send the digest alone.  Bounded to the
         # worker-side intern LRU's capacity per slot: beyond that the
@@ -156,49 +169,164 @@ class PartitionService:
                 interval_s=config.snapshot_interval_s,
             )
             self.persistence.restore_all()
+        self._register_metrics()
         self._closed = False
+
+    def _register_metrics(self) -> None:
+        """Register snapshot-time providers mapping the subsystem
+        ``stats()`` dicts onto the unified metric families documented in
+        :mod:`repro.obs` — one schema over the legacy shapes."""
+        reg = self.registry
+
+        def cache_series(field):
+            def provide():
+                stats = self.store.stats()
+                return [
+                    ({"cache": name}, float(stats[name][field]))
+                    for name in ("results", "graphs")
+                ]
+
+            return provide
+
+        for field, metric in (
+            ("hits", "repro_cache_hits_total"),
+            ("misses", "repro_cache_misses_total"),
+            ("evictions", "repro_cache_evictions_total"),
+        ):
+            reg.counter_fn(metric, cache_series(field))
+        for field, metric in (
+            ("entries", "repro_cache_entries"),
+            ("bytes", "repro_cache_bytes"),
+            ("max_bytes", "repro_cache_capacity_bytes"),
+        ):
+            reg.gauge_fn(metric, cache_series(field))
+        reg.gauge_fn(
+            "repro_warm_seeds",
+            lambda: [({}, float(self.store.stats()["graphs"]["warm_seeds"]))],
+        )
+
+        def scalar(stats_fn, field):
+            return lambda: [({}, float(stats_fn()[field]))]
+
+        for field, metric in (
+            ("jobs_executed", "repro_jobs_executed_total"),
+            ("jobs_joined", "repro_jobs_joined_total"),
+            ("jobs_process", "repro_jobs_process_total"),
+            ("groups_executed", "repro_groups_executed_total"),
+            ("group_members", "repro_group_members_total"),
+        ):
+            reg.counter_fn(metric, scalar(self.scheduler.stats, field))
+        reg.gauge_fn(
+            "repro_inflight_jobs",
+            lambda: [({}, float(self.scheduler.queue_depth()))],
+        )
+        for field, metric in (
+            ("opened", "repro_sessions_opened_total"),
+            ("closed", "repro_sessions_closed_total"),
+            ("restored", "repro_sessions_restored_total"),
+            ("updates", "repro_session_updates_total"),
+        ):
+            reg.counter_fn(metric, scalar(self.sessions.stats, field))
+        reg.gauge_fn(
+            "repro_sessions_open", scalar(self.sessions.stats, "open")
+        )
+        reg.gauge_fn(
+            "repro_session_epoch_max",
+            lambda: [({}, float(self.sessions.epoch_summary()["max_epoch"]))],
+        )
+        if self.persistence is not None:
+            for field, metric in (
+                ("snapshots_written", "repro_snapshots_written_total"),
+                ("write_failures", "repro_snapshots_write_failures_total"),
+                ("restored", "repro_snapshots_restored_total"),
+                ("restore_failures", "repro_snapshots_restore_failures_total"),
+            ):
+                reg.counter_fn(metric, scalar(self.persistence.stats, field))
+        for field, metric in (
+            ("spans_recorded", "repro_trace_spans_total"),
+            ("spans_ingested", "repro_trace_spans_ingested_total"),
+            ("sink_errors", "repro_trace_sink_errors_total"),
+        ):
+            reg.counter_fn(metric, scalar(self.tracer.counters, field))
 
     # ------------------------------------------------------------------
     # one-shot + refine
     # ------------------------------------------------------------------
-    def submit(self, request: Request) -> JobResult:
-        """Answer one request (cache → join → execute)."""
+    def submit(
+        self, request: Request, trace: Optional[dict] = None
+    ) -> JobResult:
+        """Answer one request (cache → join → execute).
+
+        ``trace`` is an optional wire span context (``{"trace_id",
+        "span_id"}``) from a shard front; it overrides the request's
+        own ``trace`` field and is strictly observational — the cache
+        key, routing, and the answer bits never depend on it.
+        """
         self._check_open()
         t0 = time.perf_counter()
-        digest, graph = self.store.graphs.intern(request.graph)
-        request = _with_graph(request, graph)
-        key = request_key(request, digest=digest)
-        result = self.store.lookup_result(key)
-        if result is None:
-            # the leader's job publishes (cache + warm seed) *before*
-            # the scheduler drops its in-flight entry, so a same-key
-            # request arriving at any moment finds either the flight or
-            # the cache — identical work truly runs at most once
-            process_config = self._process_route(request)
-            if process_config is not None:
-                # inline: the calling thread only blocks on IPC; the
-                # actual work runs on the pinned process slot
-                result = self.scheduler.run(
-                    key,
-                    digest,
-                    lambda: self._execute_process_and_publish(
-                        request, digest, key, process_config
-                    ),
-                    inline=True,
-                )
-            else:
-                result = self.scheduler.run(
-                    key,
-                    digest,
-                    lambda: self._execute_and_publish(request, digest, key),
-                )
+        ctx = trace if trace is not None else request.trace
+        endpoint = (
+            "refine" if isinstance(request, RefineRequest) else "partition"
+        )
+        span = self.tracer.start(
+            "service.submit", parent=ctx, attrs={"endpoint": endpoint}
+        )
+        try:
+            digest, graph = self.store.graphs.intern(request.graph)
+            request = _with_graph(request, graph)
+            key = request_key(request, digest=digest)
+            result = self.store.lookup_result(key)
+            if result is None:
+                # the leader's job publishes (cache + warm seed) *before*
+                # the scheduler drops its in-flight entry, so a same-key
+                # request arriving at any moment finds either the flight or
+                # the cache — identical work truly runs at most once
+                process_config = self._process_route(request)
+                if process_config is not None:
+                    # inline: the calling thread only blocks on IPC; the
+                    # actual work runs on the pinned process slot
+                    result = self.scheduler.run(
+                        key,
+                        digest,
+                        lambda: self._execute_process_and_publish(
+                            request, digest, key, process_config, parent=span
+                        ),
+                        inline=True,
+                    )
+                else:
+                    result = self.scheduler.run(
+                        key,
+                        digest,
+                        lambda: self._execute_and_publish(
+                            request, digest, key, parent=span
+                        ),
+                    )
+        except BaseException as exc:
+            span.fail(exc)
+            span.close()
+            raise
         latency = time.perf_counter() - t0
         self.latency.add(latency)
         result.latency_s = latency
         result.request_key = key
+        span.set(
+            cache_hit=result.cache_hit,
+            coalesced=result.coalesced,
+            lane=result.executed_in or "thread",
+        )
+        span.close()
+        self._observe_request(endpoint, latency)
+        # remote-rooted spans collect their subtree; ship it back in the
+        # reply so the front can stitch one tree.  A coalesced follower
+        # may have copied the leader's result (leader's spans) — always
+        # overwrite with *this* request's own collection.
+        collected = span.collected()
+        result.spans = collected if collected else None
         return result
 
-    def submit_many(self, requests: Sequence[Request]) -> list[JobResult]:
+    def submit_many(
+        self, requests: Sequence[Request], trace: Optional[dict] = None
+    ) -> list[JobResult]:
         """Answer a batch, coalescing what can be coalesced.
 
         Cache hits are answered immediately; remaining
@@ -207,6 +335,10 @@ class PartitionService:
         rows stacked), and everything else goes through :meth:`submit`.
         Per-request results are returned in submission order and are
         bit-identical to submitting each request serially.
+
+        ``trace`` (a wire span context) parents the spans of items that
+        fall through to :meth:`submit`; cache hits and group members
+        are counted in the metrics registry but not spanned.
         """
         self._check_open()
         results: list[Optional[JobResult]] = [None] * len(requests)
@@ -222,6 +354,11 @@ class PartitionService:
                 cached.latency_s = time.perf_counter() - item_t0
                 cached.request_key = key
                 self.latency.add(cached.latency_s)
+                self._observe_request(
+                    "refine" if isinstance(request, RefineRequest)
+                    else "partition",
+                    cached.latency_s,
+                )
                 results[i] = cached
                 continue
             prepared[i] = (request, digest, key)
@@ -259,6 +396,7 @@ class PartitionService:
                 result.latency_s = group_s
                 result.request_key = key
                 self.latency.add(result.latency_s)
+                self._observe_request("refine", group_s)
                 results[i] = result
 
         # remaining misses are independent jobs; fan them out so the
@@ -271,14 +409,14 @@ class PartitionService:
         ]
         if len(leftovers) == 1:
             i = leftovers[0]
-            results[i] = self.submit(prepared[i][0])
+            results[i] = self.submit(prepared[i][0], trace)
         elif leftovers:
             from concurrent.futures import ThreadPoolExecutor
 
             fan_out = min(len(leftovers), self.scheduler.pool.n_slots)
             with ThreadPoolExecutor(max_workers=fan_out) as fan:
                 futures = {
-                    i: fan.submit(self.submit, prepared[i][0])
+                    i: fan.submit(self.submit, prepared[i][0], trace)
                     for i in leftovers
                 }
                 for i, future in futures.items():
@@ -295,10 +433,15 @@ class PartitionService:
         fitness_kind: str = "fitness1",
         seed: int = 0,
         ga: Optional[dict] = None,
+        trace: Optional[dict] = None,
     ) -> JobResult:
         """Open a streaming session; the result carries ``session_id``."""
         self._check_open()
         t0 = time.perf_counter()
+        span = self.tracer.start(
+            "service.open_session", parent=trace,
+            attrs={"endpoint": "open_session"},
+        )
         _, graph = self.store.graphs.intern(graph)
         session = self.sessions.open(
             graph, n_parts, fitness_kind=fitness_kind, seed=seed, ga=ga
@@ -308,7 +451,14 @@ class PartitionService:
         # `n_workers` bounds service CPU even under open bursts
 
         def initial() -> Partition:
-            partition = session.partition_initial()
+            init_span = self.tracer.start(
+                "session.initial", parent=span,
+                attrs={"session_id": session.id},
+            )
+            with init_span:
+                partition = self._recorded(
+                    init_span, session.partition_initial
+                )
             # snapshot on the pinned slot, before this session's first
             # update can run — the stored RNG state is the committed one
             if self.persistence is not None:
@@ -318,20 +468,30 @@ class PartitionService:
         try:
             future = self.scheduler.pool.submit(session.id, initial)
             partition = future.result()
-        except BaseException:
+        except BaseException as exc:
             self.sessions.close(session.id)  # do not leak a broken session
+            span.fail(exc)
+            span.close()
             raise
         latency = time.perf_counter() - t0
         self.session_latency.add(latency)
-        return result_from_partition(
+        span.set(session_id=session.id)
+        span.close()
+        self._observe_request("open_session", latency)
+        result = result_from_partition(
             partition,
             "dknux-incremental",
             fitness=_fitness_of(partition, fitness_kind),
             session_id=session.id,
             latency_s=latency,
         )
+        collected = span.collected()
+        result.spans = collected if collected else None
+        return result
 
-    def update_session(self, request: UpdateRequest) -> JobResult:
+    def update_session(
+        self, request: UpdateRequest, trace: Optional[dict] = None
+    ) -> JobResult:
         """One incremental step, pinned to the session's worker slot.
 
         With ``overlap_updates`` (the default) the update runs through
@@ -343,20 +503,33 @@ class PartitionService:
         """
         self._check_open()
         t0 = time.perf_counter()
+        ctx = trace if trace is not None else request.trace
+        span = self.tracer.start(
+            "service.update_session", parent=ctx,
+            attrs={"endpoint": "update_session",
+                   "session_id": request.session_id},
+        )
         # intern the update graph too: replayed updates (and the sharded
         # bit-identity benchmark) then reuse one CSR build + strengths
         _, graph = self.store.graphs.intern(request.graph)
         overlap = self.config.overlap_updates
 
         def step() -> JobResult:
-            if overlap:
-                session, partition = self.sessions.update_overlapped(
-                    request.session_id, graph
-                )
-            else:
-                session, partition = self.sessions.update(
-                    request.session_id, graph
-                )
+            step_span = self.tracer.start(
+                "session.update", parent=span,
+                attrs={"session_id": request.session_id},
+            )
+
+            def run_update():
+                if overlap:
+                    return self.sessions.update_overlapped(
+                        request.session_id, graph
+                    )
+                return self.sessions.update(request.session_id, graph)
+
+            with step_span:
+                session, partition = self._recorded(step_span, run_update)
+                step_span.set(epoch=session.n_updates)
             # on-commit snapshot: still on the session's pinned slot, so
             # the session's next update cannot have consumed RNG yet
             if self.persistence is not None:
@@ -370,11 +543,20 @@ class PartitionService:
                 session_id=session.id,
             )
 
-        future = self.scheduler.pool.submit(request.session_id, step)
-        result = future.result()
+        try:
+            future = self.scheduler.pool.submit(request.session_id, step)
+            result = future.result()
+        except BaseException as exc:
+            span.fail(exc)
+            span.close()
+            raise
         latency = time.perf_counter() - t0
         self.session_latency.add(latency)
         result.latency_s = latency
+        span.close()
+        self._observe_request("update_session", latency)
+        collected = span.collected()
+        result.spans = collected if collected else None
         return result
 
     def close_session(self, session_id: str) -> dict:
@@ -399,12 +581,33 @@ class PartitionService:
             out["persistence"] = self.persistence.stats()
         return out
 
+    def metrics(self) -> dict:
+        """The unified observability snapshot (see :mod:`repro.obs`):
+        the metrics-registry series plus a ``latency_ms`` digest of
+        per-endpoint request-latency percentiles derived from the
+        ``repro_request_latency_ms`` histograms."""
+        snap = self.registry.snapshot()
+        digest: dict = {}
+        for hist in snap["histograms"]:
+            if hist["name"] != "repro_request_latency_ms":
+                continue
+            endpoint = hist["labels"].get("endpoint", "")
+            digest[endpoint] = {
+                "count": hist["count"],
+                "p50_ms": round(histogram_percentile(hist, 0.50), 3),
+                "p95_ms": round(histogram_percentile(hist, 0.95), 3),
+                "p99_ms": round(histogram_percentile(hist, 0.99), 3),
+            }
+        snap["latency_ms"] = digest
+        return snap
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             if self.persistence is not None:
                 self.persistence.close()
             self.scheduler.shutdown()
+            self.tracer.close()
 
     def __enter__(self) -> "PartitionService":
         return self
@@ -475,10 +678,31 @@ class PartitionService:
             while len(per_slot) > WORKER_GRAPH_CAP:
                 per_slot.popitem(last=False)
 
+    def _observe_request(self, endpoint: str, latency_s: float) -> None:
+        self.registry.inc("repro_requests_total", endpoint=endpoint)
+        self.registry.observe(
+            "repro_request_latency_ms", latency_s * 1e3, endpoint=endpoint
+        )
+
+    def _recorded(self, span, fn):
+        """Run ``fn``; when ``span`` is live, install the GA progress
+        recorder so generation and kernel hooks land under it.  The
+        caller owns the span's lifecycle."""
+        if not span:
+            return fn()
+        with recording(ExecRecorder(self.tracer, span, self.registry)):
+            return fn()
+
     def _execute_and_publish(
-        self, request: Request, digest: str, key: str
+        self, request: Request, digest: str, key: str, parent=NULL_SPAN
     ) -> JobResult:
-        result = self._execute(request, digest)
+        exec_span = self.tracer.start(
+            "service.execute", parent=parent, attrs={"lane": "thread"}
+        )
+        with exec_span:
+            result = self._recorded(
+                exec_span, lambda: self._execute(request, digest)
+            )
         self.store.store_result(key, result)
         self._store_warm_seed(request, digest, result)
         return result
@@ -489,6 +713,7 @@ class PartitionService:
         digest: str,
         key: str,
         config: GAConfig,
+        parent=NULL_SPAN,
     ) -> JobResult:
         """Run a dknux request on its pinned process slot.
 
@@ -501,6 +726,14 @@ class PartitionService:
         pool = self.scheduler.process_pool
         assert pool is not None
         slot = pool.slot(digest)
+        exec_span = self.tracer.start(
+            "service.execute", parent=parent,
+            attrs={"lane": "process", "slot": slot},
+        )
+        # the worker only records (and grows the reply) when a context
+        # ships; untraced jobs pickle byte-identically to before
+        tc = exec_span.context() if exec_span else None
+        extra = (tc,) if tc else ()
         seed_assignment = None
         if request.warm_start:
             seed_assignment = self.store.graphs.warm_seed(
@@ -512,31 +745,43 @@ class PartitionService:
             else graph_to_arrays(request.graph)
         )
         config_kwargs = dataclasses.asdict(config)
-        out = pool.submit(
-            digest,
-            run_partition_job,
-            digest,
-            arrays,
-            request.n_parts,
-            request.fitness_kind,
-            config_kwargs,
-            request.seed,
-            seed_assignment,
-        ).result()
-        if isinstance(out, str) and out == NEEDS_GRAPH:
+        with exec_span:
             out = pool.submit(
                 digest,
                 run_partition_job,
                 digest,
-                graph_to_arrays(request.graph),
+                arrays,
                 request.n_parts,
                 request.fitness_kind,
                 config_kwargs,
                 request.seed,
                 seed_assignment,
+                *extra,
             ).result()
-        self._mark_shipped(slot, digest)
-        assignment, fitness = out
+            if isinstance(out, str) and out == NEEDS_GRAPH:
+                out = pool.submit(
+                    digest,
+                    run_partition_job,
+                    digest,
+                    graph_to_arrays(request.graph),
+                    request.n_parts,
+                    request.fitness_kind,
+                    config_kwargs,
+                    request.seed,
+                    seed_assignment,
+                    *extra,
+                ).result()
+            self._mark_shipped(slot, digest)
+            if isinstance(out, tuple) and len(out) == 3:
+                assignment, fitness, worker_spans = out
+            else:
+                assignment, fitness = out
+                worker_spans = None
+            if worker_spans:
+                # the worker's subtree: into the local ring, and grafted
+                # so a remote-rooted request ships it onward in one piece
+                self.tracer.ingest(worker_spans)
+                exec_span.adopt(worker_spans)
         partition = Partition(request.graph, assignment, request.n_parts)
         result = result_from_partition(
             partition, request.method, fitness=fitness, executed_in="process"

@@ -17,6 +17,10 @@ path                  method  body / response
 ``/v1/session/close`` POST    ``{session_id}`` → session summary
 ``/v1/stats``         GET     service counters (cache, scheduler,
                               sessions, latency percentiles)
+``/v1/metrics``       GET     unified :mod:`repro.obs` snapshot — JSON
+                              by default; Prometheus text exposition
+                              with ``?format=prometheus`` (or an
+                              ``Accept: text/plain`` header)
 ``/v1/healthz``       GET     ``{"ok": true}``
 ====================  ======  =========================================
 
@@ -102,13 +106,41 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HTTPError(400, "request body must be a JSON object")
         return payload
 
+    def _send_metrics(self, query: str) -> None:
+        from urllib.parse import parse_qs
+
+        from ..obs.metrics import render_prometheus
+
+        accept = self.headers.get("Accept", "") or ""
+        want_text = (
+            parse_qs(query).get("format", [""])[0] == "prometheus"
+            or ("text/plain" in accept and "application/json" not in accept)
+        )
+        snapshot = self.server.service.metrics()
+        if not want_text:
+            self._send_json(200, snapshot)
+            return
+        body = render_prometheus(snapshot).encode()
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(self.path)
         try:
-            if self.path == "/v1/healthz":
+            if parts.path == "/v1/healthz":
                 self._send_json(200, {"ok": True})
-            elif self.path == "/v1/stats":
+            elif parts.path == "/v1/stats":
                 self._send_json(200, self.server.service.stats())
+            elif parts.path == "/v1/metrics":
+                self._send_metrics(parts.query)
             else:
                 self._send_json(404, {"error": f"unknown path {self.path}"})
         except BrokenPipeError:  # client went away mid-answer

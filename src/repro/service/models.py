@@ -136,6 +136,27 @@ def _check_ga_overrides(ga: Optional[dict]) -> Optional[dict]:
     return dict(ga)
 
 
+def _check_trace(trace: Optional[dict]) -> Optional[dict]:
+    """Validate an optional trace context (``{"trace_id", "span_id"}``).
+
+    Trace context is observational-only: it never reaches the cache key
+    (:func:`repro.service.cache.request_key` hashes explicit answer
+    fields), the GA seed, or shard routing, and ``to_payload`` omits it
+    entirely when absent so tracing-off leaves the wire byte-identical.
+    """
+    if trace is None:
+        return None
+    if not isinstance(trace, dict) or not trace.get("trace_id"):
+        raise ServiceError(
+            "trace must be a {trace_id, span_id} object, got "
+            f"{trace!r}"
+        )
+    return {
+        "trace_id": str(trace["trace_id"]),
+        "span_id": str(trace.get("span_id") or ""),
+    }
+
+
 @dataclass(frozen=True)
 class PartitionRequest:
     """One-shot partition of ``graph`` into ``n_parts``.
@@ -158,6 +179,8 @@ class PartitionRequest:
     warm_start: bool = False
     time_budget: Optional[float] = None
     ga: Optional[dict] = None
+    #: optional trace context (observational-only; see _check_trace)
+    trace: Optional[dict] = None
 
     kind = "partition"
 
@@ -181,9 +204,10 @@ class PartitionRequest:
                     f"time_budget must be positive, got {self.time_budget}"
                 )
         _check_ga_overrides(self.ga)
+        object.__setattr__(self, "trace", _check_trace(self.trace))
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "kind": self.kind,
             "graph": graph_to_wire(self.graph),
             "n_parts": int(self.n_parts),
@@ -194,6 +218,9 @@ class PartitionRequest:
             "time_budget": self.time_budget,
             "ga": self.ga,
         }
+        if self.trace is not None:  # absent key keeps wire bytes identical
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "PartitionRequest":
@@ -206,6 +233,7 @@ class PartitionRequest:
             warm_start=bool(payload.get("warm_start", False)),
             time_budget=payload.get("time_budget"),
             ga=_check_ga_overrides(payload.get("ga")),
+            trace=payload.get("trace"),
         )
 
 
@@ -225,6 +253,8 @@ class RefineRequest:
     assignment: np.ndarray
     fitness_kind: str = "fitness1"
     passes: int = 2
+    #: optional trace context (observational-only; see _check_trace)
+    trace: Optional[dict] = None
 
     kind = "refine"
 
@@ -243,9 +273,10 @@ class RefineRequest:
                 f"assignment labels out of range [0, {self.n_parts})"
             )
         object.__setattr__(self, "assignment", arr)
+        object.__setattr__(self, "trace", _check_trace(self.trace))
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "kind": self.kind,
             "graph": graph_to_wire(self.graph),
             "n_parts": int(self.n_parts),
@@ -253,6 +284,9 @@ class RefineRequest:
             "fitness_kind": self.fitness_kind,
             "passes": int(self.passes),
         }
+        if self.trace is not None:  # absent key keeps wire bytes identical
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "RefineRequest":
@@ -265,6 +299,7 @@ class RefineRequest:
             assignment=np.asarray(assignment, dtype=np.int64),
             fitness_kind=payload.get("fitness_kind", "fitness1"),
             passes=_check_int(payload.get("passes", 2), "passes", 1),
+            trace=payload.get("trace"),
         )
 
 
@@ -276,25 +311,32 @@ class UpdateRequest:
 
     session_id: str
     graph: CSRGraph
+    #: optional trace context (observational-only; see _check_trace)
+    trace: Optional[dict] = None
 
     kind = "update"
 
     def __post_init__(self) -> None:
         if not isinstance(self.session_id, str) or not self.session_id:
             raise ServiceError("session_id must be a non-empty string")
+        object.__setattr__(self, "trace", _check_trace(self.trace))
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "kind": self.kind,
             "session_id": self.session_id,
             "graph": graph_to_wire(self.graph),
         }
+        if self.trace is not None:  # absent key keeps wire bytes identical
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "UpdateRequest":
         return cls(
             session_id=_require(payload, "session_id"),
             graph=graph_from_wire(_require(payload, "graph")),
+            trace=payload.get("trace"),
         )
 
 
@@ -312,7 +354,10 @@ class JobResult:
     pinned process slot) and ``shard`` the shard index that served it
     (``None`` outside sharded serving) — transport metadata, never part
     of the answer: the assignment and metrics are bit-identical across
-    lanes and shard layouts.
+    lanes and shard layouts.  ``spans`` carries finished trace-span
+    records when the request arrived with a trace context (how a remote
+    shard or process worker ships its subtree back to the front) —
+    observational-only, stripped before a result enters the cache.
     """
 
     assignment: np.ndarray
@@ -331,9 +376,10 @@ class JobResult:
     portfolio: Optional[list[dict]] = None
     executed_in: str = ""
     shard: Optional[int] = None
+    spans: Optional[list[dict]] = None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "assignment": np.asarray(self.assignment).tolist(),
             "n_parts": int(self.n_parts),
             "cut_size": float(self.cut_size),
@@ -351,6 +397,9 @@ class JobResult:
             "executed_in": self.executed_in,
             "shard": self.shard,
         }
+        if self.spans:  # absent key keeps wire bytes identical
+            payload["spans"] = self.spans
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "JobResult":
@@ -371,6 +420,7 @@ class JobResult:
             portfolio=payload.get("portfolio"),
             executed_in=payload.get("executed_in", ""),
             shard=payload.get("shard"),
+            spans=payload.get("spans"),
         )
 
     def replace(self, **kwargs) -> "JobResult":
@@ -385,6 +435,8 @@ class JobResult:
             out.part_sizes = list(self.part_sizes)
         if out.portfolio is not None and out.portfolio is self.portfolio:
             out.portfolio = [dict(leg) for leg in self.portfolio]
+        if out.spans is not None and out.spans is self.spans:
+            out.spans = [dict(span) for span in self.spans]
         return out
 
 

@@ -44,7 +44,10 @@ from typing import Optional
 
 from ..errors import ServiceError
 from ..incremental.partitioner import IncrementalGAPartitioner
+from ..obs.logs import get_logger
 from .sessions import Session, SessionManager
+
+_LOG = get_logger("service.persistence")
 
 __all__ = [
     "SNAPSHOT_SUFFIX",
@@ -182,14 +185,31 @@ class SessionPersistence:
                 self.sessions.restore(session)
             # repro: allow[BROAD-EXCEPT] — a corrupt/stale snapshot must not
             # keep a restarting shard from serving; counted in restore_failures
-            except Exception:
+            except Exception as exc:
                 with self._lock:
                     self.restore_failures += 1
+                _LOG.warning(
+                    "snapshot restore failed",
+                    extra={
+                        "event": "snapshot_restore_failed",
+                        "session_id": session_id,
+                        "reason": str(exc),
+                    },
+                )
                 continue
             with self._lock:
                 self._last_epoch[session.id] = session.partitioner.epoch
                 self.restored += 1
             restored += 1
+        if restored:
+            _LOG.info(
+                "sessions restored from snapshots",
+                extra={
+                    "event": "snapshots_restored",
+                    "restored": restored,
+                    "dir": str(self.store.root),
+                },
+            )
         return restored
 
     def commit(self, session: Session) -> None:
@@ -216,9 +236,17 @@ class SessionPersistence:
         # repro: allow[BROAD-EXCEPT] — commit never raises: the update already
         # committed in-memory, so failure degrades durability (write_failures),
         # never the answer (see docstring for the bit-identity argument)
-        except Exception:
+        except Exception as exc:
             with self._lock:
                 self.write_failures += 1
+            _LOG.warning(
+                "snapshot write failed",
+                extra={
+                    "event": "snapshot_write_failed",
+                    "session_id": session.id,
+                    "reason": str(exc),
+                },
+            )
             return
         # a close() racing this commit may have forgotten the session
         # *before* the write landed; re-check after writing so a closed
@@ -277,9 +305,17 @@ class SessionPersistence:
                 # repro: allow[BROAD-EXCEPT] — a per-session write failure
                 # degrades durability for that session only; counted, pass
                 # continues
-                except Exception:
+                except Exception as exc:
                     with self._lock:
                         self.write_failures += 1
+                    _LOG.warning(
+                        "snapshot write failed",
+                        extra={
+                            "event": "snapshot_write_failed",
+                            "session_id": session.id,
+                            "reason": str(exc),
+                        },
+                    )
                     continue
                 # same close-race guard as commit(): a close that beat
                 # this write already deleted the file — never leave a

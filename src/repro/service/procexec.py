@@ -108,30 +108,60 @@ def run_partition_job(
     config_kwargs: dict,
     seed: int,
     seed_assignment: Optional[np.ndarray],
+    trace: Optional[dict] = None,
 ):
     """Execute one dknux run in the worker process.
 
     Returns ``NEEDS_GRAPH`` when ``arrays`` is ``None`` and the digest
     is not interned here, else ``(assignment, fitness)`` — the parent
     rebuilds the partition metrics on its own interned graph instance.
+    When the parent ships a ``trace`` context the worker records its
+    execution (including per-generation GA spans) and the return grows
+    a third element with the finished span records; ``trace=None``
+    keeps the original two-element shape, so tracing off means the job
+    pickles and the reply are byte-identical to before.
     """
     from .. import partition_graph
     from ..ga.config import GAConfig
     from ..ga.fitness import make_fitness
+    from ..obs.hooks import ExecRecorder, recording
+    from ..obs.trace import Tracer
 
     graph = _intern(digest, arrays)
     if graph is None:
         return NEEDS_GRAPH
-    partition = partition_graph(
-        graph,
-        n_parts,
-        fitness_kind=fitness_kind,
-        config=GAConfig(**config_kwargs),
-        seed=seed,
-        seed_assignment=seed_assignment,
+    if trace is None:
+        partition = partition_graph(
+            graph,
+            n_parts,
+            fitness_kind=fitness_kind,
+            config=GAConfig(**config_kwargs),
+            seed=seed,
+            seed_assignment=seed_assignment,
+        )
+        fitness = make_fitness(fitness_kind, graph, n_parts)
+        return (
+            np.asarray(partition.assignment, dtype=np.int64),
+            float(fitness.evaluate(partition.assignment)),
+        )
+    # traced lane: identical computation, plus a collected span subtree
+    tracer = Tracer(ring_size=256)
+    span = tracer.start(
+        "procexec.run", parent=trace,
+        attrs={"digest": digest[:12], "n_parts": n_parts, "seed": seed},
     )
+    with span, recording(ExecRecorder(tracer, span)):
+        partition = partition_graph(
+            graph,
+            n_parts,
+            fitness_kind=fitness_kind,
+            config=GAConfig(**config_kwargs),
+            seed=seed,
+            seed_assignment=seed_assignment,
+        )
     fitness = make_fitness(fitness_kind, graph, n_parts)
     return (
         np.asarray(partition.assignment, dtype=np.int64),
         float(fitness.evaluate(partition.assignment)),
+        span.collected(),
     )

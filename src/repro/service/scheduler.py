@@ -174,6 +174,12 @@ class CoalescingScheduler:
             ]
         return results
 
+    def queue_depth(self) -> int:
+        """Jobs currently executing or being joined (the in-flight
+        table's size) — the ``repro_inflight_jobs`` gauge."""
+        with self._lock:
+            return len(self._inflight)
+
     def stats(self) -> dict:
         with self._lock:
             return {

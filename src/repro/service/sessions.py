@@ -312,3 +312,16 @@ class SessionManager:
                 "restored": self.restored,
                 "updates": self.total_updates,
             }
+
+    def epoch_summary(self) -> dict:
+        """Update-epoch digest across open sessions (the
+        ``repro_session_epoch_max`` gauge): reads only each session's
+        ``n_updates`` counter, never its state lock, so it cannot block
+        behind a serial-path GA run."""
+        with self._lock:
+            epochs = [s.n_updates for s in self._sessions.values()]
+        return {
+            "open": len(epochs),
+            "max_epoch": max(epochs) if epochs else 0,
+            "total_epochs": sum(epochs),
+        }

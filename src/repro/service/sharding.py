@@ -64,6 +64,7 @@ import hashlib
 import itertools
 import multiprocessing
 import os
+import re
 import tempfile
 import threading
 import time
@@ -72,6 +73,13 @@ from typing import Optional, Sequence
 
 from ..errors import ServiceError, ShardDiedError
 from ..graphs.csr import CSRGraph
+from ..obs.logs import get_logger
+from ..obs.metrics import (
+    MetricsRegistry,
+    histogram_percentile,
+    merge_snapshots,
+)
+from ..obs.trace import Tracer
 from .cache import graph_digest
 from .config import ServiceConfig
 from .models import JobResult, UpdateRequest
@@ -88,6 +96,47 @@ __all__ = [
     "ShardServer",
     "shard_for_digest",
 ]
+
+_LOG = get_logger("service.sharding")
+
+
+#: percentile-style stats keys that cannot meaningfully sum across
+#: shards — the fleet aggregate takes their max instead
+_STATS_MAX_RE = re.compile(r"^(p\d+_ms|max_ms)$")
+
+
+def _merge_stats(rows: Sequence[dict]) -> dict:
+    """Fleet aggregate of per-shard ``stats()`` rows.
+
+    Numeric leaves sum key-by-key (percentile keys take the max — a sum
+    of p95s is meaningless), nested dicts merge recursively, and keys
+    missing from some rows still aggregate over the rows that have them
+    — previously those were silently dropped on the caller's floor.
+    Unavailable-shard placeholders and non-numeric leaves are skipped.
+    """
+    out: dict = {}
+    merged_rows = 0
+    for row in rows:
+        if not isinstance(row, dict) or "unavailable" in row:
+            continue
+        merged_rows += 1
+        _merge_stats_into(out, row)
+    out["shards_reporting"] = merged_rows
+    return out
+
+
+def _merge_stats_into(target: dict, row: dict) -> None:
+    for key, value in row.items():
+        if isinstance(value, dict):
+            sub = target.setdefault(key, {})
+            if isinstance(sub, dict):
+                _merge_stats_into(sub, value)
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue  # strings (snapshot dirs), lists, None
+        elif _STATS_MAX_RE.match(key):
+            target[key] = max(target.get(key, value), value)
+        else:
+            target[key] = target.get(key, 0) + value
 
 
 def shard_for_digest(digest: str, n_shards: int) -> int:
@@ -136,20 +185,30 @@ def _serve_shard(transport: ShardTransport, service) -> None:
     every :class:`ShardServer` connection.
     """
 
-    def handle(req_id: int, verb: str, args: tuple) -> None:
+    def handle(
+        req_id: int, verb: str, args: tuple, tc: Optional[dict] = None
+    ) -> None:
         try:
             if verb == "submit":
-                out = service.submit(args[0])
+                out = service.submit(args[0], trace=tc)
             elif verb == "submit_many":
-                out = service.submit_many(args[0])
+                out = service.submit_many(args[0], trace=tc)
             elif verb == "open_session":
-                out = service.open_session(args[0], args[1], **args[2])
+                kwargs = dict(args[2])
+                payload_tc = kwargs.pop("trace", None)
+                out = service.open_session(
+                    args[0], args[1],
+                    trace=tc if tc is not None else payload_tc,
+                    **kwargs,
+                )
             elif verb == "update_session":
-                out = service.update_session(args[0])
+                out = service.update_session(args[0], trace=tc)
             elif verb == "close_session":
                 out = service.close_session(args[0])
             elif verb == "stats":
                 out = service.stats()
+            elif verb == "metrics":
+                out = service.metrics()
             elif verb == "list_sessions":
                 out = service.sessions.ids()
             else:
@@ -200,13 +259,17 @@ def _serve_shard(transport: ShardTransport, service) -> None:
                 break  # peer died or detached
             if msg == SHUTDOWN:
                 break
-            req_id, verb, args = msg
+            # requests are (req_id, verb, args) or, when the front ships
+            # trace context, (req_id, verb, args, tc) — see transport.py
+            req_id, verb, args = msg[0], msg[1], msg[2]
+            tc = msg[3] if len(msg) == 4 else None
             lane = (
                 control
-                if verb in ("stats", "close_session", "list_sessions")
+                if verb in ("stats", "metrics", "close_session",
+                            "list_sessions")
                 else pool
             )
-            lane.submit(handle, req_id, verb, args)
+            lane.submit(handle, req_id, verb, args, tc)
     finally:
         pool.shutdown(wait=True)
         control.shutdown(wait=True)
@@ -387,16 +450,21 @@ class _ShardHandle:
         with self._pending_lock:
             return self._alive
 
-    def call(self, verb: str, *args):
+    def call(self, verb: str, *args, tc: Optional[dict] = None):
         reply = _Reply()
         req_id = next(self._counter)
+        message = (
+            (req_id, verb, args)
+            if tc is None
+            else (req_id, verb, args, dict(tc))
+        )
         with self._pending_lock:
             if not self._alive:
                 raise ShardDiedError(f"shard {self.index} is not running")
             self._pending[req_id] = reply
         try:
             # transports serialize send internally; no handle-level lock
-            self.transport.send((req_id, verb, args))
+            self.transport.send(message)
         except (OSError, ValueError, EOFError) as exc:
             with self._pending_lock:
                 self._pending.pop(req_id, None)
@@ -560,14 +628,16 @@ class ShardedPartitionService:
                     f"n_shards={n_shards} conflicts with {len(attach)} "
                     "attached shard addresses (omit n_shards with attach)"
                 )
-            if config != ServiceConfig():
+            if config.without_observability() != ServiceConfig():
                 # remote workers run their own configs; silently
                 # accepting overrides here would let callers believe
-                # settings took effect that never left this process
+                # settings took effect that never left this process.
+                # Observability fields are exempt: they configure the
+                # *front's* tracer, which is local by definition.
                 raise ServiceError(
                     "attach mode takes no service config overrides — "
                     "configure each shard server (serve --shard-listen) "
-                    "instead"
+                    "instead (tracing flags are front-local and allowed)"
                 )
             self.n_shards = len(attach)
         self.config = config
@@ -590,6 +660,17 @@ class ShardedPartitionService:
                 self._snapshot_base = self._tmpdir.name
             # else: no restarts and no durable dir — snapshots could
             # never be read back, so don't pay for writing them
+        # front-side observability: the front originates request traces
+        # (shards continue them via the frame's trace context) and keeps
+        # its own registry of fleet-supervision metrics; metrics() merges
+        # it with every reachable shard's snapshot
+        self.tracer = Tracer(
+            enabled=config.trace_enabled,
+            ring_size=config.trace_ring,
+            jsonl_path=config.trace_jsonl,
+            sample_rate=config.trace_sample,
+        )
+        self.registry = MetricsRegistry()
         self._mp_ctx = multiprocessing.get_context()
         self._fleet_lock = threading.Lock()
         self._fleet_cond = threading.Condition(self._fleet_lock)
@@ -616,6 +697,7 @@ class ShardedPartitionService:
             for slot in self._slots:
                 for session_id in slot.handle.call("list_sessions"):
                     self._session_shard[session_id] = slot.index
+            self._register_metrics()
         except BaseException:
             # a partial fleet must not outlive a failed constructor
             for slot in self._slots:
@@ -628,6 +710,32 @@ class ShardedPartitionService:
     # ------------------------------------------------------------------
     # fleet plumbing
     # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        """Front-local metric families (see :mod:`repro.obs`): shard
+        supervision gauges and the front tracer's counters.  Per-request
+        families come from the shards and are merged in :meth:`metrics`."""
+        reg = self.registry
+
+        def shard_up():
+            return [
+                ({"shard": str(entry["shard"])},
+                 1.0 if entry["state"] == "up" else 0.0)
+                for entry in self.shard_health()
+            ]
+
+        reg.gauge_fn("repro_shard_up", shard_up)
+        for field, metric in (
+            ("spans_recorded", "repro_trace_spans_total"),
+            ("spans_ingested", "repro_trace_spans_ingested_total"),
+            ("sink_errors", "repro_trace_sink_errors_total"),
+        ):
+            reg.counter_fn(
+                metric,
+                (lambda f: lambda: [({}, float(self.tracer.counters()[f]))])(
+                    field
+                ),
+            )
+
     def _shard_config(self, index: int) -> ServiceConfig:
         if self._snapshot_base is None:
             return self.config
@@ -672,6 +780,19 @@ class ShardedPartitionService:
                 return  # stale handle (already replaced) or shutting down
             slot.handle = None
             self._begin_restart_locked(slot)
+            state = slot.state
+        self.registry.inc(
+            "repro_shard_deaths_total", shard=str(handle.index)
+        )
+        _LOG.warning(
+            "shard died",
+            extra={
+                "event": "shard_died",
+                "shard": handle.index,
+                "next_state": state,
+                "transport": "pipe" if self._local else "socket",
+            },
+        )
         if handle.process is not None:
             handle.process.join(timeout=5.0)
 
@@ -716,11 +837,20 @@ class ShardedPartitionService:
             )
         # repro: allow[BROAD-EXCEPT] — a failed restart attempt must never
         # crash the restart thread: mark the slot down so waiters fail fast
-        except BaseException:
+        except BaseException as exc:
             with self._fleet_lock:
                 slot.state = "down"
                 self._fleet_cond.notify_all()
+            _LOG.error(
+                "shard restart failed",
+                extra={
+                    "event": "shard_restart_failed",
+                    "shard": slot.index,
+                    "reason": f"{type(exc).__name__}: {exc}",
+                },
+            )
             return
+        installed = False
         with self._fleet_lock:
             if self._closed:
                 slot.state = "down"
@@ -737,7 +867,20 @@ class ShardedPartitionService:
                 slot.handle = handle
                 slot.state = "up"
                 slot.restarts += 1
+                installed = True
             self._fleet_cond.notify_all()
+        if installed:
+            self.registry.inc(
+                "repro_shard_restarts_total", shard=str(slot.index)
+            )
+            _LOG.info(
+                "shard restarted in place",
+                extra={
+                    "event": "shard_restarted",
+                    "shard": slot.index,
+                    "restarts": slot.restarts,
+                },
+            )
         if self._closed:  # lost the race with close(): tidy up
             handle.shutdown()
 
@@ -803,10 +946,56 @@ class ShardedPartitionService:
             reconnect.state = "up"
             reconnect.restarts += 1
             self._fleet_cond.notify_all()
+        self.registry.inc(
+            "repro_shard_reattach_total", shard=str(index)
+        )
+        _LOG.info(
+            "shard re-attached",
+            extra={
+                "event": "shard_reattached",
+                "shard": index,
+                "address": reconnect.address,
+            },
+        )
         return handle
 
     def _call(self, shard: int, verb: str, *args):
         return self._shard_handle(shard).call(verb, *args)
+
+    def _traced_call(self, parent, shard: int, verb: str, *args):
+        """One shard RPC under a ``shard.call`` hop span.  The hop's
+        context rides the request frame, the shard's collected subtree
+        rides back in ``result.spans`` and is ingested here — that is
+        the whole cross-process stitch.  A failed attempt closes the hop
+        with its error; a caller's retry under the same parent appears
+        as a sibling hop of the same trace."""
+        hop = self.tracer.start(
+            "shard.call", parent=parent,
+            attrs={"shard": shard, "verb": verb},
+        )
+        tc = hop.context() if hop else None
+        try:
+            result = self._shard_handle(shard).call(verb, *args, tc=tc)
+        except BaseException as exc:
+            hop.fail(exc)
+            hop.close()
+            if isinstance(exc, ShardDiedError):
+                _LOG.warning(
+                    "shard call failed fast",
+                    extra={
+                        "event": "shard_call_failed",
+                        "shard": shard,
+                        "verb": verb,
+                        "trace_id": hop.trace_id,
+                        "reason": str(exc),
+                    },
+                )
+            raise
+        hop.close()
+        spans = getattr(result, "spans", None)
+        if spans:
+            self.tracer.ingest(spans)
+        return result
 
     def shard_health(self) -> list[dict]:
         """Per-shard supervision state (also embedded in :meth:`stats`)."""
@@ -840,7 +1029,13 @@ class ShardedPartitionService:
     def submit(self, request) -> JobResult:
         self._check_open()
         shard = self.shard_of(request.graph)
-        return self._mark(self._call(shard, "submit", request), shard)
+        span = self.tracer.start(
+            "front.submit", parent=request.trace,
+            attrs={"endpoint": "partition", "shard": shard},
+        )
+        with span:
+            result = self._traced_call(span, shard, "submit", request)
+        return self._mark(result, shard)
 
     def submit_many(self, requests: Sequence) -> list[JobResult]:
         """Batch submission: the batch splits by shard, each sub-batch
@@ -852,39 +1047,61 @@ class ShardedPartitionService:
             by_shard.setdefault(self.shard_of(request.graph), []).append(i)
         results: list[Optional[JobResult]] = [None] * len(requests)
 
+        span = self.tracer.start(
+            "front.submit_many",
+            attrs={"endpoint": "refine_batch", "n_requests": len(requests)},
+        )
+
         def run_shard(shard: int, members: list[int]) -> None:
             batch = [requests[i] for i in members]
-            out = self._call(shard, "submit_many", batch)
+            out = self._traced_call(span, shard, "submit_many", batch)
             for i, result in zip(members, out):
                 results[i] = self._mark(result, shard)
 
-        if len(by_shard) == 1:
-            ((shard, members),) = by_shard.items()
-            run_shard(shard, members)
-        elif by_shard:
-            with ThreadPoolExecutor(max_workers=len(by_shard)) as fan:
-                futures = [
-                    fan.submit(run_shard, shard, members)
-                    for shard, members in by_shard.items()
-                ]
-                for future in futures:
-                    future.result()
+        with span:
+            if len(by_shard) == 1:
+                ((shard, members),) = by_shard.items()
+                run_shard(shard, members)
+            elif by_shard:
+                with ThreadPoolExecutor(max_workers=len(by_shard)) as fan:
+                    futures = [
+                        fan.submit(run_shard, shard, members)
+                        for shard, members in by_shard.items()
+                    ]
+                    for future in futures:
+                        future.result()
         return results  # type: ignore[return-value]
 
     def open_session(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
         self._check_open()
         shard = self.shard_of(graph)
-        result = self._call(shard, "open_session", graph, int(n_parts), kwargs)
+        span = self.tracer.start(
+            "front.open_session", parent=kwargs.get("trace"),
+            attrs={"endpoint": "open_session", "shard": shard},
+        )
+        with span:
+            result = self._traced_call(
+                span, shard, "open_session", graph, int(n_parts), kwargs
+            )
+            span.set(session_id=result.session_id)
         with self._session_lock:
             self._session_shard[result.session_id] = shard
+        self.registry.inc("repro_sessions_routed_total")
         return self._mark(result, shard)
 
     def update_session(self, request: UpdateRequest) -> JobResult:
         self._check_open()
         shard = self._session_route(request.session_id)
-        return self._mark(
-            self._call(shard, "update_session", request), shard
+        span = self.tracer.start(
+            "front.update_session", parent=request.trace,
+            attrs={"endpoint": "update_session", "shard": shard,
+                   "session_id": request.session_id},
         )
+        with span:
+            result = self._traced_call(
+                span, shard, "update_session", request
+            )
+        return self._mark(result, shard)
 
     def close_session(self, session_id: str) -> dict:
         self._check_open()
@@ -915,7 +1132,46 @@ class ShardedPartitionService:
             "sessions_routed": routed,
             "health": health,
             "shards": shards,
+            # fleet aggregate: before this existed, callers had to sum
+            # the raw per-shard rows themselves and quietly lost any key
+            # not present on every row (mixed configs, unavailable
+            # shards) — the merge rules live in _merge_stats
+            "totals": _merge_stats(shards),
         }
+
+    def metrics(self) -> dict:
+        """One :data:`~repro.obs.metrics.METRICS_SCHEMA` snapshot for
+        the fleet: every reachable shard's registry merged (counters and
+        histogram buckets sum) with the front's own supervision metrics,
+        plus the per-endpoint ``latency_ms`` percentile digest.  Shards
+        that are down mid-crash are skipped and counted in
+        ``shards_reporting``."""
+        self._check_open()
+        snapshots = []
+        for entry in self.shard_health():
+            try:
+                handle = self._shard_handle(entry["shard"], wait=False)
+                snapshots.append(handle.call("metrics"))
+            except ShardDiedError:
+                continue
+        reporting = len(snapshots)
+        snapshots.append(self.registry.snapshot())
+        merged = merge_snapshots(snapshots)
+        digest: dict = {}
+        for hist in merged["histograms"]:
+            if hist["name"] != "repro_request_latency_ms":
+                continue
+            endpoint = hist["labels"].get("endpoint", "")
+            digest[endpoint] = {
+                "count": hist["count"],
+                "p50_ms": round(histogram_percentile(hist, 0.50), 3),
+                "p95_ms": round(histogram_percentile(hist, 0.95), 3),
+                "p99_ms": round(histogram_percentile(hist, 0.99), 3),
+            }
+        merged["latency_ms"] = digest
+        merged["n_shards"] = self.n_shards
+        merged["shards_reporting"] = reporting
+        return merged
 
     def _session_route(self, session_id: str) -> int:
         with self._session_lock:
@@ -949,6 +1205,7 @@ class ShardedPartitionService:
             handle.shutdown()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
+        self.tracer.close()
 
     def __enter__(self) -> "ShardedPartitionService":
         return self

@@ -1,9 +1,11 @@
 """Shard transports: local pipes and remote sockets behind one interface.
 
 The sharded front (:mod:`repro.service.sharding`) multiplexes request
-messages ``(req_id, verb, args)`` and replies ``(req_id, ok, payload)``
-over one duplex channel per shard.  This module abstracts that channel
-as :class:`ShardTransport` with two implementations:
+messages ``(req_id, verb, args)`` — with an optional fourth element
+carrying a trace context when the front propagates one (see
+:mod:`repro.obs.trace`) — and replies ``(req_id, ok, payload)`` over
+one duplex channel per shard.  This module abstracts that channel as
+:class:`ShardTransport` with two implementations:
 
 * :class:`PipeTransport` — the local fast lane: a
   :func:`multiprocessing.Pipe` connection to a child shard process,
@@ -137,26 +139,33 @@ def _decode_value(obj):
 def encode_message(message) -> bytes:
     """One multiplexer message → one JSON frame body.
 
-    Accepts the three shapes the shard protocol uses: the
-    :data:`SHUTDOWN` control string, request tuples ``(req_id, verb,
-    args)``, and reply tuples ``(req_id, ok, payload)``.
+    Accepts the shapes the shard protocol uses: the :data:`SHUTDOWN`
+    control string, request tuples ``(req_id, verb, args)`` — optionally
+    ``(req_id, verb, args, trace_ctx)`` when the front propagates a
+    trace context — and reply tuples ``(req_id, ok, payload)``.  A
+    traceless request encodes to the exact same bytes as before the
+    trace field existed (the ``"tc"`` key is simply absent).
     """
     if message == SHUTDOWN:
         obj = {"ctl": "shutdown"}
-    elif isinstance(message, tuple) and len(message) == 3:
-        req_id, second, third = message
-        if isinstance(second, str):  # request: (req_id, verb, args)
+    elif isinstance(message, tuple) and len(message) in (3, 4):
+        req_id, second, third = message[0], message[1], message[2]
+        if isinstance(second, str):  # request: (req_id, verb, args[, tc])
             obj = {
                 "id": int(req_id),
                 "verb": second,
                 "args": [_encode_value(arg) for arg in third],
             }
-        else:  # reply: (req_id, ok, payload)
+            if len(message) == 4 and message[3]:
+                obj["tc"] = dict(message[3])
+        elif len(message) == 3:  # reply: (req_id, ok, payload)
             obj = {
                 "id": int(req_id),
                 "ok": bool(second),
                 "payload": _encode_value(third),
             }
+        else:
+            raise ServiceError(f"cannot encode shard message: {message!r}")
     else:
         raise ServiceError(f"cannot encode shard message: {message!r}")
     return json.dumps(obj, separators=(",", ":")).encode()
@@ -175,11 +184,15 @@ def decode_message(data: bytes):
         return SHUTDOWN
     try:
         if "verb" in obj:
-            return (
+            request = (
                 int(obj["id"]),
                 str(obj["verb"]),
                 tuple(_decode_value(arg) for arg in obj.get("args", [])),
             )
+            tc = obj.get("tc")
+            if isinstance(tc, dict) and tc:
+                return request + (tc,)
+            return request
         if "ok" in obj:
             return (
                 int(obj["id"]),
