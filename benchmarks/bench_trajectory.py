@@ -136,8 +136,9 @@ def build_trajectory(snapshots: list[tuple[str, dict]]) -> str:
 
     # serving-layer sections (bench_service.py's flat dicts: `serving`
     # throughput/latency numbers, `failover` crash-recovery numbers,
-    # `observability` tracing-overhead numbers)
-    for section in ("serving", "failover", "observability"):
+    # `concurrency` simultaneous-connection numbers, `observability`
+    # tracing-overhead numbers)
+    for section in ("serving", "failover", "concurrency", "observability"):
         section_keys: list[str] = []
         for _, snap in snapshots:
             for name in snap.get(section, {}):

@@ -117,6 +117,7 @@ class AnalysisConfig:
         "*/service/models.py",
         "*/service/transport.py",
         "*/service/http.py",
+        "*/service/eventloop.py",
         "*/service/client.py",
     )
     #: files whose raised library exceptions must be reconstructable by

@@ -80,7 +80,10 @@ BLOCKING_MATCHERS: tuple = (
     ("loads", r"pickle"),
     ("send", r"transport|conn|pipe|sock"),
     ("sendall", r"sock|conn"),
+    ("sendmsg", r"sock|conn"),
     ("recv", r"transport|conn|pipe|sock"),
+    ("recv_into", r"sock|conn"),
+    ("select", r"sel"),
     ("result", r"fut|pool|submit"),
     ("join", r"thread|proc|timer|reader|restart|worker|pool"),
     ("wait", r"."),  # condition exemption applies, see _process_call

@@ -11,9 +11,12 @@ serving with supervision/auto-restart (:mod:`.sharding`, ``serve
 ``serve --shard-listen`` / ``--attach-shard``), session failover
 snapshots (:mod:`.persistence`), streaming incremental sessions with
 overlapped updates (:mod:`.sessions`), a method portfolio racer
-(:mod:`.portfolio`), and two frontends — a stdlib HTTP endpoint
-(:mod:`.http`, ``repro-partition serve``) and programmatic clients
-(:mod:`.client`).  Observability — distributed request tracing, the
+(:mod:`.portfolio`), and two frontends — a stdlib HTTP endpoint with
+interchangeable connection fronts (:mod:`.http` routing, the
+:mod:`.eventloop` selectors front with keep-alive and pipelining, and
+the thread-per-connection fallback; ``repro-partition serve``) and
+programmatic clients (:mod:`.client`).  Observability — distributed
+request tracing, the
 unified metrics registry behind ``/v1/metrics``, and structured shard
 lifecycle logs — lives in :mod:`repro.obs` and is threaded through
 every layer here.
@@ -47,7 +50,8 @@ from .transport import (
 )
 from .sharding import ShardServer, ShardedPartitionService, shard_for_digest
 from .client import HTTPServiceClient, ServiceClient
-from .http import PartitionHTTPServer, make_server, serve
+from .http import PartitionHTTPServer, dispatch_request, make_server, serve
+from .eventloop import EventLoopHTTPServer
 
 __all__ = [
     "DEFAULT_PROCESS_THRESHOLD",
@@ -88,6 +92,8 @@ __all__ = [
     "HTTPServiceClient",
     "ServiceClient",
     "PartitionHTTPServer",
+    "EventLoopHTTPServer",
+    "dispatch_request",
     "make_server",
     "serve",
 ]

@@ -9,8 +9,11 @@ Two interchangeable clients expose the same verbs (``partition``,
   serialization, the right tool for embedding the service in a Python
   application or benchmark;
 * :class:`HTTPServiceClient` speaks the JSON endpoint of
-  :mod:`repro.service.http` over urllib — the right tool from another
-  process or machine.
+  :mod:`repro.service.http` over a **persistent keep-alive
+  connection** (one :class:`http.client.HTTPConnection` per thread,
+  reconnecting automatically) — the right tool from another process or
+  machine, and the pairing for the event-loop front: a client-side
+  benchmark measures the server, not per-request TCP setup.
 
 Because both run the identical service core, a test or traffic replay
 written against one client holds for the other.
@@ -18,10 +21,11 @@ written against one client holds for the other.
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
 from typing import Optional, Sequence
+from urllib.parse import urlsplit
 
 import numpy as np
 
@@ -127,37 +131,103 @@ class ServiceClient:
 
 
 class HTTPServiceClient:
-    """JSON-over-HTTP client for a running ``repro-partition serve``."""
+    """JSON-over-HTTP client for a running ``repro-partition serve``.
+
+    The transport is a persistent keep-alive connection: each thread
+    using the client owns one :class:`http.client.HTTPConnection`,
+    reused across requests and reopened transparently when the server
+    closes it (idle timeout, restart).  A request that fails on a
+    *reused* connection is retried once on a fresh one — that failure
+    mode is the inherent keep-alive race (the server closed the idle
+    connection just as the request departed), and the request cannot
+    have been processed.  A request that fails on a fresh connection is
+    never retried: the service may have seen it, and replaying e.g. a
+    session update must be the caller's explicit decision.
+    """
 
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ServiceError(
+                f"HTTPServiceClient speaks plain http, got {base_url!r}"
+            )
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        self._prefix = parts.path.rstrip("/")
+        self._local = threading.local()  # per-thread persistent connection
 
     # -- transport -----------------------------------------------------
-    def _call(self, path: str, payload: Optional[dict] = None) -> dict:
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's connection and whether it is being *reused*."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, True
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+        self._local.conn = conn
+        return conn, False
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            conn.close()
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (idempotent; the
+        next request simply reconnects)."""
+        self._drop_connection()
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes], headers: dict
+    ) -> tuple[int, bytes]:
         url = f"{self.base_url}{path}"
-        if payload is None:
-            request = urllib.request.Request(url, method="GET")
-        else:
-            request = urllib.request.Request(
-                url,
-                data=json.dumps(payload).encode(),
-                headers={"Content-Type": "application/json"},
-                method="POST",
-            )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode())
-        except urllib.error.HTTPError as exc:
+        for attempt in (0, 1):
+            conn, reused = self._connection()
             try:
-                message = json.loads(exc.read().decode()).get("error", str(exc))
-            except (OSError, ValueError, AttributeError):
-                message = str(exc)
+                conn.request(method, self._prefix + path, body, headers)
+                resp = conn.getresponse()
+                data = resp.read()  # drain fully: keep-alive needs it
+                if resp.headers.get("Connection", "").lower() == "close":
+                    self._drop_connection()
+                return resp.status, data
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self._drop_connection()
+                if reused and attempt == 0:
+                    # stale keep-alive: the server closed the idle
+                    # connection under us; the request was not processed,
+                    # so one retry on a fresh connection is safe
+                    continue
+                raise ServiceError(
+                    f"cannot reach service at {url}: {exc}"
+                ) from exc
+        raise ServiceError(f"cannot reach service at {url}: retries exhausted")
+
+    def _call(self, path: str, payload: Optional[dict] = None) -> dict:
+        if payload is None:
+            status, data = self._request("GET", path, None, {})
+        else:
+            status, data = self._request(
+                "POST", path, json.dumps(payload).encode(),
+                {"Content-Type": "application/json"},
+            )
+        if status >= 400:
+            try:
+                message = json.loads(data.decode()).get(
+                    "error", f"HTTP {status}"
+                )
+            except (ValueError, AttributeError, UnicodeDecodeError):
+                message = f"HTTP {status}"
+            raise ServiceError(f"{path} failed with HTTP {status}: {message}")
+        try:
+            return json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
             raise ServiceError(
-                f"{path} failed with HTTP {exc.code}: {message}"
+                f"{path} answered malformed JSON: {exc}"
             ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach service at {url}: {exc}") from exc
 
     # -- verbs ---------------------------------------------------------
     def partition(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
@@ -194,13 +264,11 @@ class HTTPServiceClient:
 
     def metrics_text(self) -> str:
         """``/v1/metrics`` in Prometheus text exposition format."""
-        url = f"{self.base_url}/v1/metrics?format=prometheus"
-        request = urllib.request.Request(url, method="GET")
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.read().decode()
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach service at {url}: {exc}") from exc
+        path = "/v1/metrics?format=prometheus"
+        status, data = self._request("GET", path, None, {})
+        if status >= 400:
+            raise ServiceError(f"{path} failed with HTTP {status}")
+        return data.decode()
 
     def healthy(self) -> bool:
         try:

@@ -99,6 +99,13 @@ class ServiceConfig:
         Size of the in-memory span ring buffer.
     trace_jsonl:
         Optional path appended with one JSON span record per line.
+    binary_frames:
+        Negotiate the zero-copy shard data plane (binary socket frames
+        / shared-memory pipe segments — see :mod:`repro.service.
+        transport`).  Purely a transport encoding: answers are
+        bit-identical with it on or off, and peers that don't speak it
+        fall back to JSON frames regardless of this flag.  ``False``
+        pins every shard channel to the JSON/pickle lanes.
     """
 
     n_workers: int = 2
@@ -114,6 +121,7 @@ class ServiceConfig:
     trace_sample: float = 1.0
     trace_ring: int = 2048
     trace_jsonl: Optional[str] = None
+    binary_frames: bool = True
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:

@@ -1,10 +1,17 @@
 """Stdlib HTTP frontend for the partition service.
 
-A thin JSON layer over :class:`~repro.service.core.PartitionService`
-on ``http.server.ThreadingHTTPServer`` — one thread per connection, no
-third-party dependencies, good enough to serve the paper-scale graphs
-this repo reproduces and to load-test the serving architecture.  The
-endpoint schema:
+A thin JSON layer over :class:`~repro.service.core.PartitionService`.
+Two interchangeable fronts speak the identical endpoint schema:
+
+* ``front="eventloop"`` (default) — :class:`~repro.service.eventloop.
+  EventLoopHTTPServer`, a single-threaded :mod:`selectors` loop
+  multiplexing thousands of keep-alive connections with pipelined
+  in-flight requests (see :mod:`repro.service.eventloop`);
+* ``front="thread"`` — ``http.server.ThreadingHTTPServer``, one thread
+  per connection (the original front, kept as the simple fallback).
+
+Both route through :func:`dispatch_request`, so responses are
+byte-identical between fronts.  The endpoint schema:
 
 ====================  ======  =========================================
 path                  method  body / response
@@ -46,11 +53,124 @@ from .models import (
     graph_from_wire,
 )
 
-__all__ = ["PartitionHTTPServer", "make_server", "serve"]
+__all__ = [
+    "PartitionHTTPServer",
+    "dispatch_request",
+    "make_server",
+    "serve",
+]
 
 #: request-body ceiling — paper-scale graphs are ~KBs; 64 MiB leaves
 #: ample slack for large meshes while bounding a hostile payload
 MAX_BODY_BYTES = 64 << 20
+
+
+# ----------------------------------------------------------------------
+# shared route dispatch (both fronts)
+# ----------------------------------------------------------------------
+
+def _json_response(status: int, payload: dict) -> tuple[int, str, bytes]:
+    return status, "application/json", json.dumps(payload).encode()
+
+
+def _parse_json_body(raw: bytes) -> dict:
+    try:
+        payload = json.loads(raw.decode() or "{}")
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise _HTTPError(400, f"bad JSON body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise _HTTPError(400, "request body must be a JSON object")
+    return payload
+
+
+def dispatch_request(
+    service, method: str, target: str, body: bytes = b"", accept: str = ""
+) -> tuple[int, str, bytes]:
+    """Route one HTTP request → ``(status, content type, body bytes)``.
+
+    The single routing table behind both fronts: ``target`` is the raw
+    request target (path plus optional query), ``body`` the already-read
+    request body, ``accept`` the Accept header (the ``/v1/metrics``
+    content negotiation).  Every error — malformed payload, library
+    error, handler bug — is mapped to a JSON error response here, so
+    callers never see an exception and the two fronts answer
+    byte-identically.
+    """
+    from urllib.parse import parse_qs, urlsplit
+
+    parts = urlsplit(target)
+    path = parts.path
+    try:
+        if method == "GET":
+            if path == "/v1/healthz":
+                return _json_response(200, {"ok": True})
+            if path == "/v1/stats":
+                return _json_response(200, service.stats())
+            if path == "/v1/metrics":
+                from ..obs.metrics import render_prometheus
+
+                want_text = (
+                    parse_qs(parts.query).get("format", [""])[0]
+                    == "prometheus"
+                    or (
+                        "text/plain" in accept
+                        and "application/json" not in accept
+                    )
+                )
+                snapshot = service.metrics()
+                if not want_text:
+                    return _json_response(200, snapshot)
+                return (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(snapshot).encode(),
+                )
+            return _json_response(404, {"error": f"unknown path {target}"})
+        if method != "POST":
+            return _json_response(
+                501, {"error": f"unsupported method {method!r}"}
+            )
+        payload = _parse_json_body(body)
+        if path == "/v1/partition":
+            result = service.submit(PartitionRequest.from_payload(payload))
+            return _json_response(200, result.to_payload())
+        if path == "/v1/refine":
+            result = service.submit(RefineRequest.from_payload(payload))
+            return _json_response(200, result.to_payload())
+        if path == "/v1/session/open":
+            # parameter validation (types, ranges, ga overrides)
+            # lives in SessionManager.open and answers 400
+            result = service.open_session(
+                graph_from_wire(_field(payload, "graph")),
+                n_parts=_field(payload, "n_parts"),
+                fitness_kind=payload.get("fitness_kind", "fitness1"),
+                seed=payload.get("seed", 0),
+                ga=payload.get("ga"),
+            )
+            return _json_response(200, result.to_payload())
+        if path == "/v1/session/update":
+            result = service.update_session(UpdateRequest.from_payload(payload))
+            return _json_response(200, result.to_payload())
+        if path == "/v1/session/close":
+            summary = service.close_session(_field(payload, "session_id"))
+            return _json_response(200, summary)
+        return _json_response(404, {"error": f"unknown path {target}"})
+    except _HTTPError as exc:
+        return _json_response(exc.status, {"error": exc.message})
+    except ShardDiedError as exc:
+        # a shard crash is the service's fault, not the request's:
+        # answer 503 (retryable) so HTTP clients can distinguish
+        # "retry me once the shard restarts" from a bad request
+        return _json_response(503, {"error": str(exc)})
+    except ServiceError as exc:
+        status = 404 if "unknown session" in str(exc) else 400
+        return _json_response(status, {"error": str(exc)})
+    except ReproError as exc:
+        return _json_response(400, {"error": str(exc)})
+    # repro: allow[BROAD-EXCEPT] — the 500 boundary: a handler bug must
+    # answer JSON, not kill the client's connection
+    except Exception as exc:  # pragma: no cover - defensive boundary
+        return _json_response(500, {"error": f"internal error: {exc}"})
 
 
 class PartitionHTTPServer(ThreadingHTTPServer):
@@ -79,13 +199,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
+        self._send(status, "application/json", body)
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
-    def _read_body(self) -> dict:
+    def _read_body(self) -> bytes:
         raw_length = self.headers.get("Content-Length", 0) or 0
         try:
             length = int(raw_length)
@@ -97,104 +220,30 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HTTPError(400, f"bad Content-Length header: {length}")
         if length > MAX_BODY_BYTES:
             raise _HTTPError(413, f"request body over {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length) if length else b""
-        try:
-            payload = json.loads(raw.decode() or "{}")
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise _HTTPError(400, f"bad JSON body: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise _HTTPError(400, "request body must be a JSON object")
-        return payload
-
-    def _send_metrics(self, query: str) -> None:
-        from urllib.parse import parse_qs
-
-        from ..obs.metrics import render_prometheus
-
-        accept = self.headers.get("Accept", "") or ""
-        want_text = (
-            parse_qs(query).get("format", [""])[0] == "prometheus"
-            or ("text/plain" in accept and "application/json" not in accept)
-        )
-        snapshot = self.server.service.metrics()
-        if not want_text:
-            self._send_json(200, snapshot)
-            return
-        body = render_prometheus(snapshot).encode()
-        self.send_response(200)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-        )
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        return self.rfile.read(length) if length else b""
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        from urllib.parse import urlsplit
-
-        parts = urlsplit(self.path)
         try:
-            if parts.path == "/v1/healthz":
-                self._send_json(200, {"ok": True})
-            elif parts.path == "/v1/stats":
-                self._send_json(200, self.server.service.stats())
-            elif parts.path == "/v1/metrics":
-                self._send_metrics(parts.query)
-            else:
-                self._send_json(404, {"error": f"unknown path {self.path}"})
+            self._send(*dispatch_request(
+                self.server.service, "GET", self.path,
+                accept=self.headers.get("Accept", "") or "",
+            ))
         except BrokenPipeError:  # client went away mid-answer
             pass
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        service = self.server.service
         try:
-            payload = self._read_body()
-            if self.path == "/v1/partition":
-                result = service.submit(PartitionRequest.from_payload(payload))
-                self._send_json(200, result.to_payload())
-            elif self.path == "/v1/refine":
-                result = service.submit(RefineRequest.from_payload(payload))
-                self._send_json(200, result.to_payload())
-            elif self.path == "/v1/session/open":
-                # parameter validation (types, ranges, ga overrides)
-                # lives in SessionManager.open and answers 400
-                result = service.open_session(
-                    graph_from_wire(_field(payload, "graph")),
-                    n_parts=_field(payload, "n_parts"),
-                    fitness_kind=payload.get("fitness_kind", "fitness1"),
-                    seed=payload.get("seed", 0),
-                    ga=payload.get("ga"),
-                )
-                self._send_json(200, result.to_payload())
-            elif self.path == "/v1/session/update":
-                result = service.update_session(
-                    UpdateRequest.from_payload(payload)
-                )
-                self._send_json(200, result.to_payload())
-            elif self.path == "/v1/session/close":
-                summary = service.close_session(_field(payload, "session_id"))
-                self._send_json(200, summary)
-            else:
-                self._send_json(404, {"error": f"unknown path {self.path}"})
-        except _HTTPError as exc:
-            self._send_json(exc.status, {"error": exc.message})
-        except ShardDiedError as exc:
-            # a shard crash is the service's fault, not the request's:
-            # answer 503 (retryable) so HTTP clients can distinguish
-            # "retry me once the shard restarts" from a bad request
-            self._send_json(503, {"error": str(exc)})
-        except ServiceError as exc:
-            status = 404 if "unknown session" in str(exc) else 400
-            self._send_json(status, {"error": str(exc)})
-        except ReproError as exc:
-            self._send_json(400, {"error": str(exc)})
+            try:
+                body = self._read_body()
+            except _HTTPError as exc:
+                self._send_json(exc.status, {"error": exc.message})
+                return
+            self._send(*dispatch_request(
+                self.server.service, "POST", self.path, body,
+            ))
         except BrokenPipeError:
             pass
-        # repro: allow[BROAD-EXCEPT] — the 500 boundary: a handler bug must
-        # answer JSON, not kill the client's connection
-        except Exception as exc:  # pragma: no cover - defensive boundary
-            self._send_json(500, {"error": f"internal error: {exc}"})
 
 
 class _HTTPError(Exception):
@@ -217,8 +266,9 @@ def make_server(
     service: Optional[PartitionService] = None,
     shards: int = 0,
     attach_shards: Optional[Sequence[str]] = None,
+    front: str = "eventloop",
     **service_kwargs,
-) -> PartitionHTTPServer:
+):
     """Build (but do not start) a server; ``port=0`` picks a free port.
 
     ``shards=N`` (N ≥ 1) serves through a digest-sharded
@@ -230,7 +280,17 @@ def make_server(
     These only apply when the server builds its own service — combining
     them with an explicit ``service`` is rejected rather than silently
     ignored.
+
+    ``front`` picks the connection front: ``"eventloop"`` (default, the
+    selectors loop with keep-alive and pipelining) or ``"thread"`` (the
+    original thread-per-connection server).  Both expose the same
+    surface (``server_address``, ``service``, ``serve_forever`` /
+    ``shutdown`` / ``server_close``) and byte-identical responses.
     """
+    if front not in ("eventloop", "thread"):
+        raise ServiceError(
+            f"front must be 'eventloop' or 'thread', got {front!r}"
+        )
     if service is not None and (shards or attach_shards):
         raise ServiceError(
             "pass either an explicit service or shards/attach_shards, not "
@@ -254,7 +314,11 @@ def make_server(
             service = ShardedPartitionService(n_shards=shards, **service_kwargs)
         else:
             service = PartitionService(**service_kwargs)
-    return PartitionHTTPServer((host, port), service)
+    if front == "thread":
+        return PartitionHTTPServer((host, port), service)
+    from .eventloop import EventLoopHTTPServer
+
+    return EventLoopHTTPServer((host, port), service)
 
 
 def serve(
@@ -264,15 +328,17 @@ def serve(
     background: bool = False,
     shards: int = 0,
     attach_shards: Optional[Sequence[str]] = None,
+    front: str = "eventloop",
     **service_kwargs,
-) -> PartitionHTTPServer:
+):
     """Start serving; ``background=True`` serves from a daemon thread
     and returns immediately (used by tests and the smoke benchmark).
     ``shards=N`` enables digest-sharded multi-process serving;
-    ``attach_shards`` fronts remote socket shards instead."""
+    ``attach_shards`` fronts remote socket shards instead; ``front``
+    picks the connection front (see :func:`make_server`)."""
     server = make_server(
         host, port, service, shards=shards, attach_shards=attach_shards,
-        **service_kwargs,
+        front=front, **service_kwargs,
     )
     if background:
         thread = threading.Thread(

@@ -59,9 +59,28 @@ SERVICE_METHODS = (
 )
 
 
-def graph_to_wire(graph: CSRGraph) -> dict:
-    """The JSON wire form of a graph (see :func:`graph_to_payload`)."""
-    return graph_to_payload(graph)
+def graph_to_wire(graph: CSRGraph, arrays=None) -> dict:
+    """The wire form of a graph (see :func:`graph_to_payload`).
+
+    ``arrays`` is the binary shard lane's ndarray hook (``arrays(arr,
+    dtype) -> reference``): when given, array fields carry references to
+    raw buffers instead of JSON number lists.  Either form decodes
+    through :func:`graph_from_payload` into the same graph, because its
+    :class:`CSRGraph` constructor normalizes lists and ndarrays to the
+    identical int64/float64 arrays.
+    """
+    if arrays is None:
+        return graph_to_payload(graph)
+    return {
+        "n_nodes": graph.n_nodes,
+        "edges_u": arrays(graph.edges_u, np.int64),
+        "edges_v": arrays(graph.edges_v, np.int64),
+        "edge_weights": arrays(graph.edge_weights, np.float64),
+        "node_weights": arrays(graph.node_weights, np.float64),
+        "coords": (
+            None if graph.coords is None else arrays(graph.coords, np.float64)
+        ),
+    }
 
 
 def graph_from_wire(obj: Union[dict, str]) -> CSRGraph:
@@ -206,10 +225,10 @@ class PartitionRequest:
         _check_ga_overrides(self.ga)
         object.__setattr__(self, "trace", _check_trace(self.trace))
 
-    def to_payload(self) -> dict:
+    def to_payload(self, arrays=None) -> dict:
         payload = {
             "kind": self.kind,
-            "graph": graph_to_wire(self.graph),
+            "graph": graph_to_wire(self.graph, arrays=arrays),
             "n_parts": int(self.n_parts),
             "fitness_kind": self.fitness_kind,
             "method": self.method,
@@ -275,12 +294,16 @@ class RefineRequest:
         object.__setattr__(self, "assignment", arr)
         object.__setattr__(self, "trace", _check_trace(self.trace))
 
-    def to_payload(self) -> dict:
+    def to_payload(self, arrays=None) -> dict:
         payload = {
             "kind": self.kind,
-            "graph": graph_to_wire(self.graph),
+            "graph": graph_to_wire(self.graph, arrays=arrays),
             "n_parts": int(self.n_parts),
-            "assignment": np.asarray(self.assignment).tolist(),
+            "assignment": (
+                np.asarray(self.assignment).tolist()
+                if arrays is None
+                else arrays(self.assignment, np.int64)
+            ),
             "fitness_kind": self.fitness_kind,
             "passes": int(self.passes),
         }
@@ -291,7 +314,7 @@ class RefineRequest:
     @classmethod
     def from_payload(cls, payload: dict) -> "RefineRequest":
         assignment = _require(payload, "assignment")
-        if not isinstance(assignment, (list, tuple)):
+        if not isinstance(assignment, (list, tuple, np.ndarray)):
             raise ServiceError("assignment must be a list of part labels")
         return cls(
             graph=graph_from_wire(_require(payload, "graph")),
@@ -321,11 +344,11 @@ class UpdateRequest:
             raise ServiceError("session_id must be a non-empty string")
         object.__setattr__(self, "trace", _check_trace(self.trace))
 
-    def to_payload(self) -> dict:
+    def to_payload(self, arrays=None) -> dict:
         payload = {
             "kind": self.kind,
             "session_id": self.session_id,
-            "graph": graph_to_wire(self.graph),
+            "graph": graph_to_wire(self.graph, arrays=arrays),
         }
         if self.trace is not None:  # absent key keeps wire bytes identical
             payload["trace"] = dict(self.trace)
@@ -378,9 +401,13 @@ class JobResult:
     shard: Optional[int] = None
     spans: Optional[list[dict]] = None
 
-    def to_payload(self) -> dict:
+    def to_payload(self, arrays=None) -> dict:
         payload = {
-            "assignment": np.asarray(self.assignment).tolist(),
+            "assignment": (
+                np.asarray(self.assignment).tolist()
+                if arrays is None
+                else arrays(np.asarray(self.assignment), np.int64)
+            ),
             "n_parts": int(self.n_parts),
             "cut_size": float(self.cut_size),
             "max_part_cut": float(self.max_part_cut),

@@ -211,6 +211,13 @@ def _serve_shard(transport: ShardTransport, service) -> None:
                 out = service.metrics()
             elif verb == "list_sessions":
                 out = service.sessions.ids()
+            elif verb == "capabilities":
+                # feature probe doubling as the binary-lane handshake:
+                # only new fronts send it, and a front that does is ready
+                # to receive binary replies the moment it gets this
+                # answer (old fronts never see one — replies to them stay
+                # JSON because this verb is never invoked)
+                out = {"binary": bool(transport.enable_binary())}
             else:
                 raise ServiceError(f"unknown shard verb {verb!r}")
             reply = (req_id, True, out)
@@ -266,7 +273,7 @@ def _serve_shard(transport: ShardTransport, service) -> None:
             lane = (
                 control
                 if verb in ("stats", "metrics", "close_session",
-                            "list_sessions")
+                            "list_sessions", "capabilities")
                 else pool
             )
             lane.submit(handle, req_id, verb, args, tc)
@@ -430,6 +437,7 @@ class _ShardHandle:
         transport: ShardTransport,
         process=None,
         on_death=None,
+        negotiate: bool = True,
     ) -> None:
         self.index = index
         self.process = process
@@ -444,6 +452,26 @@ class _ShardHandle:
             target=self._read_loop, name=f"shard-{index}-reader", daemon=True
         )
         self._reader.start()
+        self.binary = self._negotiate() if negotiate else False
+
+    def _negotiate(self) -> bool:
+        """Probe the shard for the zero-copy lane (binary socket frames
+        / shared-memory pipe segments) and enable it on both sides.
+
+        The ``capabilities`` verb is a plain request, so a pre-binary
+        shard server answers it with a graceful unknown-verb error and
+        everything stays on JSON frames — the probe can never strand a
+        connection.
+        """
+        try:
+            caps = self.call("capabilities")
+        except ShardDiedError:
+            return False  # death path already running; slot restarts
+        except ServiceError:
+            return False  # old peer: unknown verb, JSON frames forever
+        if isinstance(caps, dict) and caps.get("binary"):
+            return self.transport.enable_binary()
+        return False
 
     @property
     def alive(self) -> bool:
@@ -759,6 +787,7 @@ class ShardedPartitionService:
             PipeTransport(parent_conn),
             process=process,
             on_death=self._on_shard_death,
+            negotiate=self.config.binary_frames,
         )
 
     def _connect_remote(self, slot: _ShardSlot) -> _ShardHandle:
@@ -769,7 +798,8 @@ class ShardedPartitionService:
                 f"cannot attach shard {slot.index} at {slot.address}: {exc}"
             ) from exc
         return _ShardHandle(
-            slot.index, transport, on_death=self._on_shard_death
+            slot.index, transport, on_death=self._on_shard_death,
+            negotiate=self.config.binary_frames,
         )
 
     def _on_shard_death(self, handle: _ShardHandle) -> None:

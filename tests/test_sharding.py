@@ -322,6 +322,220 @@ class TestSocketTransport:
 
 
 # ----------------------------------------------------------------------
+# binary data plane (PR 9)
+# ----------------------------------------------------------------------
+
+class TestBinaryFrames:
+    def _frame(self, message) -> bytes:
+        """Whole binary frame body after the magic byte, as one buffer
+        (what :meth:`SocketTransport.recv` hands the decoder)."""
+        from repro.service.transport import encode_frame_binary
+
+        segments = encode_frame_binary(message)
+        return b"".join(bytes(memoryview(s)) for s in segments)[1:]
+
+    def test_roundtrip_bit_identical_to_json_lane(self, graph):
+        """The acceptance contract: a message through the binary codec
+        decodes to values whose JSON re-encode is byte-identical to the
+        JSON lane's — the two wire formats are interchangeable."""
+        from repro.service.transport import (
+            decode_frame_binary,
+            encode_message,
+        )
+
+        req = PartitionRequest(graph, 4, seed=3, ga=GA)
+        with PartitionService(n_workers=1) as svc:
+            result = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+        for message in (
+            (7, "submit", (req,)),
+            (9, True, result),
+            (1, False, ShardDiedError("gone")),
+            (2, "stats", ()),
+        ):
+            decoded = decode_frame_binary(self._frame(message))
+            assert encode_message(decoded) == encode_message(message)
+
+    def test_decoded_arrays_are_zero_copy_views(self, graph):
+        """Result assignments decode as views into the frame buffer —
+        no per-array copy on the reply path (requests still canonicalize
+        through the CSRGraph constructor)."""
+        from repro.service.transport import decode_frame_binary
+
+        with PartitionService(n_workers=1) as svc:
+            result = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+        decoded = decode_frame_binary(self._frame((9, True, result)))
+        back = decoded[2].assignment
+        assert not back.flags.owndata  # view into the frame
+        assert np.array_equal(back, result.assignment)
+
+    def test_truncated_header_raises_service_error(self, graph):
+        from repro.service.transport import decode_frame_binary
+
+        body = self._frame((2, "stats", ()))
+        with pytest.raises(ServiceError, match="truncated"):
+            decode_frame_binary(body[:3])  # shorter than the length word
+        with pytest.raises(ServiceError, match="overruns"):
+            decode_frame_binary(body[:6])  # length word, header cut off
+
+    def test_truncated_buffer_raises_service_error(self, graph):
+        from repro.service.transport import decode_frame_binary
+
+        body = self._frame((7, "submit", (PartitionRequest(graph, 4),)))
+        with pytest.raises(ServiceError, match="declares"):
+            decode_frame_binary(body[:-8])  # last array buffer cut short
+
+    def test_length_bomb_rejected_without_allocation(self):
+        """A header declaring buffers far beyond the bytes on the wire
+        must fail validation — never allocate or hang waiting."""
+        import json as _json
+        import struct as _struct
+
+        from repro.service.transport import decode_frame_binary
+
+        header = _json.dumps({
+            "kind": "request", "id": 1, "verb": "submit",
+            "args": [{"__nd__": [0, "i8", [1 << 40]]}],
+            "bufs": [8 << 40],
+        }).encode()
+        body = _struct.pack(">I", len(header)) + header + b"\x00" * 16
+        with pytest.raises(ServiceError, match="declares"):
+            decode_frame_binary(body)
+        # a reference whose shape disagrees with its (plausible) buffer
+        header = _json.dumps({
+            "kind": "request", "id": 1, "verb": "submit",
+            "args": [{"__nd__": [0, "i8", [3]]}],
+            "bufs": [16],
+        }).encode()
+        body = _struct.pack(">I", len(header)) + header + b"\x00" * 16
+        with pytest.raises(ServiceError, match="disagrees"):
+            decode_frame_binary(body)
+        # malformed buffer table (negative / non-int entries)
+        for bufs in ([-8], ["8"], [True]):
+            header = _json.dumps({"kind": "x", "bufs": bufs}).encode()
+            body = _struct.pack(">I", len(header)) + header
+            with pytest.raises(ServiceError):
+                decode_frame_binary(body)
+
+    def test_socket_transport_mixed_stream_stays_in_sync(self, graph):
+        """A receiver accepts JSON and binary frames interleaved on one
+        connection, and a validation error leaves the stream usable —
+        the decoder consumes whole frames before judging them."""
+        import socket as _socket
+
+        from repro.service.transport import SocketTransport
+
+        a, b = _socket.socketpair()
+        ta, tb = SocketTransport(a), SocketTransport(b)
+        try:
+            req = PartitionRequest(graph, 4, seed=3, ga=GA)
+            ta.send((1, "submit", (req,)))          # JSON frame
+            assert ta.enable_binary()
+            ta.send((2, "submit", (req,)))          # binary frame
+            ta.send((3, "stats", ()))               # binary, no arrays
+            m1, m2, m3 = tb.recv(), tb.recv(), tb.recv()
+            assert [m[0] for m in (m1, m2, m3)] == [1, 2, 3]
+            assert m1[2][0].graph == graph
+            assert m2[2][0].graph == graph
+            assert np.array_equal(
+                m1[2][0].graph.edges_u, m2[2][0].graph.edges_u
+            )
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_pipe_shared_memory_lane_roundtrip(self, graph):
+        """Above the size threshold the pipe lane ships raw buffers via
+        shared memory; decoded values match the pickle lane exactly."""
+        import multiprocessing as mp
+
+        from repro.service.transport import PipeTransport
+
+        left, right = mp.Pipe()
+        ta, tb = PipeTransport(left), PipeTransport(right)
+        try:
+            req = PartitionRequest(graph, 4, seed=3, ga=GA)
+            ta.send((1, "submit", (req,)))          # pickle lane
+            assert ta.enable_binary()
+            ta.shm_threshold = 1                     # force the shm lane
+            ta.send((2, "submit", (req,)))          # shared-memory lane
+            m1, m2 = tb.recv(), tb.recv()
+            assert m1[2][0].graph == m2[2][0].graph == graph
+            assert np.array_equal(
+                m1[2][0].graph.edge_weights, m2[2][0].graph.edge_weights
+            )
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_negotiation_pipe_socket_and_disabled(self, graph):
+        """The capabilities handshake: local pipe shards and attached
+        socket shards both negotiate binary; ``binary_frames=False``
+        pins JSON without touching the peer."""
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            assert all(s.handle.binary for s in svc._slots)
+        with ShardedPartitionService(
+            n_shards=1, n_workers=1, binary_frames=False
+        ) as svc:
+            assert not any(s.handle.binary for s in svc._slots)
+        with ShardServer(n_workers=1) as server:
+            server.start()
+            front = ShardedPartitionService(attach=[server.address])
+            try:
+                assert all(s.handle.binary for s in front._slots)
+            finally:
+                front.close()
+
+    def test_binary_vs_json_trace_bit_identical(self):
+        """The PR's invariant: the binary data plane is purely an
+        encoding — a replayed mixed trace answers bit-identically with
+        it negotiated on (default) and forced off, over both local pipe
+        shards and socket-attached shard servers."""
+        trace = service_trace(n_requests=8, seed=5, n_parts=4, ga=GA)
+        with ServiceClient(shards=2, n_workers=2) as client:
+            binary_pipe = replay_trace(client, trace)
+        with ServiceClient(
+            shards=2, n_workers=2, binary_frames=False
+        ) as client:
+            json_pipe = replay_trace(client, trace)
+        servers = [ShardServer(n_workers=2).start() for _ in range(2)]
+        try:
+            front = ShardedPartitionService(
+                attach=[s.address for s in servers]
+            )
+            assert all(s.handle.binary for s in front._slots)
+            with ServiceClient(service=front) as client:
+                binary_socket = replay_trace(client, trace)
+        finally:
+            for server in servers:
+                server.close()
+        for results in (json_pipe, binary_socket):
+            assert len(results) == len(binary_pipe)
+            for (op_a, res_a), (op_b, res_b) in zip(binary_pipe, results):
+                assert op_a == op_b
+                if op_a["op"] in ("partition", "open", "update"):
+                    assert np.array_equal(res_a.assignment, res_b.assignment)
+                    assert res_a.cut_size == res_b.cut_size
+                    assert res_a.fitness == res_b.fitness
+
+    def test_restarted_shard_renegotiates_binary(self, graph):
+        """Failover keeps the fast path: a supervised replacement shard
+        re-runs the handshake, and answers stay bit-identical."""
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            shard = svc.shard_of(graph)
+            assert svc._slots[shard].handle.binary
+            before = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            svc._slots[shard].handle.process.kill()
+            assert _wait_for(
+                lambda: svc.shard_health()[shard]["state"] == "up"
+                and svc.shard_health()[shard]["restarts"] == 1
+            )
+            assert svc._slots[shard].handle.binary  # re-negotiated
+            after = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert np.array_equal(after.assignment, before.assignment)
+            assert after.cut_size == before.cut_size
+
+
+# ----------------------------------------------------------------------
 # failover: shard death, restart, session persistence (PR 5)
 # ----------------------------------------------------------------------
 
