@@ -54,9 +54,17 @@ Four phases, all deterministic:
    ``--max-trace-overhead-pct`` gate; p50/p95/p99 come from the
    unified metrics registry and a span sample is kept as
    ``SERVICE_trace_sample.jsonl``.
-7. **Report** — everything lands in ``SERVICE_metrics.json`` next to
+7. **Elastic grow** (PR 10) — a 2-shard fleet grows to 4 while the
+   mixed trace is replayed against it.  Gates: zero lost answers
+   (requests caught by the topology swap fail fast and answer on
+   retry), every answer bit-identical to the uninterrupted
+   single-process replay, the open session crosses the resize to its
+   new ring owner bit-identically, and the warm-hit rate is preserved
+   — every width-2 answer repeats as a cache hit at width 4 because
+   the grow re-seeds the new owners from the write-behind journals.
+8. **Report** — everything lands in ``SERVICE_metrics.json`` next to
    ``BENCH_metrics.json`` (with flat ``serving`` + ``failover`` +
-   ``concurrency`` + ``observability`` sections that
+   ``elastic`` + ``concurrency`` + ``observability`` sections that
    ``bench_trajectory.py`` renders across commits) so CI archives the
    serving trajectory alongside the kernel trajectory.
 
@@ -637,6 +645,120 @@ def phase_failover() -> dict:
     }
 
 
+def phase_elastic() -> dict:
+    """Grow a 2-shard fleet to 4 under replayed traffic (PR 10).
+
+    Gates: (a) zero lost answers — every request issued across the
+    resize answers, bit-identical to an uninterrupted single-process
+    run; (b) the open session crosses the resize (handed to its new
+    ring owner over the snapshot store) with bit-identical updates;
+    (c) the warm-hit rate is preserved — every answer served at width
+    2 repeats as a cache hit at width 4, because the grow re-seeds the
+    new owners from the per-shard write-behind journals.
+    """
+    ga = dict(TRACE_GA_DEFAULTS)
+    base = paper_mesh(SESSION_BASE)
+    session_updates = []
+    graph = base
+    for step in range(2):
+        graph = insert_local_nodes(
+            graph, SESSION_STEP_NODES, seed=3000 + step
+        ).graph
+        session_updates.append(graph)
+    requests = [
+        PartitionRequest(workload(size), N_PARTS, seed=s, ga=ga)
+        for s in range(2)
+        for size in BASE_SIZES
+    ]
+
+    # uninterrupted single-process reference (the bit-identity oracle)
+    with PartitionService(n_workers=2) as ref_svc:
+        ref_results = [ref_svc.submit(r) for r in requests]
+        ref_open = ref_svc.open_session(base, N_PARTS, seed=0, ga=ga)
+        ref_updates = [
+            ref_svc.update_session(UpdateRequest(ref_open.session_id, g))
+            for g in session_updates
+        ]
+
+    lost = 0
+    with ShardedPartitionService(n_shards=2, n_workers=2) as svc:
+        opened = svc.open_session(base, N_PARTS, seed=0, ga=ga)
+        u1 = svc.update_session(
+            UpdateRequest(opened.session_id, session_updates[0])
+        )
+        # serve everything once at width 2: warms the shards' caches
+        # and fills the write-behind journals the grow re-seeds from
+        pre = [svc.submit(r) for r in requests]
+        pre_identical = all(
+            np.array_equal(a.assignment, ref.assignment)
+            for a, ref in zip(pre, ref_results)
+        )
+
+        # grow 2→4 while the same trace is replayed concurrently; any
+        # request caught by the topology swap fails fast and retries
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=4) as fan:
+            futures = [
+                fan.submit(_submit_with_retry, svc, r) for r in requests
+            ]
+            summary = svc.resize(4)
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except SystemExit:
+                    lost += 1
+                    outcomes.append(None)
+        resize_s = time.perf_counter() - t0
+        retried = sum(o[1] for o in outcomes if o is not None)
+        identical = pre_identical and all(
+            o is not None
+            and np.array_equal(o[0].assignment, ref.assignment)
+            and o[0].cut_size == ref.cut_size
+            for o, ref in zip(outcomes, ref_results)
+        )
+        grown = (
+            bool(summary["changed"])
+            and svc.n_shards == 4
+            and sorted(svc.ring.members) == [0, 1, 2, 3]
+        )
+
+        # (b) the session crossed the resize: resumes bit-identically
+        u2 = svc.update_session(
+            UpdateRequest(opened.session_id, session_updates[1])
+        )
+        session_crossed = (
+            np.array_equal(u1.assignment, ref_updates[0].assignment)
+            and np.array_equal(u2.assignment, ref_updates[1].assignment)
+            and u2.session_id == opened.session_id
+        )
+
+        # (c) warm-hit rate preserved: width-2 answers repeat as hits
+        # at width 4, wherever the ring routes them now
+        post = [svc.submit(r) for r in requests]
+        warm_hits = sum(1 for r in post if r.cache_hit)
+        post_identical = all(
+            np.array_equal(a.assignment, ref.assignment)
+            for a, ref in zip(post, ref_results)
+        )
+        ring_epoch = svc.ring.epoch
+
+    return {
+        "requests": len(requests),
+        "lost_answers": int(lost),
+        "retried_during_resize": int(retried),
+        "grown_to": 4,
+        "grown": bool(grown),
+        "ring_epoch": int(ring_epoch),
+        "resize_s": round(resize_s, 4),
+        "sessions_moved": len(summary["sessions_moved"]),
+        "results_warmed": int(summary["results_warmed"]),
+        "answers_identical_to_single": bool(identical and post_identical),
+        "session_crossed_resize_identical": bool(session_crossed),
+        "warm_hits_after_grow": int(warm_hits),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=20,
@@ -721,6 +843,29 @@ def main(argv=None) -> int:
             "(repeat was not a cache hit)"
         )
 
+    elastic = phase_elastic()
+    if elastic["lost_answers"]:
+        failures.append(
+            f"elastic grow lost {elastic['lost_answers']} answer(s) — "
+            "requests must fail fast and succeed on retry across a resize"
+        )
+    if not elastic["grown"]:
+        failures.append("fleet did not grow to 4 ring members")
+    if not elastic["answers_identical_to_single"]:
+        failures.append(
+            "answers across the grow are not bit-identical to single-process"
+        )
+    if not elastic["session_crossed_resize_identical"]:
+        failures.append(
+            "session did not cross the resize bit-identically"
+        )
+    if elastic["warm_hits_after_grow"] < elastic["requests"]:
+        failures.append(
+            f"warm-hit rate not preserved across the grow: "
+            f"{elastic['warm_hits_after_grow']}/{elastic['requests']} "
+            "repeats hit the cache"
+        )
+
     concurrency = phase_concurrency(args.concurrency_clients)
     if not concurrency["all_matched"]:
         failures.append(
@@ -799,6 +944,7 @@ def main(argv=None) -> int:
         "http_replay": http,
         "scaling": scaling,
         "failover_detail": failover,
+        "elastic_detail": elastic,
         "concurrency_detail": concurrency,
         "observability_detail": obs,
         # flat sections bench_trajectory.py renders across commits
@@ -817,6 +963,15 @@ def main(argv=None) -> int:
             "post_restart_repeat_speedup_x": failover[
                 "post_restart_repeat_speedup"
             ],
+        },
+        "elastic": {
+            "lost_answers": elastic["lost_answers"],
+            "resize_s": elastic["resize_s"],
+            "ring_epoch": elastic["ring_epoch"],
+            "sessions_moved": elastic["sessions_moved"],
+            "results_warmed": elastic["results_warmed"],
+            "answers_identical": int(elastic["answers_identical_to_single"]),
+            "warm_hits_after_grow": elastic["warm_hits_after_grow"],
         },
         "concurrency": {
             "clients": concurrency["clients"],

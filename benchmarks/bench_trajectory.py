@@ -136,9 +136,12 @@ def build_trajectory(snapshots: list[tuple[str, dict]]) -> str:
 
     # serving-layer sections (bench_service.py's flat dicts: `serving`
     # throughput/latency numbers, `failover` crash-recovery numbers,
-    # `concurrency` simultaneous-connection numbers, `observability`
-    # tracing-overhead numbers)
-    for section in ("serving", "failover", "concurrency", "observability"):
+    # `elastic` live-resize numbers, `concurrency`
+    # simultaneous-connection numbers, `observability` tracing-overhead
+    # numbers)
+    for section in (
+        "serving", "failover", "elastic", "concurrency", "observability"
+    ):
         section_keys: list[str] = []
         for _, snap in snapshots:
             for name in snap.get(section, {}):

@@ -119,6 +119,7 @@ class AnalysisConfig:
         "*/service/http.py",
         "*/service/eventloop.py",
         "*/service/client.py",
+        "*/service/ring.py",
     )
     #: files whose raised library exceptions must be reconstructable by
     #: :func:`repro.service.models.error_from_wire` (shard-side code)

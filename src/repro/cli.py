@@ -13,6 +13,8 @@
                           [--log-json]
     repro-partition serve --shard-listen HOST:PORT  (remote shard worker)
     repro-partition submit GRAPH.metis -k 8 [--url http://127.0.0.1:8157]
+    repro-partition ring status|resize|eject|readmit
+                         [--url U] [-n N] [--shard I]
 
 ``python -m repro`` is an alias for the same entry point.
 """
@@ -132,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
              "of the on-commit writes (0 = on-commit only)",
     )
     p_serve.add_argument(
+        "--probe-interval", type=float, default=0.0,
+        help="seconds between front-driven shard health probes; a dead "
+             "remote shard is ejected from the hash ring and re-admitted "
+             "when it answers again (0 = no probing; sharded fronts only)",
+    )
+    p_serve.add_argument(
         "--trace", action="store_true",
         help="record request spans (see README 'Observability'); on a "
              "sharded front this traces end-to-end across shards",
@@ -155,6 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="connection front: the selectors event loop with keep-alive "
              "and pipelining (default) or the thread-per-connection "
              "fallback (responses are byte-identical either way)",
+    )
+
+    p_ring = sub.add_parser(
+        "ring",
+        help="administer the hash ring of a running sharded service",
+    )
+    p_ring.add_argument(
+        "action", choices=("status", "resize", "eject", "readmit"),
+        help="status: ring description + per-shard health; resize: grow "
+             "or shrink the fleet to -n shards (sessions and warm results "
+             "move); eject/readmit: reversibly take --shard out of / back "
+             "into the ring",
+    )
+    p_ring.add_argument(
+        "--url", default="http://127.0.0.1:8157",
+        help="base URL of a running `repro-partition serve --shards N`",
+    )
+    p_ring.add_argument(
+        "-n", "--shards", type=int, default=None,
+        help="target fleet width (resize only)",
+    )
+    p_ring.add_argument(
+        "--shard", type=int, default=None,
+        help="shard index (eject/readmit only)",
     )
 
     p_sub = sub.add_parser(
@@ -316,10 +348,14 @@ def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
 
         configure_logging()
 
-    trace_kwargs = dict(
+    # front-local observability/supervision knobs: these survive the
+    # attach-mode reset below because they configure the front itself
+    # (see ServiceConfig.OBSERVABILITY_FIELDS), never a shard worker
+    front_kwargs = dict(
         trace_enabled=args.trace,
         trace_sample=args.trace_sample,
         trace_jsonl=args.trace_jsonl,
+        probe_interval_s=args.probe_interval,
     )
     kwargs = dict(
         n_workers=args.workers,
@@ -327,7 +363,7 @@ def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
         process_workers=args.process_workers,
         racing_portfolio=args.racing_portfolio,
         snapshot_interval_s=args.snapshot_interval,
-        **trace_kwargs,
+        **front_kwargs,
     )
     if args.process_threshold is not None:
         kwargs["process_threshold"] = args.process_threshold
@@ -405,9 +441,9 @@ def _run_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking
                 file=sys.stderr,
             )
             return 1
-        # tracing is front-local (the attach-check ignores it), so the
-        # flags survive the reset that strips worker-side knobs
-        kwargs = dict(trace_kwargs)
+        # tracing and probing are front-local (the attach-check ignores
+        # them), so the flags survive the reset stripping worker knobs
+        kwargs = dict(front_kwargs)
     if args.attach_shard:
         layout = f"{len(args.attach_shard)} attached shards"
     elif args.shards:
@@ -476,6 +512,56 @@ def _run_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ring(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .service import HTTPServiceClient
+
+    client = HTTPServiceClient(args.url)
+    try:
+        if args.action == "status":
+            answer = client.ring_status()
+        elif args.action == "resize":
+            if args.shards is None:
+                print("error: resize needs -n/--shards", file=sys.stderr)
+                return 1
+            answer = client.ring_resize(args.shards)
+        else:  # eject / readmit
+            if args.shard is None:
+                print(
+                    f"error: {args.action} needs --shard", file=sys.stderr
+                )
+                return 1
+            if args.action == "eject":
+                answer = client.ring_eject(args.shard)
+            else:
+                answer = client.ring_readmit(args.shard)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    ring = answer.get("ring", {})
+    if ring:
+        print(
+            f"ring: epoch={ring.get('epoch')} width={ring.get('n_slots')} "
+            f"members={ring.get('members')}"
+        )
+    for row in answer.get("health", []):
+        probe = row.get("probe_ok")
+        probe_s = "-" if probe is None else ("ok" if probe else "FAIL")
+        print(
+            f"  shard {row['shard']}: {row['state']:>10} "
+            f"in_ring={row['in_ring']} probe={probe_s} "
+            f"probe_failures={row['probe_failures']}"
+        )
+    extra = {
+        k: v for k, v in answer.items() if k not in ("ring", "health")
+    }
+    if extra:
+        print(json.dumps(extra, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "partition":
@@ -492,6 +578,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "submit":
         return _run_submit(args)
+    if args.command == "ring":
+        return _run_ring(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -5,9 +5,11 @@ typed requests with a JSON wire format (:mod:`.models`), one config
 surface (:mod:`.config`), content-addressed caching of
 graphs/results/warm seeds (:mod:`.cache`), a coalescing scheduler over
 pinned thread workers with a process lane for long GA runs
-(:mod:`.scheduler`, :mod:`.procexec`), digest-sharded multi-process
-serving with supervision/auto-restart (:mod:`.sharding`, ``serve
---shards N``) over pipe or socket transports (:mod:`.transport`,
+(:mod:`.scheduler`, :mod:`.procexec`), consistent-hash shard
+addressing with epoch-numbered ring versions (:mod:`.ring`),
+digest-sharded multi-process serving with supervision/auto-restart and
+elastic resize (:mod:`.sharding`, ``serve --shards N``,
+``repro-partition ring``) over pipe or socket transports (:mod:`.transport`,
 ``serve --shard-listen`` / ``--attach-shard``), session failover
 snapshots (:mod:`.persistence`), streaming incremental sessions with
 overlapped updates (:mod:`.sessions`), a method portfolio racer
@@ -35,9 +37,20 @@ from .models import (
 )
 from .cache import ContentStore, GraphStore, LRUBytesCache, graph_digest, request_key
 from .config import DEFAULT_PROCESS_THRESHOLD, ServiceConfig
+from .ring import (
+    DEFAULT_RING_REPLICAS,
+    RING_PROTOCOL_VERSION,
+    HashRing,
+    RingVersion,
+)
 from .scheduler import CoalescingScheduler
 from .sessions import SESSION_GA_DEFAULTS, Session, SessionManager
-from .persistence import SessionPersistence, SnapshotStore
+from .persistence import (
+    ResultWriteBehind,
+    SessionPersistence,
+    SnapshotStore,
+    iter_result_entries,
+)
 from .portfolio import PORTFOLIO_GA_DEFAULTS, run_portfolio
 from .core import DEFAULT_GA_OVERRIDES, PartitionService
 from .transport import (
@@ -67,6 +80,12 @@ __all__ = [
     "parse_address",
     "SessionPersistence",
     "SnapshotStore",
+    "ResultWriteBehind",
+    "iter_result_entries",
+    "HashRing",
+    "RingVersion",
+    "RING_PROTOCOL_VERSION",
+    "DEFAULT_RING_REPLICAS",
     "FITNESS_KINDS",
     "SERVICE_METHODS",
     "JobResult",

@@ -29,7 +29,7 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
-from ..errors import ServiceError
+from ..errors import ServiceError, ShardDiedError
 from ..graphs.csr import CSRGraph
 from .core import PartitionService
 from .models import (
@@ -88,13 +88,28 @@ class ServiceClient:
         self.service = service
 
     # -- verbs ---------------------------------------------------------
+    def _submit_idempotent(self, request) -> JobResult:
+        """Submit a stateless request, retrying **once** if the owning
+        shard died mid-call.  Safe only because ``partition``/``refine``
+        are pure functions of the request (same seed → same answer): a
+        replay against the restarted or re-ringed shard returns the
+        bit-identical result.  Session updates are never retried here —
+        a replayed update would advance the session's RNG stream twice
+        and break bit-identity."""
+        try:
+            return self.service.submit(request)
+        except ShardDiedError:
+            return self.service.submit(request)
+
     def partition(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
-        return self.service.submit(PartitionRequest(graph, n_parts, **kwargs))
+        return self._submit_idempotent(
+            PartitionRequest(graph, n_parts, **kwargs)
+        )
 
     def refine(
         self, graph: CSRGraph, n_parts: int, assignment: np.ndarray, **kwargs
     ) -> JobResult:
-        return self.service.submit(
+        return self._submit_idempotent(
             RefineRequest(graph, n_parts, assignment, **kwargs)
         )
 
@@ -117,6 +132,16 @@ class ServiceClient:
         """The unified :mod:`repro.obs` metrics snapshot (merged across
         shards when the service is a sharded front)."""
         return self.service.metrics()
+
+    def ring_admin(self, action: str, **kwargs) -> dict:
+        """Ring admin passthrough (``status``/``resize``/``add_shard``/
+        ``remove_shard``/``eject``/``readmit``) — sharded fronts only."""
+        if not hasattr(self.service, "ring_admin"):
+            raise ServiceError(
+                "ring administration needs a sharded service "
+                "(shards=N or attach=[...])"
+            )
+        return self.service.ring_admin(action, **kwargs)
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -229,16 +254,35 @@ class HTTPServiceClient:
                 f"{path} answered malformed JSON: {exc}"
             ) from exc
 
+    def _call_idempotent(self, path: str, payload: dict) -> dict:
+        """POST a stateless request, retrying **once** on HTTP 503 (the
+        front answering "the owning shard died mid-call").  Safe only
+        for ``partition``/``refine``: they are pure functions of the
+        request, so the replay — now routed by the post-ejection ring —
+        returns the bit-identical result.  Session updates never take
+        this path: replaying one would advance the session's RNG stream
+        twice and break bit-identity."""
+        try:
+            return self._call(path, payload)
+        except ServiceError as exc:
+            if "HTTP 503" not in str(exc):
+                raise
+            return self._call(path, payload)
+
     # -- verbs ---------------------------------------------------------
     def partition(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
         payload = PartitionRequest(graph, n_parts, **kwargs).to_payload()
-        return JobResult.from_payload(self._call("/v1/partition", payload))
+        return JobResult.from_payload(
+            self._call_idempotent("/v1/partition", payload)
+        )
 
     def refine(
         self, graph: CSRGraph, n_parts: int, assignment: np.ndarray, **kwargs
     ) -> JobResult:
         payload = RefineRequest(graph, n_parts, assignment, **kwargs).to_payload()
-        return JobResult.from_payload(self._call("/v1/refine", payload))
+        return JobResult.from_payload(
+            self._call_idempotent("/v1/refine", payload)
+        )
 
     def open_session(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
         payload = {
@@ -275,3 +319,24 @@ class HTTPServiceClient:
             return bool(self._call("/v1/healthz").get("ok"))
         except ServiceError:
             return False
+
+    # -- ring administration (sharded fronts only) ---------------------
+    def ring_status(self) -> dict:
+        """``GET /v1/admin/ring`` — ring description + per-shard health."""
+        return self._call("/v1/admin/ring")
+
+    def ring_resize(self, n_shards: int) -> dict:
+        """Grow or shrink the fleet to ``n_shards`` workers."""
+        return self._call(
+            "/v1/admin/ring", {"action": "resize", "n_shards": int(n_shards)}
+        )
+
+    def ring_eject(self, shard: int) -> dict:
+        """Take ``shard`` out of the ring (reversible; no state moves)."""
+        return self._call("/v1/admin/ring", {"action": "eject", "shard": int(shard)})
+
+    def ring_readmit(self, shard: int) -> dict:
+        """Put a recovered ``shard`` back into the ring (warm-seeds it)."""
+        return self._call(
+            "/v1/admin/ring", {"action": "readmit", "shard": int(shard)}
+        )

@@ -106,6 +106,17 @@ class ServiceConfig:
         bit-identical with it on or off, and peers that don't speak it
         fall back to JSON frames regardless of this flag.  ``False``
         pins every shard channel to the JSON/pickle lanes.
+    probe_interval_s:
+        ``> 0`` makes a sharded front probe every shard at this cadence
+        (see :mod:`repro.service.sharding`): a shard that stops
+        answering is ejected from the consistent-hash ring (degraded
+        serving at N−1 under a new ring epoch) and re-admitted when a
+        probe sees it answer again — an attached remote shard is
+        reconnected by the probe instead of lazily on the next call.
+        ``0`` (default) disables probing; membership then changes only
+        through the admin endpoint.  Front-local: like the tracing
+        flags, it never ships to shard workers' execution paths and is
+        allowed in attach mode.
     """
 
     n_workers: int = 2
@@ -122,6 +133,7 @@ class ServiceConfig:
     trace_ring: int = 2048
     trace_jsonl: Optional[str] = None
     binary_frames: bool = True
+    probe_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -155,25 +167,32 @@ class ServiceConfig:
             raise ServiceError(
                 f"trace_ring must be >= 1, got {self.trace_ring}"
             )
+        if self.probe_interval_s < 0:
+            raise ServiceError(
+                f"probe_interval_s must be >= 0, got {self.probe_interval_s}"
+            )
 
     def with_updates(self, **kwargs) -> "ServiceConfig":
         """Functional update (the dataclass is frozen)."""
         return replace(self, **kwargs)
 
     def without_observability(self) -> "ServiceConfig":
-        """Copy with observability fields at their defaults.  Tracing is
-        front/shard-local and never changes answers, so equality checks
-        that guard *execution* settings (e.g. attach-mode validation)
-        compare through this."""
+        """Copy with the front-local fields at their defaults.  Tracing
+        and health probing configure the *front* (never a shard worker's
+        execution) and never change answers, so equality checks that
+        guard *execution* settings (e.g. attach-mode validation) compare
+        through this."""
         return replace(
             self,
             **{name: getattr(_DEFAULTS, name) for name in OBSERVABILITY_FIELDS},
         )
 
 
-#: the ServiceConfig fields that only affect observability
+#: the ServiceConfig fields that only affect the front's observability
+#: and supervision, never a shard's execution (attach mode allows them)
 OBSERVABILITY_FIELDS = (
     "trace_enabled", "trace_sample", "trace_ring", "trace_jsonl",
+    "probe_interval_s",
 )
 
 _DEFAULTS = ServiceConfig()

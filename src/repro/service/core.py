@@ -45,7 +45,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import ConfigError, ServiceError
+from ..errors import ConfigError, ReproError, ServiceError
 from ..ga.batch_climb import climb_batch
 from ..ga.config import GAConfig
 from ..ga.fitness import make_fitness
@@ -160,8 +160,14 @@ class PartitionService:
         # before taking traffic — a restarted shard resumes its sessions
         # at the last committed epoch instead of answering "unknown"
         self.persistence = None
+        self.write_behind = None
+        self._results_warmed = 0
         if config.snapshot_dir:
-            from .persistence import SessionPersistence, SnapshotStore
+            from .persistence import (
+                ResultWriteBehind,
+                SessionPersistence,
+                SnapshotStore,
+            )
 
             self.persistence = SessionPersistence(
                 SnapshotStore(config.snapshot_dir),
@@ -169,6 +175,13 @@ class PartitionService:
                 interval_s=config.snapshot_interval_s,
             )
             self.persistence.restore_all()
+            # result write-behind (PR 10): replay the journal into the
+            # content cache before taking traffic, so a restarted shard
+            # re-warms its *results* the way restore_all re-warms its
+            # sessions — the hottest keys answer as cache hits instead
+            # of being recomputed
+            self.write_behind = ResultWriteBehind(config.snapshot_dir)
+            self._replay_write_behind()
         self._register_metrics()
         self._closed = False
 
@@ -242,6 +255,17 @@ class PartitionService:
                 ("restore_failures", "repro_snapshots_restore_failures_total"),
             ):
                 reg.counter_fn(metric, scalar(self.persistence.stats, field))
+        if self.write_behind is not None:
+            for field, metric in (
+                ("records_written", "repro_writebehind_records_total"),
+                ("write_failures", "repro_writebehind_failures_total"),
+                ("compactions", "repro_writebehind_compactions_total"),
+            ):
+                reg.counter_fn(metric, scalar(self.write_behind.stats, field))
+            reg.counter_fn(
+                "repro_results_warmed_total",
+                lambda: [({}, float(self._results_warmed))],
+            )
         for field, metric in (
             ("spans_recorded", "repro_trace_spans_total"),
             ("spans_ingested", "repro_trace_spans_ingested_total"),
@@ -383,6 +407,7 @@ class PartitionService:
                 for req, k, res in zip(b, ks, group):
                     self.store.store_result(k, res)
                     self._store_warm_seed(req, d, res)
+                    self._record_result(k, res)
                 return group
 
             group_results = self.scheduler.run_group(
@@ -567,6 +592,141 @@ class PartitionService:
         return summary
 
     # ------------------------------------------------------------------
+    # ring ownership handoff (PR 10 — the shard side of the elastic
+    # fleet; see repro.service.ring and repro.service.sharding)
+    # ------------------------------------------------------------------
+    def prepare_handoff(self, session_ids=None) -> dict:
+        """Flush durable state so another shard can adopt from this
+        shard's store directory, and drain the result write-behind.
+
+        With no ``session_ids`` this snapshots every *quiescent* open
+        session (a fleet-wide flush before a remap).  With specific ids
+        it **drains** those sessions instead — waiting out their
+        in-flight update so the stored epoch is the latest committed one
+        (see :meth:`~repro.service.persistence.SessionPersistence.
+        snapshot_sessions`); the front only asks this after it has
+        stopped routing new updates to them.  Returns the open session
+        ids and the store directory (``None`` without persistence)."""
+        self._check_open()
+        if self.persistence is not None:
+            if session_ids:
+                self.persistence.snapshot_sessions(list(session_ids))
+            else:
+                self.persistence.snapshot_open_sessions()
+        if self.write_behind is not None:
+            self.write_behind.flush()
+        return {
+            "sessions": self.sessions.ids(),
+            "snapshot_dir": self.config.snapshot_dir,
+        }
+
+    def adopt_sessions(self, src_dir: str, session_ids: Sequence[str]) -> list[str]:
+        """Restore ``session_ids`` from a previous owner's snapshot
+        directory (after its ``prepare_handoff``) and serve them here;
+        the restored sessions resume bit-identically at their last
+        committed epoch."""
+        self._check_open()
+        if self.persistence is None:
+            raise ServiceError(
+                "session adoption needs a snapshot store (snapshot_dir unset)"
+            )
+        return self.persistence.adopt_from(src_dir, session_ids)
+
+    def release_sessions(self, session_ids: Sequence[str]) -> list[str]:
+        """Stop serving sessions another shard has adopted (drops the
+        in-memory session and this shard's snapshot; the new owner holds
+        its own committed copy)."""
+        self._check_open()
+        released = []
+        for session_id in session_ids:
+            if self.sessions.release(session_id):
+                released.append(session_id)
+            if self.persistence is not None:
+                self.persistence.forget(session_id)
+        return released
+
+    def warm_results_from(
+        self,
+        dirs: Sequence[str],
+        ring: Optional[dict] = None,
+        slot: Optional[int] = None,
+    ) -> int:
+        """Replay other shards' result journals into this content cache.
+
+        ``ring`` (a :meth:`repro.service.ring.RingVersion.describe`
+        dict) with ``slot`` filters to the keys this shard owns under
+        the front's topology — after a remap, each shard warms exactly
+        its newly owned keyspace.  Returns the number of results
+        loaded; unreadable entries are skipped."""
+        self._check_open()
+        from .persistence import iter_result_entries
+
+        version = None
+        if ring is not None:
+            from .ring import RingVersion
+
+            version = RingVersion.from_description(ring)
+        warmed = 0
+        for root in dirs:
+            for key, payload in iter_result_entries(root):
+                if version is not None and slot is not None:
+                    parts = key.split(":", 2)
+                    if len(parts) < 3 or version.owner(parts[1]) != slot:
+                        continue
+                try:
+                    result = JobResult.from_payload(payload)
+                except (ReproError, KeyError, ValueError, TypeError):
+                    continue  # corrupt entry: skip, never fatal
+                self.store.store_result(key, result)
+                self._seed_from_key(key, result)
+                warmed += 1
+        self._results_warmed += warmed
+        return warmed
+
+    def _replay_write_behind(self) -> None:
+        """Service start: load this shard's own journal (no ownership
+        filter — everything in it was recorded here)."""
+        assert self.write_behind is not None
+        warmed = 0
+        for key, payload in self.write_behind.load():
+            try:
+                result = JobResult.from_payload(payload)
+            except (ReproError, KeyError, ValueError, TypeError):
+                continue
+            self.store.store_result(key, result)
+            self._seed_from_key(key, result)
+            warmed += 1
+        self._results_warmed += warmed
+
+    def _record_result(self, key: str, result: JobResult) -> None:
+        """Queue a freshly computed result for the write-behind journal
+        (same neutral form the cache stores)."""
+        if self.write_behind is None:
+            return
+        neutral = result.replace(
+            cache_hit=False, coalesced=False, latency_s=0.0, spans=None
+        )
+        self.write_behind.record(key, neutral.to_payload())
+
+    def _seed_from_key(self, key: str, result: JobResult) -> None:
+        """Re-seed the warm-start store from a replayed journal entry.
+        Keys are ``{kind}:{digest}:k={n}:f={fitness}:...`` by
+        construction (:func:`repro.service.cache.request_key`)."""
+        if result.assignment is None or result.fitness is None:
+            return
+        parts = key.split(":")
+        if len(parts) < 4:
+            return
+        try:
+            n_parts = int(parts[2].split("=", 1)[1])
+            fitness_kind = parts[3].split("=", 1)[1]
+        except (IndexError, ValueError):
+            return
+        self.store.graphs.store_seed_if_better(
+            parts[1], n_parts, fitness_kind, result.assignment, result.fitness
+        )
+
+    # ------------------------------------------------------------------
     # stats / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -579,6 +739,11 @@ class PartitionService:
         }
         if self.persistence is not None:
             out["persistence"] = self.persistence.stats()
+        if self.write_behind is not None:
+            out["write_behind"] = dict(
+                self.write_behind.stats(),
+                results_warmed=self._results_warmed,
+            )
         return out
 
     def metrics(self) -> dict:
@@ -606,6 +771,8 @@ class PartitionService:
             self._closed = True
             if self.persistence is not None:
                 self.persistence.close()
+            if self.write_behind is not None:
+                self.write_behind.close()
             self.scheduler.shutdown()
             self.tracer.close()
 
@@ -705,6 +872,7 @@ class PartitionService:
             )
         self.store.store_result(key, result)
         self._store_warm_seed(request, digest, result)
+        self._record_result(key, result)
         return result
 
     def _execute_process_and_publish(
@@ -788,6 +956,7 @@ class PartitionService:
         )
         self.store.store_result(key, result)
         self._store_warm_seed(request, digest, result)
+        self._record_result(key, result)
         return result
 
     def _execute(self, request: Request, digest: str) -> JobResult:

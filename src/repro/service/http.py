@@ -29,12 +29,25 @@ path                  method  body / response
                               with ``?format=prometheus`` (or an
                               ``Accept: text/plain`` header)
 ``/v1/healthz``       GET     ``{"ok": true}``
+``/v1/admin/ring``    GET     ring descriptor + per-shard health (the
+                              probe verdicts); sharded services only
+``/v1/admin/ring``    POST    ``{action, n_shards?, shard?}`` — actions
+                              ``status`` / ``resize`` / ``add_shard`` /
+                              ``remove_shard`` / ``eject`` / ``readmit``
+                              (see :meth:`~repro.service.sharding.
+                              ShardedPartitionService.ring_admin`)
 ====================  ======  =========================================
 
 Malformed payloads (bad JSON, bad graph bytes, invalid parameters)
 answer ``400`` with ``{"error": ...}``; unknown paths ``404``; unknown
 sessions ``404``; oversized bodies ``413``.  Library errors never leak
-tracebacks to the wire.
+tracebacks to the wire.  ``/v1/admin/ring`` against an unsharded
+service answers ``404`` — a bare :class:`PartitionService` has no ring.
+
+Admin example — grow a local fleet from 2 to 4 shards, live::
+
+    curl -s -X POST localhost:8080/v1/admin/ring \\
+         -d '{"action": "resize", "n_shards": 4}'
 """
 
 from __future__ import annotations
@@ -125,6 +138,14 @@ def dispatch_request(
                     "text/plain; version=0.0.4; charset=utf-8",
                     render_prometheus(snapshot).encode(),
                 )
+            if path == "/v1/admin/ring":
+                if not hasattr(service, "ring_admin"):
+                    return _json_response(
+                        404,
+                        {"error": "ring admin needs a sharded service "
+                                  "(serve --shards/--attach-shard)"},
+                    )
+                return _json_response(200, service.ring_admin("status"))
             return _json_response(404, {"error": f"unknown path {target}"})
         if method != "POST":
             return _json_response(
@@ -154,6 +175,23 @@ def dispatch_request(
         if path == "/v1/session/close":
             summary = service.close_session(_field(payload, "session_id"))
             return _json_response(200, summary)
+        if path == "/v1/admin/ring":
+            # elastic-fleet admin (PR 10): body {"action": ..., "n_shards":
+            # ..., "shard": ...} — see ShardedPartitionService.ring_admin.
+            # Validation (unknown action, missing operand, attach-mode
+            # resize) lives there and answers 400.
+            if not hasattr(service, "ring_admin"):
+                return _json_response(
+                    404,
+                    {"error": "ring admin needs a sharded service "
+                              "(serve --shards/--attach-shard)"},
+                )
+            out = service.ring_admin(
+                _field(payload, "action"),
+                n_shards=payload.get("n_shards"),
+                shard=payload.get("shard"),
+            )
+            return _json_response(200, out)
         return _json_response(404, {"error": f"unknown path {target}"})
     except _HTTPError as exc:
         return _json_response(exc.status, {"error": exc.message})

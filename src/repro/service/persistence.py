@@ -32,15 +32,36 @@ that fails to unpickle on restore is skipped and counted, never fatal.
 Restoring re-registers the session under its **original id**, so the
 sharded front's session→shard routing keeps working unchanged across a
 shard restart.
+
+Two elastic-fleet additions (PR 10) live here because this is the one
+service module whose on-disk formats are allowed to be private:
+
+* **Ownership handoff** (:meth:`SessionPersistence.adopt_from`): when
+  the consistent-hash ring moves a session to a different shard, the
+  new owner restores the session directly from the *old* owner's
+  snapshot directory (local fleets share a filesystem) and commits it
+  to its own store — the session resumes bit-identically at the last
+  committed epoch, exactly like a crash restore, because it *is* the
+  crash-restore path pointed at a foreign store.
+* **Result write-behind** (:class:`ResultWriteBehind`): an append-only
+  JSONL journal of ``(request key → result payload)`` next to the
+  snapshots.  A restarted or newly admitted shard replays the journal
+  into its content cache before taking traffic, so the hottest keys
+  answer as cache hits instead of being recomputed.  The journal is
+  JSON — :meth:`repro.service.models.JobResult.to_payload` round-trips
+  losslessly — so the wire-pickle ban never applies to it and a corrupt
+  line is skipped, never fatal.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional, Sequence
 
 from ..errors import ServiceError
 from ..incremental.partitioner import IncrementalGAPartitioner
@@ -51,15 +72,21 @@ _LOG = get_logger("service.persistence")
 
 __all__ = [
     "SNAPSHOT_SUFFIX",
+    "RESULTS_JOURNAL",
     "SnapshotStore",
     "SessionPersistence",
+    "ResultWriteBehind",
     "capture_session_state",
     "snapshot_session",
     "restore_session",
+    "iter_result_entries",
 ]
 
 #: snapshot file suffix inside a store directory
 SNAPSHOT_SUFFIX = ".session.pkl"
+
+#: filename of the result write-behind journal inside a store directory
+RESULTS_JOURNAL = "results.jsonl"
 
 
 def capture_session_state(session: Session) -> dict:
@@ -263,6 +290,55 @@ class SessionPersistence:
         with self._lock:
             self._last_epoch.pop(session_id, None)
 
+    def adopt_from(self, src_root, session_ids: Sequence[str]) -> list[str]:
+        """Restore specific sessions from a *foreign* snapshot store
+        (ring ownership handoff — see the module docstring) and commit
+        them to this shard's own store.
+
+        The source directory belongs to the previous owner, which has
+        already flushed its snapshots (or died — same files either way).
+        Unreadable snapshots are skipped and counted, like
+        :meth:`restore_all`; the returned ids are the sessions this
+        shard now serves."""
+        src = SnapshotStore(src_root)
+        adopted: list[str] = []
+        for session_id in session_ids:
+            try:
+                session = restore_session(src.load(session_id))
+                self.sessions.restore(session)
+            # repro: allow[BROAD-EXCEPT] — a corrupt/missing snapshot must
+            # not abort the rest of the handoff; counted in restore_failures
+            except Exception as exc:
+                with self._lock:
+                    self.restore_failures += 1
+                _LOG.warning(
+                    "session adoption failed",
+                    extra={
+                        "event": "session_adopt_failed",
+                        "session_id": session_id,
+                        "src": str(src.root),
+                        "reason": str(exc),
+                    },
+                )
+                continue
+            with self._lock:
+                self._last_epoch[session.id] = session.partitioner.epoch
+                self.restored += 1
+            # durable on the new owner before the old owner forgets it:
+            # a crash between handoff and first update must restore here
+            self.commit(session)
+            adopted.append(session_id)
+        if adopted:
+            _LOG.info(
+                "sessions adopted from handoff",
+                extra={
+                    "event": "sessions_adopted",
+                    "adopted": len(adopted),
+                    "src": str(src.root),
+                },
+            )
+        return adopted
+
     def _write(self, session_id: str, data: bytes, epoch: int) -> None:
         self.store.save(session_id, data)
         with self._lock:
@@ -330,6 +406,48 @@ class SessionPersistence:
                 session.compute_lock.release()
         return written
 
+    def snapshot_sessions(self, session_ids: Sequence[str]) -> int:
+        """Drain-snapshot specific sessions for an ownership handoff.
+
+        Unlike :meth:`snapshot_open_sessions`, this *waits* for each
+        session's compute lock instead of skipping a busy session: the
+        sharded front calls it after it has stopped routing new updates
+        to the session, so the blocking acquire only drains the one
+        in-flight update — and the stored epoch is then guaranteed to be
+        the latest committed one, which the adopting shard resumes
+        bit-identically."""
+        written = 0
+        for session_id in session_ids:
+            try:
+                session = self.sessions.get(session_id)
+            except ServiceError:
+                continue  # closed since the front planned the move
+            with session.compute_lock:
+                with session.lock:
+                    epoch = session.partitioner.epoch
+                    state = capture_session_state(session)
+                try:
+                    data = pickle.dumps(
+                        state, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    self._write(session_id, data, epoch)
+                # repro: allow[BROAD-EXCEPT] — a failed drain write leaves
+                # the on-commit snapshot in place; counted, handoff degrades
+                except Exception as exc:
+                    with self._lock:
+                        self.write_failures += 1
+                    _LOG.warning(
+                        "handoff snapshot failed",
+                        extra={
+                            "event": "handoff_snapshot_failed",
+                            "session_id": session_id,
+                            "reason": str(exc),
+                        },
+                    )
+                    continue
+                written += 1
+        return written
+
     def close(self) -> None:
         self._stop.set()
         if self._timer is not None:
@@ -345,3 +463,177 @@ class SessionPersistence:
                 "restore_failures": self.restore_failures,
                 "interval_s": self.interval_s,
             }
+
+
+# ----------------------------------------------------------------------
+# result write-behind (elastic fleet, PR 10)
+# ----------------------------------------------------------------------
+
+def iter_result_entries(root) -> Iterator[tuple[str, dict]]:
+    """Yield ``(request key, result payload)`` from a store directory's
+    journal, oldest first; corrupt lines are skipped (a crash mid-append
+    truncates the last line, it must not poison the rest).  Duplicate
+    keys yield repeatedly — callers keep the last occurrence."""
+    path = Path(root) / RESULTS_JOURNAL
+    try:
+        fh = open(path, encoding="utf-8")
+    except OSError:
+        return
+    with fh:
+        for line in fh:
+            try:
+                entry = json.loads(line)
+                key, payload = entry["key"], entry["result"]
+            except (ValueError, KeyError, TypeError):
+                continue
+            if isinstance(key, str) and isinstance(payload, dict):
+                yield key, payload
+
+
+class ResultWriteBehind:
+    """Append-only JSONL journal of ``(request key → result payload)``.
+
+    ``record`` enqueues without blocking the request path — a dedicated
+    writer thread drains the queue and appends, so journal durability
+    costs the hot path one lock hop, like the trace ring.  When the
+    journal grows past ``max_bytes`` the writer compacts it in place
+    (last occurrence per key, newest keys win, atomic replace), so the
+    warm set a restarted shard replays is the *recent* hot set, bounded
+    on disk.
+    """
+
+    def __init__(self, root, max_bytes: int = 16 << 20) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / RESULTS_JOURNAL
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: "OrderedDict[str, dict]" = OrderedDict()
+        self._bytes = self.path.stat().st_size if self.path.exists() else 0
+        self._stop = False
+        self._draining = 0
+        self.records_written = 0
+        self.write_failures = 0
+        self.compactions = 0
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="result-writebehind", daemon=True
+        )
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+    def record(self, key: str, payload: dict) -> None:
+        """Enqueue one (key → payload) for the writer thread; a re-record
+        of a queued key replaces it (identical payload anyway — results
+        are content-addressed)."""
+        with self._wake:
+            if self._stop:
+                return
+            self._queue[key] = payload
+            self._queue.move_to_end(key)
+            self._wake.notify()
+
+    def flush(self) -> None:
+        """Block until everything recorded so far is on disk (handoff
+        preparation: the new owner is about to read this journal)."""
+        with self._wake:
+            while self._queue or self._draining:
+                self._wake.wait(timeout=0.05)
+                if self._stop:
+                    break
+
+    def load(self) -> list[tuple[str, dict]]:
+        """The journal's entries, deduplicated last-wins, oldest first —
+        what a restarting shard replays into its content cache."""
+        self.flush()
+        entries: "OrderedDict[str, dict]" = OrderedDict()
+        for key, payload in iter_result_entries(self.root):
+            entries[key] = payload
+            entries.move_to_end(key)
+        return list(entries.items())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "journal": str(self.path),
+                "records_written": self.records_written,
+                "write_failures": self.write_failures,
+                "compactions": self.compactions,
+                "journal_bytes": self._bytes,
+            }
+
+    def close(self) -> None:
+        with self._wake:
+            self._stop = True
+            self._wake.notify()
+        self._writer.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def _writer_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._stop:
+                    self._wake.wait()
+                if not self._queue and self._stop:
+                    return
+                batch = list(self._queue.items())
+                self._queue.clear()
+                self._draining = len(batch)
+            try:
+                self._append(batch)
+            # repro: allow[BROAD-EXCEPT] — journal writes degrade warmth,
+            # never answers: count the failure, keep the writer alive
+            except Exception as exc:
+                with self._lock:
+                    self.write_failures += len(batch)
+                _LOG.warning(
+                    "write-behind append failed",
+                    extra={
+                        "event": "writebehind_append_failed",
+                        "journal": str(self.path),
+                        "reason": str(exc),
+                    },
+                )
+            finally:
+                with self._wake:
+                    self._draining = 0
+                    self._wake.notify_all()
+
+    def _append(self, batch: list[tuple[str, dict]]) -> None:
+        lines = "".join(
+            json.dumps({"key": key, "result": payload}) + "\n"
+            for key, payload in batch
+        )
+        data = lines.encode("utf-8")
+        with open(self.path, "ab") as fh:
+            fh.write(data)
+        with self._lock:
+            self._bytes += len(data)
+            self.records_written += len(batch)
+            over = self._bytes > self.max_bytes
+        if over:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the journal keeping the last occurrence per key,
+        dropping oldest keys until under half the byte budget."""
+        entries: "OrderedDict[str, dict]" = OrderedDict()
+        for key, payload in iter_result_entries(self.root):
+            entries[key] = payload
+            entries.move_to_end(key)
+        lines = [
+            json.dumps({"key": key, "result": payload}) + "\n"
+            for key, payload in entries.items()
+        ]
+        sizes = [len(line.encode("utf-8")) for line in lines]
+        total = sum(sizes)
+        start = 0
+        while total > self.max_bytes // 2 and start < len(lines) - 1:
+            total -= sizes[start]
+            start += 1
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        tmp.write_text("".join(lines[start:]), encoding="utf-8")
+        os.replace(tmp, self.path)
+        with self._lock:
+            self._bytes = total
+            self.compactions += 1

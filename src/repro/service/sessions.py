@@ -126,6 +126,7 @@ class SessionManager:
         self.opened = 0
         self.closed = 0
         self.restored = 0
+        self.released = 0
         self.total_updates = 0
 
     # ------------------------------------------------------------------
@@ -201,6 +202,17 @@ class SessionManager:
                 )
             self._sessions[session.id] = session
             self.restored += 1
+
+    def release(self, session_id: str) -> bool:
+        """Unregister a session *without* closing it — the ring handoff
+        path: another shard adopted the session from its snapshot, so
+        this shard must stop serving it, but the session itself lives
+        on (its updates continue on the new owner, not here)."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                self.released += 1
+        return session is not None
 
     def ids(self) -> list[str]:
         """Ids of the currently open sessions (a routing front attaching
@@ -310,6 +322,7 @@ class SessionManager:
                 "opened": self.opened,
                 "closed": self.closed,
                 "restored": self.restored,
+                "released": self.released,
                 "updates": self.total_updates,
             }
 

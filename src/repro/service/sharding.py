@@ -6,10 +6,11 @@ shares one interpreter.  :class:`ShardedPartitionService` is the
 shared-nothing answer — ``N`` worker *processes*, each running a full,
 independent :class:`~repro.service.core.PartitionService` (its own
 caches, pinned executors, and sessions), behind a thin front that
-routes every request by **graph digest**::
+routes every request by **graph digest** through a consistent-hash
+ring (:mod:`repro.service.ring`, PR 10)::
 
-    request ──digest──→ shard = blake2b(digest) % N ──transport──→ shard
-                                                                  worker
+    request ──digest──→ shard = ring.owner(digest) ──transport──→ shard
+                                                                 worker
 
 Routing by content digest is what keeps the per-shard caches as
 effective as a single process's: a given graph always lands on the
@@ -17,6 +18,30 @@ same shard, so its interned CSR build, cached results, and warm seeds
 concentrate there instead of being diluted across workers.  Sessions
 are routed by the digest of their opening graph and then stick to
 their shard by session id.
+
+Elastic fleet (PR 10): because the ring is an explicit, epoch-numbered
+topology instead of ``% N``, membership can change at runtime:
+
+* ``resize(n)`` / ``add_shard()`` / ``remove_shard(i)`` (the
+  ``/v1/admin/ring`` endpoint and the ``ring`` CLI verb) grow or
+  shrink a local fleet under traffic.  A remap moves only ~1/N of the
+  keyspace; sessions whose owner changed are **handed off warm** —
+  the old shard drain-snapshots them, the new owner adopts from its
+  store (:meth:`~repro.service.persistence.SessionPersistence.
+  adopt_from`) and resumes bit-identically at the last committed
+  epoch — and each shard re-warms its newly owned keys from the other
+  shards' result write-behind journals, so the warm-hit rate survives
+  the remap.
+* With ``probe_interval_s > 0`` the front probes every shard
+  periodically: a shard that stops answering is ejected from the ring
+  (degraded serving at N−1 under a new epoch — its keyspace reroutes
+  to the survivors, which compute identical bits) and re-admitted
+  when a probe sees it answer again; an attached remote shard is
+  reconnected by the probe instead of lazily on the next call.
+* The ring protocol is versioned on the ``capabilities`` handshake
+  (:data:`~repro.service.ring.RING_PROTOCOL_VERSION` + the front's
+  ring epoch ride the hello; ring-aware shards echo them back), so old
+  peers keep working on the pre-ring contract.
 
 Transport (PR 5) is one duplex :class:`~repro.service.transport.
 ShardTransport` per shard with request multiplexing: the front tags
@@ -83,6 +108,7 @@ from ..obs.trace import Tracer
 from .cache import graph_digest
 from .config import ServiceConfig
 from .models import JobResult, UpdateRequest
+from .ring import RING_PROTOCOL_VERSION, HashRing
 from .transport import (
     SHUTDOWN,
     PipeTransport,
@@ -141,7 +167,14 @@ def _merge_stats_into(target: dict, row: dict) -> None:
 
 def shard_for_digest(digest: str, n_shards: int) -> int:
     """Stable digest → shard index (same mapping in every process and
-    across runs: a pure function of the content digest)."""
+    across runs: a pure function of the content digest).
+
+    This is the PR-4 ``% N`` layout, kept as the frozen reference
+    (``tests/test_sharding.py`` pins it).  Live routing moved to the
+    consistent-hash ring in PR 10 — see :mod:`repro.service.ring` for
+    why the two layouts intentionally differ (a one-time migration:
+    ``% N`` cannot be remap-minimal) and why that is safe (every shard
+    computes identical bits)."""
     if n_shards < 1:
         raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
     raw = hashlib.blake2b(digest.encode(), digest_size=8).digest()
@@ -211,13 +244,40 @@ def _serve_shard(transport: ShardTransport, service) -> None:
                 out = service.metrics()
             elif verb == "list_sessions":
                 out = service.sessions.ids()
+            elif verb == "ping":
+                # liveness probe (PR 10): answers on the control lane so
+                # a fleet saturated with GA work still proves it is alive
+                out = {"ok": True, "ring_protocol": RING_PROTOCOL_VERSION}
+            elif verb == "prepare_handoff":
+                out = service.prepare_handoff(args[0] if args else None)
+            elif verb == "adopt_sessions":
+                out = service.adopt_sessions(args[0], args[1])
+            elif verb == "release_sessions":
+                out = service.release_sessions(args[0])
+            elif verb == "warm_from":
+                out = service.warm_results_from(
+                    args[0],
+                    ring=args[1] if len(args) > 1 else None,
+                    slot=args[2] if len(args) > 2 else None,
+                )
             elif verb == "capabilities":
                 # feature probe doubling as the binary-lane handshake:
                 # only new fronts send it, and a front that does is ready
                 # to receive binary replies the moment it gets this
                 # answer (old fronts never see one — replies to them stay
-                # JSON because this verb is never invoked)
-                out = {"binary": bool(transport.enable_binary())}
+                # JSON because this verb is never invoked).  Since PR 10
+                # the front's hello rides as an optional args dict (old
+                # fronts send none) and the answer carries the shard's
+                # ring protocol version plus an echo of the front's ring
+                # epoch — the negotiation seam that lets ring-aware
+                # fronts drive pre-ring shards and vice versa.
+                hello = args[0] if args and isinstance(args[0], dict) else {}
+                out = {
+                    "binary": bool(transport.enable_binary()),
+                    "ring_protocol": RING_PROTOCOL_VERSION,
+                }
+                if "ring_epoch" in hello:
+                    out["ring_epoch"] = hello["ring_epoch"]
             else:
                 raise ServiceError(f"unknown shard verb {verb!r}")
             reply = (req_id, True, out)
@@ -273,7 +333,7 @@ def _serve_shard(transport: ShardTransport, service) -> None:
             lane = (
                 control
                 if verb in ("stats", "metrics", "close_session",
-                            "list_sessions", "capabilities")
+                            "list_sessions", "capabilities", "ping")
                 else pool
             )
             lane.submit(handle, req_id, verb, args, tc)
@@ -438,6 +498,7 @@ class _ShardHandle:
         process=None,
         on_death=None,
         negotiate: bool = True,
+        ring_epoch: int = 0,
     ) -> None:
         self.index = index
         self.process = process
@@ -448,29 +509,44 @@ class _ShardHandle:
         self._pending: dict[int, _Reply] = {}
         self._counter = itertools.count()
         self._alive = True
+        self.capabilities: dict = {}
+        self.ring_protocol = 0  # 0 = pre-ring peer (or no handshake)
         self._reader = threading.Thread(
             target=self._read_loop, name=f"shard-{index}-reader", daemon=True
         )
         self._reader.start()
-        self.binary = self._negotiate() if negotiate else False
+        self.binary = self._negotiate(ring_epoch) if negotiate else False
 
-    def _negotiate(self) -> bool:
+    def _negotiate(self, ring_epoch: int) -> bool:
         """Probe the shard for the zero-copy lane (binary socket frames
-        / shared-memory pipe segments) and enable it on both sides.
+        / shared-memory pipe segments) and enable it on both sides,
+        carrying the ring hello (protocol version + the front's current
+        ring epoch) on the same round trip.
 
         The ``capabilities`` verb is a plain request, so a pre-binary
         shard server answers it with a graceful unknown-verb error and
         everything stays on JSON frames — the probe can never strand a
-        connection.
+        connection.  A pre-ring shard ignores the hello args and omits
+        ``ring_protocol`` from its answer; the front then knows not to
+        send it ring verbs (``ring_protocol`` stays 0).
         """
         try:
-            caps = self.call("capabilities")
+            caps = self.call("capabilities", {
+                "ring_protocol": RING_PROTOCOL_VERSION,
+                "ring_epoch": int(ring_epoch),
+            })
         except ShardDiedError:
             return False  # death path already running; slot restarts
         except ServiceError:
             return False  # old peer: unknown verb, JSON frames forever
-        if isinstance(caps, dict) and caps.get("binary"):
-            return self.transport.enable_binary()
+        if isinstance(caps, dict):
+            self.capabilities = caps
+            try:
+                self.ring_protocol = int(caps.get("ring_protocol") or 0)
+            except (TypeError, ValueError):
+                self.ring_protocol = 0
+            if caps.get("binary"):
+                return self.transport.enable_binary()
         return False
 
     @property
@@ -575,15 +651,19 @@ class _ShardSlot:
 
     __slots__ = (
         "index", "handle", "state", "restarts", "address", "restart_thread",
+        "last_probe", "probe_ok", "probe_failures",
     )
 
     def __init__(self, index: int, address: Optional[str] = None) -> None:
         self.index = index
         self.handle: Optional[_ShardHandle] = None
-        self.state = "starting"  # "up" | "restarting" | "down"
+        self.state = "starting"  # "up" | "restarting" | "down" | "removed"
         self.restarts = 0
         self.address = address  # attach address for remote shards
         self.restart_thread: Optional[threading.Thread] = None
+        self.last_probe: Optional[float] = None  # wall clock of last probe
+        self.probe_ok: Optional[bool] = None  # verdict of the last probe
+        self.probe_failures = 0
 
 
 # ----------------------------------------------------------------------
@@ -680,14 +760,17 @@ class ShardedPartitionService:
         if self._local:
             if config.snapshot_dir:
                 self._snapshot_base = config.snapshot_dir
-            elif auto_restart:
+            else:
+                # always provisioned since PR 10: besides the restart
+                # re-warm, the elastic paths read it on *any* local
+                # fleet — resize hands sessions to their new ring
+                # owners from here, and a probe-ejected shard's
+                # sessions are adopted from its on-commit snapshots
                 self._tmpdir = tempfile.TemporaryDirectory(
                     prefix="repro-shard-snapshots-",
                     ignore_cleanup_errors=True,
                 )
                 self._snapshot_base = self._tmpdir.name
-            # else: no restarts and no durable dir — snapshots could
-            # never be read back, so don't pay for writing them
         # front-side observability: the front originates request traces
         # (shards continue them via the frame's trace context) and keeps
         # its own registry of fleet-supervision metrics; metrics() merges
@@ -703,12 +786,30 @@ class ShardedPartitionService:
         self._fleet_lock = threading.Lock()
         self._fleet_cond = threading.Condition(self._fleet_lock)
         self._session_lock = threading.Lock()
+        self._session_cond = threading.Condition(self._session_lock)
         self._session_shard: dict[str, int] = {}
+        #: opening-graph digest per session opened *through this front* —
+        #: what lets a ring change compute a session's new owner.
+        #: Sessions discovered via ``list_sessions`` (attach, durable
+        #: restore) have no recorded digest and stay sticky unless their
+        #: shard leaves the fleet (then they move keyed by session id).
+        self._session_digest: dict[str, str] = {}
+        #: sessions mid-handoff: routing waits them out (bounded) so an
+        #: update can never race the move and land on the losing side
+        self._moving: set[str] = set()
+        #: serializes admin topology changes (a flag, not a lock held
+        #: across the blocking handoff RPCs)
+        self._admin_busy = False
         self._closed = False
+        #: the routing topology: an explicit epoch-numbered ring instead
+        #: of PR 4's ``% N`` (see repro.service.ring for the migration)
+        self.ring = HashRing(self.n_shards)
         self._slots: list[_ShardSlot] = [
             _ShardSlot(i, address=None if self._local else attach[i])
             for i in range(self.n_shards)
         ]
+        self._probe_stop = threading.Event()
+        self._probe_thread: Optional[threading.Thread] = None
         try:
             for slot in self._slots:
                 slot.handle = (
@@ -726,6 +827,13 @@ class ShardedPartitionService:
                 for session_id in slot.handle.call("list_sessions"):
                     self._session_shard[session_id] = slot.index
             self._register_metrics()
+            if config.probe_interval_s > 0:
+                self._probe_thread = threading.Thread(
+                    target=self._probe_loop,
+                    name="shard-probes",
+                    daemon=True,
+                )
+                self._probe_thread.start()
         except BaseException:
             # a partial fleet must not outlive a failed constructor
             for slot in self._slots:
@@ -752,6 +860,23 @@ class ShardedPartitionService:
             ]
 
         reg.gauge_fn("repro_shard_up", shard_up)
+
+        def ring_epoch():
+            return [({}, float(self.ring.epoch))]
+
+        def ring_members():
+            return [({}, float(len(self.ring.members)))]
+
+        def ring_shares():
+            shares = self.ring.version.shares()
+            return [
+                ({"shard": str(slot)}, float(share))
+                for slot, share in sorted(shares.items())
+            ]
+
+        reg.gauge_fn("repro_ring_epoch", ring_epoch)
+        reg.gauge_fn("repro_ring_members", ring_members)
+        reg.gauge_fn("repro_ring_ownership_ratio", ring_shares)
         for field, metric in (
             ("spans_recorded", "repro_trace_spans_total"),
             ("spans_ingested", "repro_trace_spans_ingested_total"),
@@ -788,6 +913,7 @@ class ShardedPartitionService:
             process=process,
             on_death=self._on_shard_death,
             negotiate=self.config.binary_frames,
+            ring_epoch=self.ring.epoch,
         )
 
     def _connect_remote(self, slot: _ShardSlot) -> _ShardHandle:
@@ -800,14 +926,19 @@ class ShardedPartitionService:
         return _ShardHandle(
             slot.index, transport, on_death=self._on_shard_death,
             negotiate=self.config.binary_frames,
+            ring_epoch=self.ring.epoch,
         )
 
     def _on_shard_death(self, handle: _ShardHandle) -> None:
         """Reader-thread callback: a shard's channel just died."""
         with self._fleet_lock:
+            if handle.index >= len(self._slots):
+                return  # slot retired by a fleet shrink
             slot = self._slots[handle.index]
             if self._closed or slot.handle is not handle:
                 return  # stale handle (already replaced) or shutting down
+            if slot.state == "removed":
+                return  # retired slot: no supervision
             slot.handle = None
             self._begin_restart_locked(slot)
             state = slot.state
@@ -925,9 +1056,18 @@ class ShardedPartitionService:
         with self._fleet_lock:
             while True:
                 self._check_open()
+                if index >= len(self._slots):
+                    raise ShardDiedError(
+                        f"shard {index} left the fleet (width "
+                        f"{len(self._slots)})"
+                    )
                 slot = self._slots[index]
                 if slot.state == "up" and slot.handle is not None:
                     return slot.handle
+                if slot.state == "removed":
+                    raise ShardDiedError(
+                        f"shard {index} was removed from the fleet"
+                    )
                 if not wait:
                     raise ShardDiedError(
                         f"shard {index} is {slot.state}"
@@ -1028,17 +1168,34 @@ class ShardedPartitionService:
         return result
 
     def shard_health(self) -> list[dict]:
-        """Per-shard supervision state (also embedded in :meth:`stats`)."""
+        """Per-shard supervision state (also embedded in :meth:`stats`).
+
+        Since PR 10 each row also carries the slot's ring membership and
+        the outcome of the front's health probes: ``probe_failures``
+        counts failed probes over the slot's lifetime, and once a probe
+        has run, ``last_probe`` (wall-clock seconds) and ``probe_ok``
+        report the most recent verdict."""
+        members = set(self.ring.members)
         with self._fleet_lock:
             return [
                 {
                     "shard": slot.index,
                     "state": slot.state,
                     "restarts": slot.restarts,
+                    "in_ring": slot.index in members,
+                    "probe_failures": slot.probe_failures,
                     "transport": "pipe" if self._local else "socket",
                     **(
                         {"address": slot.address}
                         if slot.address is not None
+                        else {}
+                    ),
+                    **(
+                        {
+                            "last_probe": slot.last_probe,
+                            "probe_ok": slot.probe_ok,
+                        }
+                        if slot.last_probe is not None
                         else {}
                     ),
                 }
@@ -1048,8 +1205,8 @@ class ShardedPartitionService:
     # ------------------------------------------------------------------
     def shard_of(self, graph: CSRGraph) -> int:
         """The shard a graph's traffic routes to (stable across runs
-        *and* across shard restarts)."""
-        return shard_for_digest(graph_digest(graph), self.n_shards)
+        *and* across shard restarts, for a given ring epoch)."""
+        return self.ring.owner(graph_digest(graph))
 
     def _mark(self, result: JobResult, shard: int) -> JobResult:
         result.shard = shard
@@ -1104,7 +1261,8 @@ class ShardedPartitionService:
 
     def open_session(self, graph: CSRGraph, n_parts: int, **kwargs) -> JobResult:
         self._check_open()
-        shard = self.shard_of(graph)
+        digest = graph_digest(graph)
+        shard = self.ring.owner(digest)
         span = self.tracer.start(
             "front.open_session", parent=kwargs.get("trace"),
             attrs={"endpoint": "open_session", "shard": shard},
@@ -1116,6 +1274,9 @@ class ShardedPartitionService:
             span.set(session_id=result.session_id)
         with self._session_lock:
             self._session_shard[result.session_id] = shard
+            # remember the opening digest: a later ring change uses it
+            # to compute the session's new owner for the warm handoff
+            self._session_digest[result.session_id] = digest
         self.registry.inc("repro_sessions_routed_total")
         return self._mark(result, shard)
 
@@ -1139,6 +1300,7 @@ class ShardedPartitionService:
         summary = self._call(shard, "close_session", session_id)
         with self._session_lock:
             self._session_shard.pop(session_id, None)
+            self._session_digest.pop(session_id, None)
         return summary
 
     def stats(self) -> dict:
@@ -1160,6 +1322,7 @@ class ShardedPartitionService:
         return {
             "n_shards": self.n_shards,
             "sessions_routed": routed,
+            "ring": self.ring.describe(),
             "health": health,
             "shards": shards,
             # fleet aggregate: before this existed, callers had to sum
@@ -1204,14 +1367,630 @@ class ShardedPartitionService:
         return merged
 
     def _session_route(self, session_id: str) -> int:
+        deadline = time.monotonic() + self._restart_wait_s
         with self._session_lock:
+            # a session mid-handoff has two copies in flight; routing
+            # waits the move out (bounded) so the request lands on
+            # exactly one owner — never on the losing side of the move
+            while session_id in self._moving:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardDiedError(
+                        f"session {session_id!r} still handing off after "
+                        f"{self._restart_wait_s:.1f}s"
+                    )
+                self._session_cond.wait(remaining)
             shard = self._session_shard.get(session_id)
         if shard is None:
             raise ServiceError(f"unknown session {session_id!r}")
         return shard
 
+    # -- health probes (PR 10) -----------------------------------------
+    def _probe_loop(self) -> None:
+        interval = self.config.probe_interval_s
+        while not self._probe_stop.wait(interval):
+            if self._closed:
+                break
+            try:
+                self.probe_shards()
+            # repro: allow[BROAD-EXCEPT] — the probe loop must outlive any
+            # single failed pass; the next tick retries
+            except Exception as exc:
+                _LOG.warning(
+                    "shard probe pass failed",
+                    extra={
+                        "event": "probe_pass_failed",
+                        "reason": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+
+    def probe_shards(self) -> list[dict]:
+        """One health-probe pass over the fleet (the ``probe_interval_s``
+        loop calls this; tests and operators may call it directly).
+
+        Each live shard answers a ``ping`` on its control lane — a
+        pre-ring peer answers it with an unknown-verb error, which still
+        proves liveness.  A shard that cannot answer is ejected from the
+        ring (its keyspace reroutes to the survivors under a new epoch,
+        and its sessions are adopted from their on-commit snapshots); a
+        probe that finds an ejected shard answering again re-admits it
+        and re-warms its regained keyspace.  A down *attached* shard is
+        reconnected here instead of lazily on the next caller.  Slots
+        mid-restart get no verdict — the supervisor owns them.  Returns
+        the post-pass :meth:`shard_health` rows.
+        """
+        with self._fleet_lock:
+            width = len(self._slots)
+        for index in range(width):
+            with self._fleet_lock:
+                if self._closed or index >= len(self._slots):
+                    break
+                slot = self._slots[index]
+                state, handle = slot.state, slot.handle
+            if state == "removed":
+                continue
+            verdict: Optional[bool] = None
+            if state == "up" and handle is not None:
+                try:
+                    handle.call("ping")
+                    verdict = True
+                except ServiceError:
+                    verdict = True  # pre-ring peer: it answered, it lives
+                except ShardDiedError:
+                    verdict = False
+            elif state == "down":
+                if not self._local:
+                    # probe-driven reattach: recover the remote shard
+                    # now instead of taxing the next caller with it
+                    try:
+                        self._shard_handle(index)
+                        verdict = True
+                    except (ShardDiedError, ServiceError):
+                        verdict = False
+                else:
+                    verdict = False
+            # "starting"/"restarting": in flux — no verdict this pass
+            if verdict is None:
+                continue
+            now = time.time()
+            with self._fleet_lock:
+                if index < len(self._slots):
+                    probed = self._slots[index]
+                    probed.last_probe = now
+                    probed.probe_ok = verdict
+                    if not verdict:
+                        probed.probe_failures += 1
+            if verdict:
+                self._readmit_slot(index)
+            else:
+                self.registry.inc(
+                    "repro_shard_probe_failures_total", shard=str(index)
+                )
+                self._eject_slot(index, reason="probe")
+        return self.shard_health()
+
+    def _eject_slot(self, index: int, reason: str) -> bool:
+        """Take a slot out of the ring (new epoch; its keyspace reroutes
+        to the surviving members).  Idempotent; refuses to empty the
+        ring — with one member left, ejecting it would route nothing."""
+        with self._fleet_lock:
+            if self._closed:
+                return False
+            members = self.ring.members
+            if index not in members or len(members) <= 1:
+                return False
+            version = self.ring.eject(index)
+        self.registry.inc("repro_ring_changes_total")
+        self.registry.inc("repro_shard_ejections_total", shard=str(index))
+        _LOG.warning(
+            "shard ejected from ring",
+            extra={
+                "event": "ring_eject",
+                "shard": index,
+                "epoch": version.epoch,
+                "reason": reason,
+            },
+        )
+        # the ejected shard's sessions keep answering: every committed
+        # epoch is in its on-commit snapshot store, so the new ring
+        # owners adopt them from there (degraded, still bit-identical)
+        self._rebalance_sessions(dead={index})
+        return True
+
+    def _readmit_slot(self, index: int) -> bool:
+        """Put a recovered slot back in the ring and re-warm it for the
+        keyspace it regains.  Idempotent (a healthy member is a no-op,
+        which is what every successful probe of it reports)."""
+        with self._fleet_lock:
+            if self._closed or index >= len(self._slots):
+                return False
+            slot = self._slots[index]
+            if slot.state != "up" or index in self.ring.members:
+                return False
+            version = self.ring.readmit(index)
+        self.registry.inc("repro_ring_changes_total")
+        self.registry.inc("repro_shard_readmissions_total", shard=str(index))
+        _LOG.info(
+            "shard readmitted to ring",
+            extra={
+                "event": "ring_readmit",
+                "shard": index,
+                "epoch": version.epoch,
+            },
+        )
+        self._warm_slot(index)
+        return True
+
+    # -- elastic fleet admin (PR 10) -----------------------------------
+    def ring_admin(
+        self,
+        action: str,
+        n_shards: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> dict:
+        """The ``/v1/admin/ring`` verbs (also the ``ring`` CLI command):
+
+        ``status``
+            The ring descriptor plus :meth:`shard_health`.
+        ``resize`` (``n_shards``) / ``add_shard`` / ``remove_shard``
+            Change the width of a *local* fleet under traffic (see
+            :meth:`resize`, :meth:`remove_shard`).
+        ``eject`` / ``readmit`` (``shard``)
+            Membership-only changes — what the health probes do
+            automatically, exposed for operators (and the only resize
+            lever an attached fleet has: its width is the address list).
+        """
+        self._check_open()
+        action = str(action)
+        if action == "status":
+            return self.ring_status()
+        if action == "resize":
+            if n_shards is None:
+                raise ServiceError("ring resize needs n_shards")
+            return self.resize(n_shards)
+        if action in ("add", "add_shard"):
+            return self.add_shard()
+        if action in ("remove", "remove_shard"):
+            if shard is None:
+                raise ServiceError("ring remove_shard needs shard")
+            return self.remove_shard(shard)
+        if action in ("eject", "readmit"):
+            if shard is None:
+                raise ServiceError(f"ring {action} needs shard")
+            index = int(shard)
+            with self._fleet_lock:
+                if not 0 <= index < len(self._slots):
+                    raise ServiceError(
+                        f"no shard {index} (fleet width {len(self._slots)})"
+                    )
+            if action == "eject":
+                changed = self._eject_slot(index, reason="admin")
+            else:
+                try:
+                    self._shard_handle(index)  # reconnect/wait first
+                except ShardDiedError as exc:
+                    raise ServiceError(
+                        f"cannot readmit shard {index}: {exc}"
+                    ) from exc
+                changed = self._readmit_slot(index)
+            out = self.ring_status()
+            out["action"] = action
+            out["changed"] = changed
+            return out
+        raise ServiceError(
+            f"unknown ring action {action!r} (expected status, resize, "
+            "add_shard, remove_shard, eject, or readmit)"
+        )
+
+    def ring_status(self) -> dict:
+        return {"ring": self.ring.describe(), "health": self.shard_health()}
+
+    def resize(self, n_shards: int) -> dict:
+        """Grow or shrink a local fleet to ``n_shards`` slots, live.
+
+        Growing spawns the new shard workers, bumps the ring epoch (the
+        remap moves only the minimal ~``(n-current)/n`` share of the
+        keyspace), hands sessions whose owner changed to their new
+        shards warm (drain-snapshot → adopt → release), and re-warms
+        every member's newly owned keys from the other shards' result
+        journals.  Shrinking is the mirror image: the leaving slots'
+        sessions and journals are handed to the survivors before their
+        workers shut down.  Serialized against other admin operations;
+        answers under the new topology are bit-identical to the old one
+        (same code, same seeds — only *where* is different)."""
+        if not self._local:
+            raise ServiceError(
+                "resize needs local shards — an attached fleet's width is "
+                "its address list; use eject/readmit for membership"
+            )
+        n = int(n_shards)
+        if n < 1:
+            raise ServiceError(f"n_shards must be >= 1, got {n}")
+        self._admin_claim()
+        try:
+            current = len(self._slots)
+            if n == current:
+                out = self.ring_status()
+                out["action"] = "resize"
+                out["changed"] = False
+                return out
+            summary = self._grow(n) if n > current else self._shrink(n)
+            summary["action"] = "resize"
+            return summary
+        finally:
+            self._admin_release()
+
+    def add_shard(self) -> dict:
+        """Grow the fleet by one slot (``resize(width + 1)``)."""
+        return self.resize(len(self._slots) + 1)
+
+    def remove_shard(self, index: int) -> dict:
+        """Retire one slot permanently: hand its sessions to the ring
+        survivors, eject it, and shut its worker down.  Unlike a probe
+        eject, a removed slot is never re-admitted (state ``removed``;
+        the fleet width keeps counting it so slot indices stay stable)."""
+        index = int(index)
+        self._admin_claim()
+        try:
+            with self._fleet_lock:
+                if not 0 <= index < len(self._slots):
+                    raise ServiceError(
+                        f"no shard {index} (fleet width {len(self._slots)})"
+                    )
+                slot = self._slots[index]
+                if slot.state == "removed":
+                    raise ServiceError(f"shard {index} was already removed")
+                alive = slot.state == "up"
+                version = self.ring.eject(index)  # raises on last member
+            self.registry.inc("repro_ring_changes_total")
+            self.registry.inc(
+                "repro_shard_ejections_total", shard=str(index)
+            )
+            _LOG.info(
+                "shard leaving fleet",
+                extra={
+                    "event": "ring_remove",
+                    "shard": index,
+                    "epoch": version.epoch,
+                },
+            )
+            if alive:
+                try:
+                    self._call(index, "prepare_handoff", None)
+                except (ShardDiedError, ServiceError):
+                    pass
+            warmed = self._warm_members()
+            moved = self._rebalance_sessions(
+                force={index}, dead=set() if alive else {index}
+            )
+            with self._fleet_lock:
+                handle = slot.handle
+                slot.handle = None
+                slot.state = "removed"
+                self._fleet_cond.notify_all()
+            if handle is not None:
+                handle.closing = True
+                handle.shutdown()
+            return {
+                "action": "remove_shard",
+                "shard": index,
+                "changed": True,
+                "sessions_moved": moved,
+                "results_warmed": warmed,
+                "ring": self.ring.describe(),
+            }
+        finally:
+            self._admin_release()
+
+    def _admin_claim(self) -> None:
+        """Serialize topology changes with a flag, not a held lock — a
+        resize spends seconds in blocking shard RPCs, and holding a lock
+        across those would both stall the fleet and trip the lock-order
+        analysis (LOCK-HELD-BLOCKING) for no benefit."""
+        with self._fleet_lock:
+            self._check_open()
+            if self._admin_busy:
+                raise ServiceError(
+                    "another ring admin operation is in progress"
+                )
+            self._admin_busy = True
+
+    def _admin_release(self) -> None:
+        with self._fleet_lock:
+            self._admin_busy = False
+
+    def _grow(self, n: int) -> dict:
+        current = len(self._slots)
+        spawned = list(range(current, n))
+        failed: list[int] = []
+        # spawn context, not fork: caller threads are live (same
+        # reasoning as _restart_slot); answer bits do not depend on it
+        ctx = multiprocessing.get_context("spawn")
+        with self._fleet_lock:
+            for index in spawned:
+                self._slots.append(_ShardSlot(index))
+        for index in spawned:
+            try:
+                handle = self._spawn_local(index, ctx=ctx)
+            # repro: allow[BROAD-EXCEPT] — one slot failing to spawn must
+            # not abort the grow: it is marked down and left out of the ring
+            except Exception as exc:
+                failed.append(index)
+                with self._fleet_lock:
+                    self._slots[index].state = "down"
+                    self._fleet_cond.notify_all()
+                _LOG.error(
+                    "new shard failed to spawn",
+                    extra={
+                        "event": "shard_spawn_failed",
+                        "shard": index,
+                        "reason": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+                continue
+            # a durable snapshot dir may hand the new slot old sessions
+            sessions: list = []
+            try:
+                sessions = handle.call("list_sessions")
+            except (ShardDiedError, ServiceError):
+                pass
+            with self._fleet_lock:
+                slot = self._slots[index]
+                slot.handle = handle
+                slot.state = "up"
+                self._fleet_cond.notify_all()
+            with self._session_lock:
+                for session_id in sessions:
+                    self._session_shard.setdefault(session_id, index)
+        self._flush_members()  # complete journals before anyone warms
+        with self._fleet_lock:
+            version = self.ring.resize(n)
+            for index in failed:
+                try:
+                    version = self.ring.eject(index)
+                except ServiceError:
+                    pass
+            self.n_shards = n
+        self.registry.inc("repro_ring_changes_total")
+        _LOG.info(
+            "fleet grown",
+            extra={
+                "event": "ring_resize",
+                "width": n,
+                "epoch": version.epoch,
+            },
+        )
+        warmed = self._warm_members()
+        moved = self._rebalance_sessions()
+        return {
+            "ring": self.ring.describe(),
+            "changed": True,
+            "spawned": spawned,
+            "failed": failed,
+            "sessions_moved": moved,
+            "results_warmed": warmed,
+        }
+
+    def _shrink(self, n: int) -> dict:
+        current = len(self._slots)
+        leaving = list(range(n, current))
+        self._flush_members()  # leaving journals must be complete
+        with self._fleet_lock:
+            version = self.ring.resize(n)
+            self.n_shards = n
+            dead = {i for i in leaving if self._slots[i].state != "up"}
+        self.registry.inc("repro_ring_changes_total")
+        _LOG.info(
+            "fleet shrinking",
+            extra={
+                "event": "ring_resize",
+                "width": n,
+                "epoch": version.epoch,
+            },
+        )
+        warmed = self._warm_members()
+        moved = self._rebalance_sessions(force=set(leaving), dead=dead)
+        with self._fleet_lock:
+            retired = self._slots[n:]
+            del self._slots[n:]
+            self._fleet_cond.notify_all()
+        for slot in retired:
+            slot.state = "removed"
+            handle = slot.handle
+            slot.handle = None
+            if handle is not None:
+                handle.closing = True
+                handle.shutdown()
+        return {
+            "ring": self.ring.describe(),
+            "changed": True,
+            "retired": leaving,
+            "sessions_moved": moved,
+            "results_warmed": warmed,
+        }
+
+    # -- handoff + warm plumbing (PR 10) -------------------------------
+    def _shard_dir(self, index: int) -> Optional[str]:
+        if self._snapshot_base is None:
+            return None
+        return os.path.join(self._snapshot_base, f"shard-{index}")
+
+    def _flush_members(self) -> None:
+        """Flush every live member's snapshots + result journal (the
+        ``prepare_handoff`` verb with no session list) so adopters and
+        warmers read complete state.  Best-effort: a dead or pre-ring
+        member is skipped — its on-commit snapshots still serve."""
+        for index in list(self.ring.members):
+            try:
+                self._shard_handle(index, wait=False).call(
+                    "prepare_handoff", None
+                )
+            except (ShardDiedError, ServiceError):
+                continue
+
+    def _warm_members(self) -> int:
+        warmed = 0
+        for index in list(self.ring.members):
+            warmed += self._warm_slot(index)
+        return warmed
+
+    def _warm_slot(self, index: int) -> int:
+        """Re-warm one member from the *other* shards' result journals,
+        filtered to the keys the current ring assigns it — the step that
+        keeps the warm-hit rate intact across a remap.  Best-effort: a
+        pre-ring shard rejects the verb (unknown) and simply stays cold
+        for its newly owned keys."""
+        if self._snapshot_base is None:
+            return 0
+        with self._fleet_lock:
+            width = len(self._slots)
+        dirs = [
+            d
+            for j in range(width)
+            if j != index
+            for d in [self._shard_dir(j)]
+            if d is not None and os.path.isdir(d)
+        ]
+        if not dirs:
+            return 0
+        try:
+            return int(
+                self._shard_handle(index, wait=False).call(
+                    "warm_from", dirs, self.ring.describe(), index
+                )
+            )
+        except (ShardDiedError, ServiceError):
+            return 0
+
+    def _rebalance_sessions(
+        self,
+        force: frozenset = frozenset(),
+        dead: frozenset = frozenset(),
+    ) -> list[str]:
+        """Move sessions to their ring owners after a topology change.
+
+        Sessions opened through this front move when the ring says their
+        opening digest belongs elsewhere; sessions *discovered* (attach,
+        durable restore — no recorded digest) stay sticky unless their
+        shard is in ``force`` (leaving the fleet), in which case they
+        move keyed by session id.  ``dead`` shards get no drain/release
+        RPCs — their on-commit snapshots are adopted as-is."""
+        if self._snapshot_base is None or not self._local:
+            return []
+        with self._session_lock:
+            routed = dict(self._session_shard)
+            digests = dict(self._session_digest)
+        moved = []
+        for session_id, current in routed.items():
+            key = digests.get(session_id)
+            if key is None:
+                if current not in force and current not in dead:
+                    continue
+                key = session_id
+            target = self.ring.owner(key)
+            if target == current:
+                continue
+            if self._move_session(
+                session_id, current, target, prepare=current not in dead
+            ):
+                moved.append(session_id)
+        return moved
+
+    def _move_session(
+        self, session_id: str, src: int, dst: int, prepare: bool = True
+    ) -> bool:
+        """Hand one session from ``src`` to ``dst`` warm: drain-snapshot
+        on the old owner (unless it is dead), adopt on the new owner
+        from the old owner's store, then release the old copy.  Routing
+        for the session waits the move out (``_moving``), so no request
+        can land on the losing side; the adopted partitioner resumes at
+        the last committed epoch, so retried updates are bit-identical."""
+        src_dir = self._shard_dir(src)
+        if src_dir is None:
+            return False
+        with self._session_lock:
+            if (
+                self._session_shard.get(session_id) != src
+                or session_id in self._moving
+            ):
+                return False
+            self._moving.add(session_id)
+        try:
+            if prepare:
+                try:
+                    self._call(src, "prepare_handoff", [session_id])
+                except (ShardDiedError, ServiceError) as exc:
+                    # fall back to the on-commit snapshot — every
+                    # committed epoch is already in the store
+                    _LOG.warning(
+                        "handoff drain failed; adopting on-commit state",
+                        extra={
+                            "event": "handoff_drain_failed",
+                            "session_id": session_id,
+                            "shard": src,
+                            "reason": str(exc),
+                        },
+                    )
+            try:
+                adopted = self._call(
+                    dst, "adopt_sessions", src_dir, [session_id]
+                )
+            except (ShardDiedError, ServiceError) as exc:
+                _LOG.warning(
+                    "session adoption failed; session stays put",
+                    extra={
+                        "event": "handoff_adopt_failed",
+                        "session_id": session_id,
+                        "shard": dst,
+                        "reason": str(exc),
+                    },
+                )
+                return False
+            if session_id not in (adopted or []):
+                return False
+            with self._session_lock:
+                self._session_shard[session_id] = dst
+            released = False
+            if prepare:
+                try:
+                    self._call(src, "release_sessions", [session_id])
+                    released = True
+                except (ShardDiedError, ServiceError):
+                    pass
+            if not released:
+                # the old owner could not drop its copy (dead, or a
+                # pre-ring peer): delete its snapshot front-side so a
+                # restart there cannot resurrect a second live copy
+                self._forget_snapshot(src_dir, session_id)
+            self.registry.inc("repro_sessions_handed_off_total")
+            _LOG.info(
+                "session handed off",
+                extra={
+                    "event": "session_handoff",
+                    "session_id": session_id,
+                    "from_shard": src,
+                    "to_shard": dst,
+                    "epoch": self.ring.epoch,
+                },
+            )
+            return True
+        finally:
+            with self._session_lock:
+                self._moving.discard(session_id)
+                self._session_cond.notify_all()
+
+    @staticmethod
+    def _forget_snapshot(src_dir: str, session_id: str) -> None:
+        from .persistence import SnapshotStore
+
+        try:
+            SnapshotStore(src_dir).delete(session_id)
+        except (OSError, ServiceError):
+            pass
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
+        self._probe_stop.set()
         with self._fleet_lock:
             if self._closed:
                 return
@@ -1229,6 +2008,8 @@ class ShardedPartitionService:
         # mid-close must be fully shut down (the restart thread does it
         # once it sees _closed) before the snapshot tempdir is removed,
         # or the child would recreate directories under our feet
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=10.0)
         for thread in restarts:
             thread.join(timeout=60.0)
         for handle in handles:

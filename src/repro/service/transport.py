@@ -38,7 +38,15 @@ stream, distinguished by the first body byte:
 Binary frames are only *sent* after capability negotiation (the
 ``capabilities`` shard verb — see :mod:`repro.service.sharding`), but
 every receiver accepts both formats unconditionally, so old and new
-peers interoperate frame by frame.  Both formats decode through the
+peers interoperate frame by frame.  Since PR 10 the same handshake
+also negotiates the *ring protocol*: the front's ``capabilities`` call
+carries an optional args dict ``{"ring_protocol": 1, "ring_epoch": E}``
+and a ring-aware shard echoes ``ring_protocol``/``ring_epoch`` back in
+its reply — all inside an ordinary JSON frame, no new wire format.  An
+old peer ignores unknown args and omits the keys, which the front
+reads as "speaks no ring verbs"; an old front sends no args dict and a
+new shard answers exactly as before, so the epoch exchange costs
+nothing when unused and breaks nobody.  Both formats decode through the
 same value codec and therefore produce bit-identical messages.  The
 pipe lane has an analogous negotiated fast path: array payloads above
 :data:`SHM_MIN_BYTES` cross via a :mod:`multiprocessing.shared_memory`

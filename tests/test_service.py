@@ -605,7 +605,7 @@ class TestSessions:
             assert outcomes["a"]["session_id"] != outcomes["b"]["session_id"]
             assert svc.sessions.stats() == {
                 "open": 0, "opened": 2, "closed": 2, "restored": 0,
-                "updates": 4,
+                "released": 0, "updates": 4,
             }
 
 

@@ -1,12 +1,15 @@
-"""Tests for the process-parallel serving tier (PR 4/5).
+"""Tests for the process-parallel serving tier (PR 4/5/10).
 
 Covers: digest→shard routing stability, sharded vs single-process
 bit-identity on a replayed mixed trace, the process-pool execution
 lane (cost-model routing, graph shipping, bit-identity with the
-thread lane), the sharded front's lifecycle/error behavior, and (PR 5)
+thread lane), the sharded front's lifecycle/error behavior, (PR 5)
 the fault-tolerant fleet: socket-vs-pipe transport equivalence,
 shard-death fail-fast, supervised restart with session failover
-bit-identity, and the exception round-trip hardening.
+bit-identity, the exception round-trip hardening, and (PR 10) the
+elastic fleet: live resize with session/warm-result handoff, dead
+shards serving degraded out of the ring with zero lost answers,
+probe-driven eject/readmit, and the ``/v1/admin/ring`` endpoint.
 """
 
 import threading
@@ -785,6 +788,216 @@ class TestFailover:
                     assert svc.persistence.snapshot_open_sessions() == 0
                 assert svc.persistence.snapshot_open_sessions() == 1
                 session.partitioner._epoch -= 1
+
+
+# ----------------------------------------------------------------------
+# elastic fleet: ring resize, handoff, probes (PR 10)
+# ----------------------------------------------------------------------
+
+class TestElasticFleet:
+    def test_grow_and_shrink_bit_identical_with_warm_handoff(self, graph):
+        """The PR-10 acceptance contract at unit scale: a live 2→4 grow
+        (and the 4→2 shrink back) under session traffic answers
+        bit-identically to an uninterrupted single-process run, moves
+        open sessions to their new ring owners, and re-seeds warm
+        results so a re-submitted request stays a cache hit."""
+        other = mesh_graph(56, seed=9)
+        update = insert_local_nodes(graph, 5, seed=7).graph
+        update2 = insert_local_nodes(update, 5, seed=8).graph
+        with PartitionService(n_workers=1) as ref_svc:
+            ref_open = ref_svc.open_session(graph, 4, seed=0, ga=GA)
+            ref_part = ref_svc.submit(PartitionRequest(other, 4, seed=0, ga=GA))
+            ref_upd = ref_svc.update_session(
+                UpdateRequest(ref_open.session_id, update)
+            )
+            ref_upd2 = ref_svc.update_session(
+                UpdateRequest(ref_open.session_id, update2)
+            )
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            opened = svc.open_session(graph, 4, seed=0, ga=GA)
+            assert np.array_equal(opened.assignment, ref_open.assignment)
+            before = svc.submit(PartitionRequest(other, 4, seed=0, ga=GA))
+            assert np.array_equal(before.assignment, ref_part.assignment)
+
+            summary = svc.resize(4)
+            assert summary["changed"] and summary["spawned"] == [2, 3]
+            assert svc.n_shards == 4 and svc.ring.epoch >= 1
+            assert sorted(svc.ring.members) == [0, 1, 2, 3]
+
+            # the session continues bit-identically wherever it now lives
+            got = svc.update_session(UpdateRequest(opened.session_id, update))
+            assert got.session_id == opened.session_id
+            assert np.array_equal(got.assignment, ref_upd.assignment)
+            # warm handoff: the re-submitted one-shot is still a hit,
+            # whether or not its digest moved to a new owner
+            again = svc.submit(PartitionRequest(other, 4, seed=0, ga=GA))
+            assert again.cache_hit
+            assert np.array_equal(again.assignment, ref_part.assignment)
+
+            shrink = svc.resize(2)
+            assert shrink["changed"] and svc.n_shards == 2
+            assert sorted(svc.ring.members) == [0, 1]
+            got2 = svc.update_session(UpdateRequest(opened.session_id, update2))
+            assert np.array_equal(got2.assignment, ref_upd2.assignment)
+            final = svc.submit(PartitionRequest(other, 4, seed=0, ga=GA))
+            assert final.cache_hit
+            summary = svc.close_session(opened.session_id)
+            assert summary["n_updates"] == 2
+
+    def test_resize_noop_and_validation(self, graph):
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            noop = svc.resize(2)
+            assert not noop["changed"] and svc.ring.epoch == 0
+            with pytest.raises(ServiceError):
+                svc.resize(0)
+            with pytest.raises(ServiceError):
+                svc.ring_admin("bogus")
+            with pytest.raises(ServiceError):
+                svc.ring_admin("eject", shard=99)
+
+    def test_dead_shard_serves_degraded_with_zero_lost_answers(self, graph):
+        """Satellite: kill a shard that owns live keys and sessions;
+        after a probe pass ejects it, every key answers from the
+        surviving shard — retried one-shots and the adopted session are
+        bit-identical to an uninterrupted run (zero lost answers)."""
+        update = insert_local_nodes(graph, 5, seed=7).graph
+        with PartitionService(n_workers=1) as ref_svc:
+            ref_open = ref_svc.open_session(graph, 4, seed=0, ga=GA)
+            ref_upd = ref_svc.update_session(
+                UpdateRequest(ref_open.session_id, update)
+            )
+            ref_shot = ref_svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+        with ShardedPartitionService(
+            n_shards=2, n_workers=1, auto_restart=False
+        ) as svc:
+            victim = svc.shard_of(graph)
+            opened = svc.open_session(graph, 4, seed=0, ga=GA)
+            assert opened.shard == victim
+            assert np.array_equal(opened.assignment, ref_open.assignment)
+            svc._slots[victim].handle.process.kill()
+            assert _wait_for(
+                lambda: svc.shard_health()[victim]["state"] == "down"
+            )
+            # the probe pass (normally the probe_interval_s loop)
+            # ejects the dead shard: new epoch, keyspace rerouted,
+            # sessions adopted from their on-commit snapshots
+            svc.probe_shards()
+            health = svc.stats()["health"][victim]
+            assert health["in_ring"] is False
+            assert health["probe_ok"] is False
+            assert health["last_probe"] is not None
+            assert health["probe_failures"] >= 1
+            assert svc.ring.members == (1 - victim,)
+            assert svc.ring.epoch == 1
+            # retried keys answer bit-identically from the survivor
+            retried = svc.submit(PartitionRequest(graph, 4, seed=0, ga=GA))
+            assert retried.shard == 1 - victim
+            assert np.array_equal(retried.assignment, ref_shot.assignment)
+            got = svc.update_session(UpdateRequest(opened.session_id, update))
+            assert got.session_id == opened.session_id
+            assert np.array_equal(got.assignment, ref_upd.assignment)
+            # the probe-failure counter is on the metrics surface
+            snapshot = svc.metrics()
+            failures = [
+                series
+                for series in snapshot["counters"]
+                if series["name"] == "repro_shard_probe_failures_total"
+            ]
+            assert failures and sum(s["value"] for s in failures) >= 1
+
+    def test_probe_ejects_and_readmits_remote_shard(self, graph):
+        """Front-driven probes on an attached fleet: a killed remote
+        shard is ejected (degraded N−1, new epoch) and re-admitted once
+        a probe finds it answering again at the same address — no
+        operator intervention beyond restarting the worker."""
+        s0 = ShardServer(n_workers=1).start()
+        s1 = ShardServer(n_workers=1).start()
+        addr1 = s1.address
+        svc = ShardedPartitionService(attach=[s0.address, s1.address])
+        restarted = None
+        try:
+            assert svc.probe_shards()[1]["probe_ok"] is True
+            s1.close()
+            assert _wait_for(
+                lambda: not svc.probe_shards()[1]["in_ring"]
+            ), "dead remote shard was not ejected"
+            assert svc.ring.members == (0,)
+            # the fleet serves degraded meanwhile
+            r = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+            assert r.shard == 0
+            # recovery at the same address
+            host, port = addr1.rsplit(":", 1)
+            restarted = ShardServer(host=host, port=int(port), n_workers=1).start()
+            assert _wait_for(
+                lambda: svc.probe_shards()[1]["in_ring"]
+            ), "recovered remote shard was not readmitted"
+            assert svc.ring.members == (0, 1)
+            assert svc.shard_health()[1]["probe_ok"] is True
+        finally:
+            svc.close()
+            s0.close()
+            if restarted is not None:
+                restarted.close()
+
+    def test_remove_shard_is_permanent(self, graph):
+        with ShardedPartitionService(n_shards=3, n_workers=1) as svc:
+            summary = svc.remove_shard(2)
+            assert summary["ring"]["members"] == [0, 1]
+            assert svc.shard_health()[2]["state"] == "removed"
+            # removed slots stay out: probes skip them, readmit refuses
+            svc.probe_shards()
+            assert svc.shard_health()[2]["state"] == "removed"
+            with pytest.raises(ServiceError):
+                svc.ring_admin("readmit", shard=2)
+            r = svc.submit(PartitionRequest(graph, 4, method="greedy"))
+            assert r.shard in (0, 1)
+            with pytest.raises(ServiceError):
+                svc.remove_shard(0) and svc.remove_shard(1)
+
+    def test_ring_admin_http_endpoint(self, graph):
+        """The ``/v1/admin/ring`` endpoint through the shared routing
+        table: status, resize, eject/readmit — and 404 on a service
+        without a ring."""
+        import json
+
+        from repro.service import dispatch_request
+
+        with ShardedPartitionService(n_shards=2, n_workers=1) as svc:
+            status, _, body = dispatch_request(svc, "GET", "/v1/admin/ring")
+            assert status == 200
+            answer = json.loads(body)
+            assert answer["ring"]["members"] == [0, 1]
+            assert len(answer["health"]) == 2
+
+            status, _, body = dispatch_request(
+                svc, "POST", "/v1/admin/ring",
+                json.dumps({"action": "eject", "shard": 1}).encode(),
+            )
+            assert status == 200
+            assert json.loads(body)["ring"]["members"] == [0]
+            status, _, body = dispatch_request(
+                svc, "POST", "/v1/admin/ring",
+                json.dumps({"action": "readmit", "shard": 1}).encode(),
+            )
+            assert status == 200
+            assert json.loads(body)["ring"]["members"] == [0, 1]
+
+            status, _, body = dispatch_request(
+                svc, "POST", "/v1/admin/ring",
+                json.dumps({"action": "resize", "n_shards": 3}).encode(),
+            )
+            assert status == 200
+            assert json.loads(body)["ring"]["n_slots"] == 3
+
+            # bad action → 400, not a crash
+            status, _, _ = dispatch_request(
+                svc, "POST", "/v1/admin/ring",
+                json.dumps({"action": "bogus"}).encode(),
+            )
+            assert status == 400
+        with PartitionService(n_workers=1) as single:
+            status, _, _ = dispatch_request(single, "GET", "/v1/admin/ring")
+            assert status == 404
 
 
 # ----------------------------------------------------------------------
